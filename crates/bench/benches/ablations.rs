@@ -1,0 +1,77 @@
+//! Criterion benchmark: cost of the model's ablation variants and the
+//! simulator's coupling modes.
+//!
+//! The interesting output here is not just time but the check that the
+//! ablation switches stay zero-cost-ish: disabling the relaxing factor or
+//! the variance term must not change evaluation complexity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cocnet::model::{evaluate, ModelOptions, VarianceApprox, Workload};
+use cocnet::presets;
+use cocnet::sim::{run_simulation_built, BuiltSystem, Coupling, SimConfig};
+use cocnet_workloads::Pattern;
+
+fn bench_model_ablations(c: &mut Criterion) {
+    let spec = presets::org_544();
+    let wl = Workload {
+        lambda_g: 4e-4,
+        ..presets::wl_m32_l256()
+    };
+    let mut group = c.benchmark_group("model_ablations");
+    for (name, opts) in [
+        ("paper_defaults", ModelOptions::default()),
+        (
+            "no_relaxing_factor",
+            ModelOptions {
+                relaxing_factor: false,
+                ..ModelOptions::default()
+            },
+        ),
+        (
+            "zero_variance",
+            ModelOptions {
+                variance: VarianceApprox::Zero,
+                ..ModelOptions::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| evaluate(black_box(&spec), &wl, black_box(&opts)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_coupling_modes(c: &mut Criterion) {
+    let spec = presets::org_544();
+    let wl = Workload {
+        lambda_g: 2e-4,
+        ..presets::wl_m32_l256()
+    };
+    let built = BuiltSystem::build(&spec, wl.flit_bytes);
+    let mut group = c.benchmark_group("sim_coupling");
+    group.sample_size(10);
+    for (name, coupling) in [
+        ("virtual_cut_through", Coupling::VirtualCutThrough),
+        ("store_and_forward", Coupling::StoreAndForward),
+        ("cut_through", Coupling::CutThrough),
+    ] {
+        let cfg = SimConfig {
+            warmup: 500,
+            measured: 5_000,
+            drain: 500,
+            seed: 3,
+            coupling,
+            ..SimConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| run_simulation_built(black_box(&built), &wl, Pattern::Uniform, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_ablations, bench_coupling_modes);
+criterion_main!(benches);

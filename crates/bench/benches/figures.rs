@@ -1,0 +1,33 @@
+//! Criterion benchmark: cost of regenerating each paper figure's *analysis*
+//! series (the model-side sweep; the simulation side is measured separately
+//! in `sim_throughput`).
+//!
+//! One benchmark per figure — Figs. 3–6 sweep two flit sizes over ten rates,
+//! Fig. 7 sweeps four system variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cocnet::experiments::{figure_config, run_figure_model, run_fig7, Figure};
+use cocnet::model::ModelOptions;
+
+fn bench_figures(c: &mut Criterion) {
+    let opts = ModelOptions::default();
+    let mut group = c.benchmark_group("figure_analysis");
+    for (name, fig) in [
+        ("fig3", Figure::Fig3),
+        ("fig4", Figure::Fig4),
+        ("fig5", Figure::Fig5),
+        ("fig6", Figure::Fig6),
+    ] {
+        let cfg = figure_config(fig);
+        group.bench_function(name, |b| {
+            b.iter(|| run_figure_model(black_box(&cfg), &opts, 10))
+        });
+    }
+    group.bench_function("fig7", |b| b.iter(|| run_fig7(black_box(&opts), 10)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

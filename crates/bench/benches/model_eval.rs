@@ -1,0 +1,43 @@
+//! Criterion benchmark: analytical model evaluation speed.
+//!
+//! The model's selling point over simulation is evaluation cost; this bench
+//! quantifies it for both Table 1 organizations (a full Eqs. (1)–(39)
+//! evaluation, all cluster classes and pair terms).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cocnet::model::{evaluate, ModelOptions, Workload};
+use cocnet::presets;
+
+fn bench_model_eval(c: &mut Criterion) {
+    let opts = ModelOptions::default();
+    let mut group = c.benchmark_group("model_eval");
+    for (name, spec, rate) in [
+        ("org_1120", presets::org_1120(), 2e-4),
+        ("org_544", presets::org_544(), 4e-4),
+    ] {
+        let wl = Workload {
+            lambda_g: rate,
+            ..presets::wl_m32_l256()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| evaluate(black_box(&spec), black_box(&wl), black_box(&opts)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_saturation_search(c: &mut Criterion) {
+    let opts = ModelOptions::default();
+    let spec = presets::org_544();
+    let wl = presets::wl_m32_l256();
+    c.bench_function("saturation_point_org544", |b| {
+        b.iter(|| {
+            cocnet::model::saturation_point(black_box(&spec), black_box(&wl), &opts, 1e-3).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_model_eval, bench_saturation_search);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmark: simulator throughput.
+//!
+//! Measures end-to-end runs on a small heterogeneous system (events are
+//! dominated by channel handoffs) and topology construction for the paper's
+//! big organization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cocnet::model::Workload;
+use cocnet::presets;
+use cocnet::sim::{run_simulation, run_simulation_built, BuiltSystem, SimConfig};
+use cocnet::topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
+use cocnet_workloads::Pattern;
+
+fn small_spec() -> SystemSpec {
+    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+    let c = |n| ClusterSpec {
+        n,
+        icn1: net1,
+        ecn1: net2,
+    };
+    SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
+}
+
+fn bench_sim_run(c: &mut Criterion) {
+    let spec = small_spec();
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+    let cfg = SimConfig {
+        warmup: 500,
+        measured: 5_000,
+        drain: 500,
+        seed: 1,
+        ..SimConfig::default()
+    };
+    let built = BuiltSystem::build(&spec, wl.flit_bytes);
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(20);
+    group.bench_function("run_6k_messages_small_system", |b| {
+        b.iter(|| run_simulation_built(black_box(&built), &wl, Pattern::Uniform, &cfg))
+    });
+    group.bench_function("run_including_build", |b| {
+        b.iter(|| run_simulation(black_box(&spec), &wl, Pattern::Uniform, &cfg))
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    group.sample_size(20);
+    for (name, spec) in [
+        ("org_1120", presets::org_1120()),
+        ("org_544", presets::org_544()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| BuiltSystem::build(black_box(&spec), 256.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_run, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: the simulator's network-boundary coupling modes.
+//!
+//! The paper's model is ambivalent about what happens at the
+//! concentrator/dispatcher (see DESIGN.md): Eq. (20) merges the three
+//! networks into one wormhole pipe, while Eqs. (36)–(37) assume
+//! full-message buffering. This experiment runs the same workload under
+//! all three couplings the simulator implements and prints them against
+//! the model, making the trade-off measurable: cut-through matches the
+//! model at light load but saturates early; store-and-forward matches the
+//! saturation point but overshoots light-load latency; virtual cut-through
+//! (the default) is the compromise.
+
+use cocnet::model::{evaluate, ModelOptions, Workload};
+use cocnet::presets;
+use cocnet::sim::{run_simulation, Coupling, SimConfig};
+use cocnet::stats::Table;
+use cocnet_workloads::Pattern;
+
+fn main() {
+    let spec = presets::org_544();
+    let wl = presets::wl_m32_l256();
+    let opts = ModelOptions::default();
+    let base = SimConfig {
+        warmup: 2_000,
+        measured: 20_000,
+        drain: 2_000,
+        seed: 31,
+        ..SimConfig::default()
+    };
+    println!("## N=544, M=32, Lm=256 — coupling-mode comparison");
+    let mut table = Table::new(["rate", "model", "cut-through", "virtual-ct", "store&fwd"]);
+    for rate in [1e-4, 2e-4, 4e-4, 6e-4, 8e-4] {
+        let w = Workload { lambda_g: rate, ..wl };
+        let model = evaluate(&spec, &w, &opts)
+            .map(|o| format!("{:.2}", o.latency))
+            .unwrap_or_else(|_| "saturated".into());
+        let run = |coupling| {
+            let cfg = SimConfig { coupling, ..base };
+            let r = run_simulation(&spec, &w, Pattern::Uniform, &cfg);
+            if r.completed {
+                format!("{:.2}", r.latency.mean)
+            } else {
+                "incomplete".into()
+            }
+        };
+        table.push_row([
+            format!("{rate:.2e}"),
+            model,
+            run(Coupling::CutThrough),
+            run(Coupling::VirtualCutThrough),
+            run(Coupling::StoreAndForward),
+        ]);
+    }
+    println!("{}", table.render());
+}

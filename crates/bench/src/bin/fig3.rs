@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 3. See `cocnet_bench::Cli` for flags.
+
+fn main() {
+    cocnet_bench::figure_main(cocnet::experiments::Figure::Fig3);
+}

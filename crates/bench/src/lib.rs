@@ -1,0 +1,115 @@
+//! Shared driver for the figure/table regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — scaled-down simulation (2k/20k/2k messages instead of the
+//!   paper's 10k/100k/10k) for a fast smoke run;
+//! * `--points N` — number of x-axis points (default 10);
+//! * `--json` — also print the series as JSON (recorded in EXPERIMENTS.md);
+//! * `--no-sim` — analysis only.
+
+use cocnet::experiments::{figure_config, run_figure_model, run_figure_sim, Figure};
+use cocnet::model::ModelOptions;
+use cocnet::report::{render_figure, to_json};
+use cocnet::sim::SimConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Scaled-down simulation population.
+    pub quick: bool,
+    /// Number of sweep points.
+    pub points: usize,
+    /// Emit JSON after the table.
+    pub json: bool,
+    /// Skip the simulation series.
+    pub no_sim: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut cli = Cli {
+            quick: false,
+            points: 10,
+            json: false,
+            no_sim: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => cli.quick = true,
+                "--json" => cli.json = true,
+                "--no-sim" => cli.no_sim = true,
+                "--points" => {
+                    cli.points = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--points needs a number");
+                }
+                other => eprintln!("ignoring unknown argument {other:?}"),
+            }
+        }
+        cli
+    }
+
+    /// The simulation configuration implied by the flags.
+    pub fn sim_config(&self) -> SimConfig {
+        if self.quick {
+            SimConfig {
+                warmup: 2_000,
+                measured: 20_000,
+                drain: 2_000,
+                seed: 2006,
+                ..SimConfig::default()
+            }
+        } else {
+            // The paper's §4 methodology: 10k warm-up, 100k measured, 10k drain.
+            SimConfig {
+                seed: 2006,
+                ..SimConfig::default()
+            }
+        }
+    }
+}
+
+/// Runs one latency-vs-load figure end to end and prints it.
+pub fn figure_main(fig: Figure) {
+    let cli = Cli::parse();
+    let cfg = figure_config(fig);
+    let opts = ModelOptions::default();
+
+    let mut series = run_figure_model(&cfg, &opts, cli.points);
+    if !cli.no_sim {
+        let sim_cfg = cli.sim_config();
+        series.extend(run_figure_sim(&cfg, &sim_cfg, cli.points));
+    }
+    println!("{}", render_figure(&cfg.title, &series));
+    println!("{}", cocnet::stats::scatter(&series, 64, 20));
+    if cli.json {
+        println!("{}", to_json(&series));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_config_scales() {
+        let quick = Cli {
+            quick: true,
+            points: 10,
+            json: false,
+            no_sim: false,
+        };
+        let full = Cli {
+            quick: false,
+            ..quick.clone()
+        };
+        assert_eq!(quick.sim_config().measured, 20_000);
+        assert_eq!(full.sim_config().measured, 100_000);
+        assert_eq!(full.sim_config().warmup, 10_000);
+    }
+}

@@ -1,0 +1,253 @@
+//! `cocnet` — command-line front end for the model and simulator.
+//!
+//! ```text
+//! cocnet model    [spec flags] --rate 2e-4            analytic evaluation
+//! cocnet sim      [spec flags] --rate 2e-4 [--seed N] discrete-event run
+//! cocnet saturate [spec flags]                        stability boundary
+//! cocnet sweep    [spec flags] --max-rate 1e-3        latency-vs-load table+plot
+//! cocnet figure   --fig fig3|fig4|fig5|fig6           a paper figure (analysis side)
+//!
+//! spec flags:
+//!   --org 1120|544          a Table 1 organization (default: 544), or
+//!   --m M --heights 2,2,3,3 a custom system (ICN1/ICN2 = Net.1, ECN1 = Net.2)
+//! workload flags:
+//!   --rate λ  --flits M  --flit-bytes D   (defaults 1e-4, 32, 256)
+//! sim flags:
+//!   --seed S  --measured N  --locality ψ
+//! ```
+
+use cocnet::experiments::{figure_config, run_figure_model, Figure};
+use cocnet::model::{
+    evaluate_with_profile, saturation_point, sweep, ModelOptions, OutgoingProfile, Workload,
+};
+use cocnet::report::render_figure;
+use cocnet::presets;
+use cocnet::sim::{run_simulation, SimConfig};
+use cocnet::stats::{scatter, Series, Table};
+use cocnet::topology::{ClusterSpec, SystemSpec};
+use cocnet_workloads::Pattern;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cocnet <model|sim|saturate|sweep|figure> [--org 1120|544] \
+         [--m M --heights a,b,c] [--rate λ] [--flits M] [--flit-bytes D] \
+         [--seed S] [--measured N] [--locality ψ] [--max-rate λ] [--points P]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag --{name} needs a value");
+                usage()
+            });
+            flags.insert(name.to_string(), value);
+        } else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("could not parse --{key} value {v:?}");
+            usage()
+        }),
+    }
+}
+
+fn build_spec(flags: &HashMap<String, String>) -> SystemSpec {
+    if let Some(org) = flags.get("org") {
+        return match org.as_str() {
+            "1120" => presets::org_1120(),
+            "544" => presets::org_544(),
+            other => {
+                eprintln!("unknown --org {other:?}; use 1120 or 544");
+                usage();
+            }
+        };
+    }
+    if let Some(heights) = flags.get("heights") {
+        let m: u32 = get(flags, "m", 4);
+        let clusters: Vec<ClusterSpec> = heights
+            .split(',')
+            .map(|h| {
+                let n = h.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad height {h:?}");
+                    usage()
+                });
+                ClusterSpec {
+                    n,
+                    icn1: presets::net1(),
+                    ecn1: presets::net2(),
+                }
+            })
+            .collect();
+        return SystemSpec::new(m, clusters, presets::net1()).unwrap_or_else(|e| {
+            eprintln!("invalid system: {e}");
+            exit(2);
+        });
+    }
+    presets::org_544()
+}
+
+fn build_workload(flags: &HashMap<String, String>) -> Workload {
+    Workload::new(
+        get(flags, "rate", 1e-4),
+        get(flags, "flits", 32),
+        get(flags, "flit-bytes", 256.0),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("invalid workload: {e}");
+        exit(2);
+    })
+}
+
+fn profile(flags: &HashMap<String, String>, spec: &SystemSpec) -> OutgoingProfile {
+    match flags.get("locality") {
+        None => OutgoingProfile::uniform(spec),
+        Some(v) => {
+            let psi: f64 = v.parse().unwrap_or_else(|_| usage());
+            OutgoingProfile::cluster_local(spec, psi).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(2);
+            })
+        }
+    }
+}
+
+fn cmd_model(flags: &HashMap<String, String>) {
+    let spec = build_spec(flags);
+    let wl = build_workload(flags);
+    let prof = profile(flags, &spec);
+    match evaluate_with_profile(&spec, &wl, &ModelOptions::default(), &prof) {
+        Ok(out) => {
+            println!(
+                "system: C={} N={} m={}   workload: λ={:.3e} M={} d_m={}",
+                spec.num_clusters(),
+                spec.total_nodes(),
+                spec.m,
+                wl.lambda_g,
+                wl.msg_flits,
+                wl.flit_bytes
+            );
+            println!("mean message latency: {:.4}", out.latency);
+            let mut table = Table::new(["cluster", "N_i", "U_i", "L_in", "L_out", "mean"]);
+            for c in &out.per_cluster {
+                table.push_row([
+                    c.cluster.to_string(),
+                    spec.cluster_nodes(c.cluster).to_string(),
+                    format!("{:.4}", c.outgoing_probability),
+                    format!("{:.2}", c.intra.total()),
+                    format!("{:.2}", c.inter.total()),
+                    format!("{:.2}", c.mean),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+        Err(e) => {
+            eprintln!("model: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_sim(flags: &HashMap<String, String>) {
+    let spec = build_spec(flags);
+    let wl = build_workload(flags);
+    let pattern = match flags.get("locality") {
+        None => Pattern::Uniform,
+        Some(v) => Pattern::ClusterLocal {
+            locality: v.parse().unwrap_or_else(|_| usage()),
+        },
+    };
+    let cfg = SimConfig {
+        warmup: get(flags, "measured", 20_000u64) / 10,
+        measured: get(flags, "measured", 20_000u64),
+        drain: get(flags, "measured", 20_000u64) / 10,
+        seed: get(flags, "seed", 1u64),
+        ..SimConfig::default()
+    };
+    let r = run_simulation(&spec, &wl, pattern, &cfg);
+    println!(
+        "completed={}  generated={}  sim_time={:.1}",
+        r.completed, r.generated, r.sim_time
+    );
+    println!("latency: {}", r.latency);
+    println!("intra:   {}", r.intra);
+    println!("inter:   {}", r.inter);
+    if !r.completed {
+        exit(1);
+    }
+}
+
+fn cmd_saturate(flags: &HashMap<String, String>) {
+    let spec = build_spec(flags);
+    let wl = build_workload(flags);
+    match saturation_point(&spec, &wl, &ModelOptions::default(), 1e-5) {
+        Ok(sat) => println!("saturation rate: {sat:.6e} messages/node/time-unit"),
+        Err(e) => {
+            eprintln!("saturate: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) {
+    let spec = build_spec(flags);
+    let wl = build_workload(flags);
+    let max: f64 = get(flags, "max-rate", 1e-3);
+    let points: usize = get(flags, "points", 12);
+    let rates: Vec<f64> = (1..=points).map(|i| max * i as f64 / points as f64).collect();
+    let series: Series = sweep(&spec, &wl, &rates, &ModelOptions::default(), "Analysis");
+    let mut table = Table::new(["rate", "latency"]);
+    for p in &series.points {
+        table.push_row([format!("{:.3e}", p.x), format!("{:.2}", p.y)]);
+    }
+    println!("{}", table.render());
+    println!("{}", scatter(std::slice::from_ref(&series), 60, 16));
+}
+
+fn cmd_figure(flags: &HashMap<String, String>) {
+    let fig = match flags.get("fig").map(String::as_str) {
+        Some("fig3") => Figure::Fig3,
+        Some("fig4") => Figure::Fig4,
+        Some("fig5") => Figure::Fig5,
+        Some("fig6") => Figure::Fig6,
+        other => {
+            eprintln!("--fig must be one of fig3|fig4|fig5|fig6 (got {other:?})");
+            exit(2);
+        }
+    };
+    let points: usize = get(flags, "points", 10);
+    let cfg = figure_config(fig);
+    let series = run_figure_model(&cfg, &ModelOptions::default(), points);
+    println!("{}", render_figure(&cfg.title, &series));
+    println!("{}", scatter(&series, 60, 16));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage()
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "model" => cmd_model(&flags),
+        "sim" => cmd_sim(&flags),
+        "saturate" => cmd_saturate(&flags),
+        "sweep" => cmd_sweep(&flags),
+        "figure" => cmd_figure(&flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,101 @@
+//! Model-vs-simulation comparison utilities.
+
+use cocnet_stats::Series;
+use serde::{Deserialize, Serialize};
+
+/// One row of a validation table: model and simulation at the same rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValidationRow {
+    /// Traffic generation rate.
+    pub rate: f64,
+    /// Model prediction.
+    pub model: f64,
+    /// Simulated mean.
+    pub sim: f64,
+    /// Signed relative error `(model − sim)/sim` in percent.
+    pub err_pct: f64,
+}
+
+/// Pairs up a model series and a simulation series on (approximately)
+/// matching x values and computes per-point errors. Points present in only
+/// one series (e.g. sim points dropped at saturation) are skipped.
+pub fn compare_series(model: &Series, sim: &Series) -> Vec<ValidationRow> {
+    let mut rows = Vec::new();
+    for mp in &model.points {
+        if let Some(sp) = sim
+            .points
+            .iter()
+            .find(|sp| (sp.x - mp.x).abs() <= 1e-12 + 1e-6 * mp.x.abs())
+        {
+            if sp.y != 0.0 {
+                rows.push(ValidationRow {
+                    rate: mp.x,
+                    model: mp.y,
+                    sim: sp.y,
+                    err_pct: (mp.y - sp.y) / sp.y * 100.0,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Mean absolute error (percent) over the lightest-loaded `k` rows —
+/// the regime where the paper reports its 4–8 % accuracy.
+pub fn light_load_error(rows: &[ValidationRow], k: usize) -> Option<f64> {
+    if rows.is_empty() {
+        return None;
+    }
+    let take = k.min(rows.len());
+    Some(rows[..take].iter().map(|r| r.err_pct.abs()).sum::<f64>() / take as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(label: &str, pts: &[(f64, f64)]) -> Series {
+        let mut out = Series::new(label);
+        for &(x, y) in pts {
+            out.push(x, y);
+        }
+        out
+    }
+
+    #[test]
+    fn pairs_matching_points() {
+        let model = s("m", &[(1e-4, 40.0), (2e-4, 44.0), (3e-4, 50.0)]);
+        let sim = s("s", &[(1e-4, 50.0), (2e-4, 55.0)]);
+        let rows = compare_series(&model, &sim);
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].err_pct - (-20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_unmatched_and_zero() {
+        let model = s("m", &[(1.0, 10.0), (2.0, 20.0)]);
+        let sim = s("s", &[(2.0, 0.0), (3.0, 5.0)]);
+        assert!(compare_series(&model, &sim).is_empty());
+    }
+
+    #[test]
+    fn light_load_error_averages_prefix() {
+        let rows = vec![
+            ValidationRow {
+                rate: 1.0,
+                model: 1.0,
+                sim: 1.0,
+                err_pct: -10.0,
+            },
+            ValidationRow {
+                rate: 2.0,
+                model: 1.0,
+                sim: 1.0,
+                err_pct: 30.0,
+            },
+        ];
+        assert_eq!(light_load_error(&rows, 1), Some(10.0));
+        assert_eq!(light_load_error(&rows, 5), Some(20.0));
+        assert_eq!(light_load_error(&[], 3), None);
+    }
+}

@@ -1,0 +1,213 @@
+//! The experiment harness: everything needed to regenerate the paper's
+//! figures and tables.
+//!
+//! Figures 3–6 plot mean message latency against the traffic generation
+//! rate for the two Table 1 organizations under two message lengths, each
+//! with an `Analysis` and a `Simulation` series per flit size. Figure 7 is
+//! an analysis-only design-space study that raises the ICN2 bandwidth by
+//! 20 %. [`figure_config`] returns the exact parameters; [`run_figure_model`]
+//! and [`run_figure_sim`] produce the series.
+
+use cocnet_model::{sweep, ModelOptions, Workload};
+use cocnet_stats::Series;
+use cocnet_topology::SystemSpec;
+use cocnet_workloads::{presets, Pattern};
+
+/// The paper's latency-vs-load figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure {
+    /// Fig. 3: N=1120, M=32 flits, flit sizes 256/512 B, λ up to 5·10⁻⁴.
+    Fig3,
+    /// Fig. 4: N=1120, M=64, λ up to 2.5·10⁻⁴.
+    Fig4,
+    /// Fig. 5: N=544, M=32, λ up to 1·10⁻³.
+    Fig5,
+    /// Fig. 6: N=544, M=64, λ up to 5·10⁻⁴.
+    Fig6,
+}
+
+/// Everything needed to regenerate one figure.
+#[derive(Debug, Clone)]
+pub struct FigureConfig {
+    /// Paper-style title, e.g. `"N=1120, m=8, M=32"`.
+    pub title: String,
+    /// The system organization.
+    pub spec: SystemSpec,
+    /// `(legend suffix, workload)` pairs — the figures plot two flit sizes.
+    pub workloads: Vec<(String, Workload)>,
+    /// Largest traffic generation rate on the x axis.
+    pub max_rate: f64,
+}
+
+/// Returns the exact configuration of a paper figure.
+pub fn figure_config(fig: Figure) -> FigureConfig {
+    let (spec, m_label, wls, max_rate) = match fig {
+        Figure::Fig3 => (
+            presets::org_1120(),
+            "N=1120, m=8, M=32",
+            vec![presets::wl_m32_l256(), presets::wl_m32_l512()],
+            presets::rates::FIG3_MAX,
+        ),
+        Figure::Fig4 => (
+            presets::org_1120(),
+            "N=1120, m=8, M=64",
+            vec![presets::wl_m64_l256(), presets::wl_m64_l512()],
+            presets::rates::FIG4_MAX,
+        ),
+        Figure::Fig5 => (
+            presets::org_544(),
+            "N=544, m=4, M=32",
+            vec![presets::wl_m32_l256(), presets::wl_m32_l512()],
+            presets::rates::FIG5_MAX,
+        ),
+        Figure::Fig6 => (
+            presets::org_544(),
+            "N=544, m=4, M=64",
+            vec![presets::wl_m64_l256(), presets::wl_m64_l512()],
+            presets::rates::FIG6_MAX,
+        ),
+    };
+    FigureConfig {
+        title: m_label.to_string(),
+        spec,
+        workloads: wls
+            .into_iter()
+            .map(|w| (format!("Lm={}", w.flit_bytes as u64), w))
+            .collect(),
+        max_rate,
+    }
+}
+
+/// Evenly spaced rates over `(0, max]`.
+fn grid(max: f64, points: usize) -> Vec<f64> {
+    (1..=points).map(|i| max * i as f64 / points as f64).collect()
+}
+
+/// Produces the figure's `Analysis (…)` series from the analytical model.
+pub fn run_figure_model(cfg: &FigureConfig, opts: &ModelOptions, points: usize) -> Vec<Series> {
+    let rates = grid(cfg.max_rate, points);
+    cfg.workloads
+        .iter()
+        .map(|(suffix, wl)| sweep(&cfg.spec, wl, &rates, opts, format!("Analysis ({suffix})")))
+        .collect()
+}
+
+/// Produces the figure's `Simulation (…)` series. Rate points run in
+/// parallel (rayon); points whose run fails to complete (saturation) are
+/// omitted, mirroring how the paper's simulation points stop at saturation.
+pub fn run_figure_sim(
+    cfg: &FigureConfig,
+    sim: &cocnet_sim::SimConfig,
+    points: usize,
+) -> Vec<Series> {
+    use rayon::prelude::*;
+    let rates = grid(cfg.max_rate, points);
+    cfg.workloads
+        .iter()
+        .map(|(suffix, wl)| {
+            let results: Vec<Option<(f64, f64)>> = rates
+                .par_iter()
+                .map(|&rate| {
+                    let r = cocnet_sim::run_simulation(
+                        &cfg.spec,
+                        &wl.with_rate(rate),
+                        Pattern::Uniform,
+                        sim,
+                    );
+                    if r.completed {
+                        Some((rate, r.latency.mean))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let mut series = Series::new(format!("Simulation ({suffix})"));
+            for (rate, mean) in results.into_iter().flatten() {
+                series.push(rate, mean);
+            }
+            series
+        })
+        .collect()
+}
+
+/// Fig. 7: the ICN2 bandwidth design-space study. Returns four analysis
+/// series: base and +20 % ICN2 bandwidth for both Table 1 organizations,
+/// with the paper's `M=128`, `d_m=256` workload.
+pub fn run_fig7(opts: &ModelOptions, points: usize) -> Vec<Series> {
+    let wl = presets::wl_m128_l256();
+    let rates = grid(presets::rates::FIG7_MAX, points);
+    let mut out = Vec::with_capacity(4);
+    for (label, spec) in [
+        ("N=544, Base", presets::org_544()),
+        (
+            "N=544, Increased",
+            presets::with_boosted_icn2(&presets::org_544(), 1.2),
+        ),
+        ("N=1120, Base", presets::org_1120()),
+        (
+            "N=1120, Increased",
+            presets::with_boosted_icn2(&presets::org_1120(), 1.2),
+        ),
+    ] {
+        out.push(sweep(&spec, &wl, &rates, opts, label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_configs_match_paper() {
+        let f3 = figure_config(Figure::Fig3);
+        assert_eq!(f3.spec.total_nodes(), 1120);
+        assert_eq!(f3.workloads.len(), 2);
+        assert_eq!(f3.workloads[0].1.msg_flits, 32);
+        assert_eq!(f3.workloads[0].0, "Lm=256");
+        assert_eq!(f3.workloads[1].0, "Lm=512");
+        assert_eq!(f3.max_rate, 5e-4);
+
+        let f6 = figure_config(Figure::Fig6);
+        assert_eq!(f6.spec.total_nodes(), 544);
+        assert_eq!(f6.workloads[0].1.msg_flits, 64);
+        assert_eq!(f6.max_rate, 5e-4);
+    }
+
+    #[test]
+    fn model_series_have_points_and_monotonicity() {
+        let cfg = figure_config(Figure::Fig5);
+        let series = run_figure_model(&cfg, &ModelOptions::default(), 10);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert!(!s.is_empty());
+            assert!(s.is_monotone_non_decreasing(), "{}", s.label);
+        }
+        // The 512-byte-flit series must sit above the 256-byte one.
+        let l256 = &series[0];
+        let l512 = &series[1];
+        let x = l512.points[0].x;
+        assert!(l512.points[0].y > l256.interpolate(x).unwrap());
+    }
+
+    #[test]
+    fn fig7_boost_reduces_latency() {
+        let series = run_fig7(&ModelOptions::default(), 8);
+        assert_eq!(series.len(), 4);
+        // At every shared x, "Increased" must not exceed "Base".
+        for pair in [(0usize, 1usize), (2, 3)] {
+            let base = &series[pair.0];
+            let boosted = &series[pair.1];
+            for p in &boosted.points {
+                if let Some(base_y) = base.interpolate(p.x) {
+                    assert!(p.y <= base_y + 1e-9, "boost must help at x={}", p.x);
+                }
+            }
+            // And strictly helps at the highest common rate.
+            let last = boosted.points.last().unwrap();
+            if let Some(base_y) = base.interpolate(last.x) {
+                assert!(last.y < base_y);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Rendering experiment output: aligned ASCII tables for the terminal and
+//! JSON for machine consumption (EXPERIMENTS.md records both).
+
+use cocnet_stats::{Series, Table};
+
+/// Renders a set of series sharing an x axis as one aligned table:
+/// first column the rate, one column per series (blank where a series has
+/// no point at that x, e.g. past its saturation).
+pub fn render_figure(title: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-15 + 1e-9 * a.abs());
+
+    let mut header = vec!["rate".to_string()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let mut table = Table::new(header);
+    for &x in &xs {
+        let mut row = vec![format!("{x:.3e}")];
+        for s in series {
+            let cell = s
+                .points
+                .iter()
+                .find(|p| (p.x - x).abs() <= 1e-15 + 1e-9 * x.abs())
+                .map(|p| format!("{:.2}", p.y))
+                .unwrap_or_default();
+            row.push(cell);
+        }
+        table.push_row(row);
+    }
+    format!("## {title}\n{}", table.render())
+}
+
+/// Serialises series to pretty JSON (the figure binaries' `--json` output).
+pub fn to_json(series: &[Series]) -> String {
+    serde_json::to_string_pretty(series).expect("series are serialisable")
+}
+
+/// Parses series back from JSON (round-trip for tooling).
+pub fn from_json(json: &str) -> Result<Vec<Series>, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(label: &str, pts: &[(f64, f64)]) -> Series {
+        let mut out = Series::new(label);
+        for &(x, y) in pts {
+            out.push(x, y);
+        }
+        out
+    }
+
+    #[test]
+    fn renders_shared_axis() {
+        let a = s("Analysis", &[(1e-4, 40.0), (2e-4, 44.0)]);
+        let b = s("Simulation", &[(1e-4, 50.0)]);
+        let text = render_figure("Fig. X", &[a, b]);
+        assert!(text.contains("## Fig. X"));
+        assert!(text.contains("Analysis"));
+        assert!(text.contains("Simulation"));
+        // The 2e-4 row exists but has no Simulation value.
+        let row = text.lines().last().unwrap();
+        assert!(row.contains("2.000e-4"));
+        assert!(row.contains("44.00"));
+        assert!(!row.contains("50.00"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let series = vec![s("a", &[(1.0, 2.0)]), s("b", &[(3.0, 4.0)])];
+        let json = to_json(&series);
+        let back = from_json(&json).unwrap();
+        assert_eq!(series, back);
+    }
+}

@@ -1,0 +1,191 @@
+//! Baseline: a homogeneous single-network queueing model (in the spirit of
+//! Hu & Kleinrock \[11\], the prior work the paper positions against).
+//!
+//! The paper's critique of \[11\]-style models is that they assume one
+//! homogeneous network and "cannot be used for cluster of cluster
+//! computing systems in the presence of network and cluster size
+//! heterogeneity". This module implements exactly such a baseline so the
+//! critique becomes measurable: the system is flattened into a single
+//! m-port n-tree with (at least) `N` nodes and *one* set of network
+//! characteristics (the ICN1 of the first cluster — the paper's scenario
+//! where an operator models the machine by its fastest local fabric), and
+//! latency is predicted with the same wormhole/M-G-1 machinery.
+//!
+//! The `baseline` experiment bin shows what the paper claims: the flat
+//! model tracks single-cluster systems but grossly underestimates
+//! cluster-of-clusters latency because it sees neither the slow ECN1
+//! networks nor the concentrator bottleneck.
+
+use crate::error::{ModelError, SaturationSite};
+use crate::mg1::{mg1_wait, Mg1Wait};
+use crate::model::{ModelOptions, VarianceApprox};
+use crate::prob::{hop_distribution, mean_distance};
+use crate::stages::{journey_latency, Stage};
+use crate::workload::Workload;
+use cocnet_topology::{MPortNTree, SystemSpec};
+use serde::{Deserialize, Serialize};
+
+/// Prediction of the flat homogeneous baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselinePrediction {
+    /// Predicted mean message latency.
+    pub latency: f64,
+    /// The flattened tree height used.
+    pub n_flat: u32,
+    /// Nodes of the flattened tree (`≥ N`, the smallest tree that fits).
+    pub flat_nodes: usize,
+}
+
+/// Smallest `n` such that an m-port n-tree holds at least `nodes` nodes.
+fn flat_height(m: u32, nodes: usize) -> Result<u32, ModelError> {
+    let mut n = 1u32;
+    loop {
+        let tree = MPortNTree::new(m, n).map_err(ModelError::Topology)?;
+        if tree.num_nodes() >= nodes {
+            return Ok(n);
+        }
+        n += 1;
+    }
+}
+
+/// Evaluates the homogeneous baseline for `spec` under `wl`.
+///
+/// The system is modeled as one m-port n-tree of `≥ N` nodes with the
+/// first cluster's ICN1 characteristics; intra-network latency follows the
+/// same Eqs. (5)–(19) machinery as the real model's intra-cluster part.
+pub fn evaluate_baseline(
+    spec: &SystemSpec,
+    wl: &Workload,
+    opts: &ModelOptions,
+) -> Result<BaselinePrediction, ModelError> {
+    wl.validate()?;
+    spec.validate()?;
+    let m = spec.m;
+    let n_total = spec.total_nodes();
+    let n_flat = flat_height(m, n_total)?;
+    let tree = MPortNTree::new(m, n_flat).map_err(ModelError::Topology)?;
+    let net = &spec.clusters[0].icn1;
+    let m_flits = wl.msg_flits as f64;
+    let t_cn = net.t_cn(wl.flit_bytes);
+    let t_cs = net.t_cs(wl.flit_bytes);
+
+    let nodes = tree.num_nodes() as f64;
+    let lambda_total = nodes * wl.lambda_g;
+    let dist = mean_distance(m, n_flat);
+    let eta = lambda_total * dist / (4.0 * n_flat as f64 * nodes);
+
+    let probs = hop_distribution(m, n_flat);
+    let mut t_net = 0.0;
+    let mut e_tail = 0.0;
+    for h in 1..=n_flat {
+        let k = (2 * h - 1) as usize;
+        let stages: Vec<Stage> = (0..k)
+            .map(|s| Stage {
+                transfer: if s == k - 1 {
+                    m_flits * t_cn
+                } else {
+                    m_flits * t_cs
+                },
+                eta,
+            })
+            .collect();
+        let p = probs[(h - 1) as usize];
+        t_net += p * journey_latency(&stages).t0;
+        e_tail += p * (2.0 * (h as f64 - 1.0) * t_cs + t_cn);
+    }
+
+    let sigma2 = match opts.variance {
+        VarianceApprox::DraperGhosh => {
+            let d = t_net - m_flits * t_cn;
+            d * d
+        }
+        VarianceApprox::Zero => 0.0,
+    };
+    let wait = match mg1_wait(wl.lambda_g, t_net, sigma2) {
+        Mg1Wait::Stable(w) => w,
+        Mg1Wait::Saturated(rho) => {
+            return Err(ModelError::Saturated {
+                site: SaturationSite::IntraSourceQueue(0),
+                rho,
+            })
+        }
+    };
+
+    Ok(BaselinePrediction {
+        latency: wait + t_net + e_tail,
+        n_flat,
+        flat_nodes: tree.num_nodes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evaluate;
+    use cocnet_topology::{ClusterSpec, NetworkCharacteristics};
+
+    fn spec(heights: &[u32]) -> SystemSpec {
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        let clusters = heights
+            .iter()
+            .map(|&n| ClusterSpec {
+                n,
+                icn1: net1,
+                ecn1: net2,
+            })
+            .collect();
+        SystemSpec::new(4, clusters, net1).unwrap()
+    }
+
+    #[test]
+    fn flat_height_fits() {
+        assert_eq!(flat_height(4, 8).unwrap(), 2);
+        assert_eq!(flat_height(4, 9).unwrap(), 3);
+        assert_eq!(flat_height(8, 1120).unwrap(), 5); // 2·4^5 = 2048 ≥ 1120
+    }
+
+    #[test]
+    fn baseline_underestimates_heterogeneous_systems() {
+        // The paper's critique, quantified: the flat model misses the slow
+        // ECN1 + concentrators and lands far below the hierarchical model.
+        let s = spec(&[2, 2, 3, 3]);
+        let wl = Workload::new(1e-4, 32, 256.0).unwrap();
+        let opts = ModelOptions::default();
+        let flat = evaluate_baseline(&s, &wl, &opts).unwrap();
+        let real = evaluate(&s, &wl, &opts).unwrap();
+        assert!(
+            flat.latency < 0.7 * real.latency,
+            "flat {} vs hierarchical {}",
+            flat.latency,
+            real.latency
+        );
+    }
+
+    #[test]
+    fn baseline_is_reasonable_for_intra_only_view() {
+        // Against the *intra-cluster* component the baseline is in the
+        // right ballpark (same machinery, slightly longer flat paths).
+        let s = spec(&[3, 3, 3, 3]);
+        let wl = Workload::new(1e-4, 32, 256.0).unwrap();
+        let opts = ModelOptions::default();
+        let flat = evaluate_baseline(&s, &wl, &opts).unwrap();
+        let real = evaluate(&s, &wl, &opts).unwrap();
+        let intra = real.per_cluster[0].intra.total();
+        assert!(flat.latency > 0.8 * intra);
+        assert!(flat.latency < 2.5 * intra);
+    }
+
+    #[test]
+    fn baseline_saturates_later_than_real_model() {
+        // Without the concentrator M/G/1 the flat model's stability region
+        // is far too optimistic.
+        let s = spec(&[2, 2, 3, 3]);
+        let wl = Workload::new(0.0, 32, 256.0).unwrap();
+        let opts = ModelOptions::default();
+        let real_sat =
+            crate::sweep::saturation_point(&s, &wl, &opts, 1e-4).unwrap();
+        // The baseline still evaluates fine at twice the real saturation.
+        assert!(evaluate_baseline(&s, &wl.with_rate(2.0 * real_sat), &opts).is_ok());
+    }
+}

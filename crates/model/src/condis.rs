@@ -1,0 +1,98 @@
+//! Concentrator/dispatcher queues — Eqs. (36)–(38) of the paper.
+//!
+//! The concentrator/dispatcher pair interfaces each cluster's ECN1 with the
+//! global ICN2 network (Fig. 2). Both directions are modeled as M/G/1
+//! queues with service time `M·t_cs^{ICN2}` (the time to forward the whole
+//! message into ICN2) and arrival rate `λ_I2^{(i,j)}`. Although message
+//! length is fixed, the two adjacent networks have different speeds, so the
+//! paper approximates the service variance by the squared gap between the
+//! ICN2 and ECN1 full-message transfer times (Eq. (36)).
+
+use crate::mg1::{mg1_wait, Mg1Wait};
+use crate::model::VarianceApprox;
+
+/// Mean wait in one concentrate (or dispatch) buffer between cluster pair
+/// `(i, j)` — Eq. (37). `t_cs_i2` and `t_cs_e1` are the per-flit
+/// switch-to-switch times of ICN2 and of the source cluster's ECN1.
+pub fn concentrator_wait(
+    lambda_i2: f64,
+    m_flits: f64,
+    t_cs_i2: f64,
+    t_cs_e1: f64,
+    variance: VarianceApprox,
+) -> Mg1Wait {
+    let service = m_flits * t_cs_i2;
+    let sigma2 = match variance {
+        VarianceApprox::DraperGhosh => {
+            let d = service - m_flits * t_cs_e1;
+            d * d
+        }
+        VarianceApprox::Zero => 0.0,
+    };
+    mg1_wait(lambda_i2, service, sigma2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_no_wait() {
+        match concentrator_wait(0.0, 32.0, 0.5, 1.0, VarianceApprox::DraperGhosh) {
+            Mg1Wait::Stable(w) => assert_eq!(w, 0.0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn matches_hand_computed_eq37() {
+        // λ = 0.01, M = 32, t_cs_i2 = 0.532, t_cs_e1 = 1.034 (paper nets).
+        let (lambda, m, ti2, te1) = (0.01, 32.0, 0.532, 1.034);
+        let service = m * ti2;
+        let sigma2 = (service - m * te1) * (service - m * te1);
+        let expected = lambda * (service * service + sigma2) / (2.0 * (1.0 - lambda * service));
+        match concentrator_wait(lambda, m, ti2, te1, VarianceApprox::DraperGhosh) {
+            Mg1Wait::Stable(w) => assert!((w - expected).abs() < 1e-12),
+            _ => panic!("stable at this load"),
+        }
+    }
+
+    #[test]
+    fn saturates_when_rho_reaches_one() {
+        // ρ = λ · M·t_cs_i2 = 0.06 * 32 * 0.532 > 1.
+        let out = concentrator_wait(0.06, 32.0, 0.532, 1.034, VarianceApprox::DraperGhosh);
+        assert!(out.stable().is_none());
+    }
+
+    #[test]
+    fn longer_messages_saturate_earlier() {
+        // Doubling M doubles the service time: the stability boundary in λ
+        // halves — the key mechanism behind Fig. 3 vs Fig. 4.
+        let sat_rate = |m: f64| {
+            let mut lo = 0.0;
+            let mut hi = 1.0;
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                match concentrator_wait(mid, m, 0.532, 1.034, VarianceApprox::DraperGhosh) {
+                    Mg1Wait::Stable(_) => lo = mid,
+                    Mg1Wait::Saturated(_) => hi = mid,
+                }
+            }
+            lo
+        };
+        let s32 = sat_rate(32.0);
+        let s64 = sat_rate(64.0);
+        assert!((s32 / s64 - 2.0).abs() < 1e-6, "s32={s32} s64={s64}");
+    }
+
+    #[test]
+    fn zero_variance_reduces_wait() {
+        let a = concentrator_wait(0.01, 32.0, 0.532, 1.034, VarianceApprox::DraperGhosh)
+            .stable()
+            .unwrap();
+        let b = concentrator_wait(0.01, 32.0, 0.532, 1.034, VarianceApprox::Zero)
+            .stable()
+            .unwrap();
+        assert!(a > b);
+    }
+}

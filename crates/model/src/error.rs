@@ -1,0 +1,97 @@
+//! Error types for model evaluation.
+
+use cocnet_topology::TopologyError;
+use std::fmt;
+
+/// Where in the system an M/G/1 queue hit its stability boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaturationSite {
+    /// The intra-cluster source queue of the given cluster.
+    IntraSourceQueue(usize),
+    /// The inter-cluster source queue of the given cluster.
+    InterSourceQueue(usize),
+    /// The concentrator/dispatcher between the given cluster pair.
+    Concentrator(usize, usize),
+}
+
+impl fmt::Display for SaturationSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IntraSourceQueue(i) => write!(f, "intra-cluster source queue of cluster {i}"),
+            Self::InterSourceQueue(i) => write!(f, "inter-cluster source queue of cluster {i}"),
+            Self::Concentrator(i, j) => {
+                write!(f, "concentrator/dispatcher between clusters {i} and {j}")
+            }
+        }
+    }
+}
+
+/// Errors raised during model evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A queue's utilisation `ρ = λ·x̄` reached or exceeded 1: the model has
+    /// no steady state at this load (the paper's "saturation point").
+    Saturated {
+        /// Which queue saturated first.
+        site: SaturationSite,
+        /// The offending utilisation.
+        rho: f64,
+    },
+    /// The system specification is structurally invalid.
+    Topology(TopologyError),
+    /// The workload is invalid (non-positive rate, zero-length messages…).
+    BadWorkload {
+        /// Description of the problem.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Saturated { site, rho } => {
+                write!(f, "saturated at {site}: utilisation rho = {rho:.4} >= 1")
+            }
+            Self::Topology(e) => write!(f, "topology error: {e}"),
+            Self::BadWorkload { what } => write!(f, "bad workload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Topology(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TopologyError> for ModelError {
+    fn from(e: TopologyError) -> Self {
+        Self::Topology(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_site_and_rho() {
+        let e = ModelError::Saturated {
+            site: SaturationSite::Concentrator(1, 2),
+            rho: 1.25,
+        };
+        let text = e.to_string();
+        assert!(text.contains("clusters 1 and 2"));
+        assert!(text.contains("1.25"));
+    }
+
+    #[test]
+    fn topology_error_converts() {
+        let e: ModelError = TopologyError::BadPortCount { m: 3 }.into();
+        assert!(matches!(e, ModelError::Topology(_)));
+        assert!(e.to_string().contains("m=3"));
+    }
+}

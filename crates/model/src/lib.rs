@@ -1,0 +1,52 @@
+//! Analytical latency model for heterogeneous cluster-of-clusters fat-tree
+//! networks — a faithful implementation of Javadi, Abawajy, Akbari &
+//! Nahavandi, *"Analytical Network Modeling of Heterogeneous Large-Scale
+//! Cluster Systems"*, IEEE CLUSTER 2006.
+//!
+//! Given a [`cocnet_topology::SystemSpec`] (clusters, tree heights, network
+//! characteristics) and a [`Workload`] (per-node Poisson rate `λ_g`, message
+//! length `M` flits of `d_m` bytes), [`evaluate`] returns the predicted mean
+//! message latency of the system together with a full per-cluster breakdown
+//! (source-queue wait, network latency, tail time, concentrator/dispatcher
+//! wait) — Eqs. (1)–(39) of the paper.
+//!
+//! ```
+//! use cocnet_model::{evaluate, ModelOptions, Workload};
+//! use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
+//!
+//! let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+//! let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+//! let cluster = ClusterSpec { n: 1, icn1: net1, ecn1: net2 };
+//! let spec = SystemSpec::new(4, vec![cluster; 4], net1).unwrap();
+//! let wl = Workload { lambda_g: 1e-4, msg_flits: 32, flit_bytes: 256.0 };
+//! let out = evaluate(&spec, &wl, &ModelOptions::default()).unwrap();
+//! assert!(out.latency > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baseline;
+pub mod condis;
+pub mod equations;
+pub mod error;
+pub mod inter;
+pub mod intra;
+pub mod mg1;
+pub mod model;
+pub mod prob;
+pub mod profile;
+pub mod rates;
+pub mod stages;
+pub mod sweep;
+pub mod workload;
+
+pub use baseline::{evaluate_baseline, BaselinePrediction};
+pub use error::ModelError;
+pub use model::{
+    evaluate, evaluate_with_profile, ClusterLatency, ModelOptions, SystemLatency, VarianceApprox,
+};
+pub use profile::OutgoingProfile;
+pub use rates::{network_rates, NetworkRates};
+pub use sweep::{saturation_point, sweep};
+pub use workload::Workload;

@@ -1,0 +1,108 @@
+//! M/G/1 waiting time (Pollaczek–Khinchine) — Eq. (15) of the paper.
+//!
+//! Source queues and concentrator/dispatcher buffers are modeled as M/G/1
+//! queues: Poisson arrivals of rate `λ`, general service with mean `x̄` and
+//! variance `σ²`. The mean wait is
+//!
+//! `W = λ·(x̄² + σ²) / (2·(1 − λ·x̄))`,
+//!
+//! which is Eq. (15) rewritten with `E[x²] = x̄² + σ²`. The queue is stable
+//! only while `ρ = λ·x̄ < 1`; at or beyond that boundary the model reports
+//! saturation instead of returning a (meaningless) negative wait.
+
+/// Outcome of an M/G/1 evaluation: either a finite mean wait or the
+/// utilisation that broke stability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mg1Wait {
+    /// Stable queue with the given mean waiting time.
+    Stable(f64),
+    /// Unstable queue; contains `ρ = λ·x̄ ≥ 1`.
+    Saturated(f64),
+}
+
+impl Mg1Wait {
+    /// The wait if stable, else `None`.
+    pub fn stable(self) -> Option<f64> {
+        match self {
+            Self::Stable(w) => Some(w),
+            Self::Saturated(_) => None,
+        }
+    }
+}
+
+/// Mean M/G/1 waiting time for arrival rate `lambda`, mean service
+/// `mean_service` and service variance `variance`.
+///
+/// Negative inputs are debug-asserted; a zero arrival rate yields zero wait.
+pub fn mg1_wait(lambda: f64, mean_service: f64, variance: f64) -> Mg1Wait {
+    debug_assert!(lambda >= 0.0, "negative arrival rate");
+    debug_assert!(mean_service >= 0.0, "negative service time");
+    debug_assert!(variance >= 0.0, "negative variance");
+    if lambda == 0.0 {
+        return Mg1Wait::Stable(0.0);
+    }
+    let rho = lambda * mean_service;
+    if rho >= 1.0 {
+        return Mg1Wait::Saturated(rho);
+    }
+    let second_moment = mean_service * mean_service + variance;
+    Mg1Wait::Stable(lambda * second_moment / (2.0 * (1.0 - rho)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_load_waits_nothing() {
+        assert_eq!(mg1_wait(0.0, 5.0, 1.0), Mg1Wait::Stable(0.0));
+    }
+
+    #[test]
+    fn md1_special_case() {
+        // Deterministic service (σ²=0): W = ρ·x̄ / (2(1−ρ)).
+        let (lambda, x) = (0.5, 1.0);
+        let rho = lambda * x;
+        let expected = rho * x / (2.0 * (1.0 - rho));
+        match mg1_wait(lambda, x, 0.0) {
+            Mg1Wait::Stable(w) => assert!((w - expected).abs() < 1e-12),
+            _ => panic!("should be stable"),
+        }
+    }
+
+    #[test]
+    fn mm1_special_case() {
+        // Exponential service (σ² = x̄²): W = ρ·x̄/(1−ρ).
+        let (lambda, x) = (0.25, 2.0);
+        let rho: f64 = lambda * x;
+        let expected = rho * x / (1.0 - rho);
+        match mg1_wait(lambda, x, x * x) {
+            Mg1Wait::Stable(w) => assert!((w - expected).abs() < 1e-12),
+            _ => panic!("should be stable"),
+        }
+    }
+
+    #[test]
+    fn saturation_at_rho_one() {
+        match mg1_wait(1.0, 1.0, 0.0) {
+            Mg1Wait::Saturated(rho) => assert!((rho - 1.0).abs() < 1e-12),
+            _ => panic!("rho = 1 must saturate"),
+        }
+        assert!(mg1_wait(2.0, 1.0, 0.0).stable().is_none());
+    }
+
+    #[test]
+    fn wait_grows_with_load_and_variance() {
+        let w1 = mg1_wait(0.1, 1.0, 0.0).stable().unwrap();
+        let w2 = mg1_wait(0.5, 1.0, 0.0).stable().unwrap();
+        let w3 = mg1_wait(0.5, 1.0, 4.0).stable().unwrap();
+        assert!(w2 > w1);
+        assert!(w3 > w2);
+    }
+
+    #[test]
+    fn wait_blows_up_near_saturation() {
+        let w = mg1_wait(0.999, 1.0, 0.0).stable().unwrap();
+        assert!(w > 400.0);
+    }
+}

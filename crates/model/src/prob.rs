@@ -1,0 +1,173 @@
+//! Hop-distance distribution and mean message distance in an m-port n-tree
+//! under uniform traffic — Eqs. (5)–(9) of the paper.
+//!
+//! With destinations uniform over the other `N − 1` nodes, the probability
+//! that a message's nearest common ancestor sits at level `h` follows from
+//! counting the nodes first reachable at each level:
+//!
+//! * a level-`h` switch (`h < n`) subtends `(m/2)^h` nodes, so exactly
+//!   `(m/2)^h − (m/2)^{h−1} = (m/2 − 1)(m/2)^{h−1}` destinations have their
+//!   NCA at level `h`;
+//! * the remaining `(m − 1)(m/2)^{n−1}` destinations require a root
+//!   (`h = n`).
+//!
+//! Dividing by `N − 1` gives Eq. (6); the counts sum to `N − 1` exactly, so
+//! the distribution is proper by construction. A message whose NCA is at
+//! level `h` crosses `2h` links (`h` ascending, `h` descending), giving the
+//! mean distance of Eq. (8).
+
+/// The hop-distance distribution `P(h, n)` for `h ∈ 1..=n` in an m-port
+/// n-tree (Eq. (6)). Entry `h−1` of the returned vector is `P(h, n)`.
+///
+/// # Panics
+/// Panics if `m` is odd or `< 2`, or `n == 0` (callers construct trees
+/// through [`cocnet_topology::MPortNTree`], which validates first).
+pub fn hop_distribution(m: u32, n: u32) -> Vec<f64> {
+    assert!(m >= 2 && m.is_multiple_of(2), "m must be even and >= 2");
+    assert!(n >= 1, "n must be >= 1");
+    let k = (m / 2) as f64;
+    let nodes = 2.0 * k.powi(n as i32);
+    let denom = nodes - 1.0;
+    let mut p = Vec::with_capacity(n as usize);
+    for h in 1..n {
+        p.push((k - 1.0) * k.powi(h as i32 - 1) / denom);
+    }
+    p.push((m as f64 - 1.0) * k.powi(n as i32 - 1) / denom);
+    p
+}
+
+/// `P(h, n)` for a single `h` (1-based). See [`hop_distribution`].
+pub fn hop_probability(m: u32, n: u32, h: u32) -> f64 {
+    assert!((1..=n).contains(&h), "h must be in 1..=n");
+    let k = (m / 2) as f64;
+    let nodes = 2.0 * k.powi(n as i32);
+    let denom = nodes - 1.0;
+    if h < n {
+        (k - 1.0) * k.powi(h as i32 - 1) / denom
+    } else {
+        (m as f64 - 1.0) * k.powi(n as i32 - 1) / denom
+    }
+}
+
+/// Mean link distance `D = 2·Σ_h h·P(h, n)` (Eq. (8)); the closed form the
+/// paper gives as Eq. (9) is recovered by summing the geometric series.
+pub fn mean_distance(m: u32, n: u32) -> f64 {
+    hop_distribution(m, n)
+        .iter()
+        .enumerate()
+        .map(|(i, p)| 2.0 * (i as f64 + 1.0) * p)
+        .sum()
+}
+
+/// Closed-form mean distance, derived by evaluating the series of Eq. (8):
+///
+/// `D = 2·[ n(m−1)k^{n−1} + (k−1)·Σ_{h=1}^{n−1} h·k^{h−1} ] / (N−1)`
+/// with `Σ_{h=1}^{n−1} h·k^{h−1} = ((n−1)k^n − n·k^{n−1} + 1)/(k−1)²`
+/// for `k > 1` (and `n(n−1)/2` for `k = 1`).
+///
+/// Exercised against [`mean_distance`] in tests; both must agree to float
+/// precision for all valid `(m, n)`.
+pub fn mean_distance_closed_form(m: u32, n: u32) -> f64 {
+    let k = (m / 2) as f64;
+    let nf = n as f64;
+    let nodes = 2.0 * k.powi(n as i32);
+    let denom = nodes - 1.0;
+    let geo = if (k - 1.0).abs() < f64::EPSILON {
+        nf * (nf - 1.0) / 2.0
+    } else {
+        ((nf - 1.0) * k.powi(n as i32) - nf * k.powi(n as i32 - 1) + 1.0) / (k - 1.0).powi(2)
+    };
+    2.0 * (nf * (m as f64 - 1.0) * k.powi(n as i32 - 1) + (k - 1.0) * geo) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocnet_topology::MPortNTree;
+
+    const CASES: &[(u32, u32)] = &[(4, 1), (4, 2), (4, 3), (4, 4), (8, 1), (8, 2), (8, 3), (16, 2)];
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for &(m, n) in CASES {
+            let p = hop_distribution(m, n);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "m={m} n={n} sum={sum}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_topology_counts() {
+        for &(m, n) in CASES {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let hist = tree.nca_histogram();
+            let total: u64 = hist.iter().sum();
+            let p = hop_distribution(m, n);
+            for h in 1..=n {
+                let empirical = hist[(h - 1) as usize] as f64 / total as f64;
+                assert!(
+                    (p[(h - 1) as usize] - empirical).abs() < 1e-12,
+                    "m={m} n={n} h={h}: analytic {} vs empirical {empirical}",
+                    p[(h - 1) as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_probability_agrees_with_vector() {
+        for &(m, n) in CASES {
+            let p = hop_distribution(m, n);
+            for h in 1..=n {
+                assert_eq!(hop_probability(m, n, h), p[(h - 1) as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_distance_matches_closed_form() {
+        for &(m, n) in CASES {
+            let series = mean_distance(m, n);
+            let closed = mean_distance_closed_form(m, n);
+            assert!(
+                (series - closed).abs() < 1e-10,
+                "m={m} n={n}: series {series} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_distance_matches_brute_force() {
+        for &(m, n) in CASES {
+            let tree = MPortNTree::new(m, n).unwrap();
+            let brute = tree.mean_distance_brute_force();
+            let analytic = mean_distance(m, n);
+            assert!(
+                (brute - analytic).abs() < 1e-10,
+                "m={m} n={n}: brute {brute} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_k1_tree() {
+        // m=2 -> k=1: two nodes, all traffic at the root, D = 2n.
+        let p = hop_distribution(2, 3);
+        assert_eq!(p, vec![0.0, 0.0, 1.0]);
+        assert!((mean_distance(2, 3) - 6.0).abs() < 1e-12);
+        assert!((mean_distance_closed_form(2, 3) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_trees_have_longer_paths() {
+        assert!(mean_distance(8, 2) > mean_distance(8, 1));
+        assert!(mean_distance(8, 3) > mean_distance(8, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "h must be in 1..=n")]
+    fn hop_probability_rejects_h_zero() {
+        hop_probability(8, 2, 0);
+    }
+}

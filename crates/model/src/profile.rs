@@ -1,0 +1,113 @@
+//! Outgoing-traffic profiles: the model generalised beyond uniform
+//! destinations (the paper's stated future work, §5).
+//!
+//! Everything the model needs to know about the destination distribution
+//! is, per cluster, the probability `U_i` that a message leaves its source
+//! cluster — Eq. (2) computes it for the uniform pattern; non-uniform
+//! patterns (cluster-local, hotspot) induce different values. An
+//! [`OutgoingProfile`] carries one `U_i` per cluster, so the same
+//! Eqs. (1)–(39) machinery evaluates any pattern that is
+//! destination-symmetric *within* each cluster class.
+
+use crate::error::ModelError;
+use cocnet_topology::SystemSpec;
+use serde::{Deserialize, Serialize};
+
+/// Per-cluster outgoing probabilities `U_i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutgoingProfile {
+    values: Vec<f64>,
+}
+
+impl OutgoingProfile {
+    /// The uniform-destination profile of Eq. (2):
+    /// `U_i = 1 − (N_i − 1)/(N − 1)`.
+    pub fn uniform(spec: &SystemSpec) -> Self {
+        Self {
+            values: (0..spec.num_clusters())
+                .map(|i| spec.outgoing_probability(i))
+                .collect(),
+        }
+    }
+
+    /// A cluster-local pattern: with probability `locality` the destination
+    /// is uniform inside the source cluster, otherwise uniform outside, so
+    /// `U_i = 1 − locality` for every cluster.
+    pub fn cluster_local(spec: &SystemSpec, locality: f64) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&locality) {
+            return Err(ModelError::BadWorkload {
+                what: "locality must be in [0, 1]",
+            });
+        }
+        Ok(Self {
+            values: vec![1.0 - locality; spec.num_clusters()],
+        })
+    }
+
+    /// A custom profile. Errors unless exactly one probability in `[0, 1]`
+    /// is supplied per cluster.
+    pub fn custom(spec: &SystemSpec, values: Vec<f64>) -> Result<Self, ModelError> {
+        if values.len() != spec.num_clusters() {
+            return Err(ModelError::BadWorkload {
+                what: "profile length must equal the cluster count",
+            });
+        }
+        if values.iter().any(|u| !(0.0..=1.0).contains(u)) {
+            return Err(ModelError::BadWorkload {
+                what: "outgoing probabilities must be in [0, 1]",
+            });
+        }
+        Ok(Self { values })
+    }
+
+    /// `U_i` for cluster `i`.
+    pub fn outgoing(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocnet_topology::{ClusterSpec, NetworkCharacteristics};
+
+    fn spec() -> SystemSpec {
+        let net = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let c = |n| ClusterSpec {
+            n,
+            icn1: net,
+            ecn1: net,
+        };
+        SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net).unwrap()
+    }
+
+    #[test]
+    fn uniform_matches_eq2() {
+        let s = spec();
+        let p = OutgoingProfile::uniform(&s);
+        for i in 0..s.num_clusters() {
+            assert_eq!(p.outgoing(i), s.outgoing_probability(i));
+        }
+    }
+
+    #[test]
+    fn cluster_local_is_flat() {
+        let s = spec();
+        let p = OutgoingProfile::cluster_local(&s, 0.8).unwrap();
+        assert!(p.values().iter().all(|&u| (u - 0.2).abs() < 1e-12));
+        assert!(OutgoingProfile::cluster_local(&s, 1.5).is_err());
+    }
+
+    #[test]
+    fn custom_validates() {
+        let s = spec();
+        assert!(OutgoingProfile::custom(&s, vec![0.5; 4]).is_ok());
+        assert!(OutgoingProfile::custom(&s, vec![0.5; 3]).is_err());
+        assert!(OutgoingProfile::custom(&s, vec![0.5, 0.5, 0.5, 1.5]).is_err());
+    }
+}

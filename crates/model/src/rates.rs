@@ -1,0 +1,155 @@
+//! Predicted per-network channel rates and utilisations — the model-side
+//! counterpart of the simulator's measured channel busy fractions.
+//!
+//! Eqs. (7), (10), (22)–(25) define the per-channel message rates `η` for
+//! each network; multiplying by the full-message channel holding time
+//! (`M·t_cs` of the owning network) gives a predicted utilisation, which
+//! the `utilization` experiment compares against the simulator's measured
+//! busy fractions. This is how the paper's §4 bottleneck claim ("the
+//! inter-cluster networks, especially ICN2, are the bottlenecks") becomes
+//! a quantitative statement.
+
+use crate::prob::mean_distance;
+use crate::workload::Workload;
+use cocnet_topology::SystemSpec;
+use serde::{Deserialize, Serialize};
+
+/// Predicted per-channel rates and utilisations for every network of the
+/// system under uniform traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkRates {
+    /// `η_{ICN1(i)}` per cluster (Eq. (10)).
+    pub eta_icn1: Vec<f64>,
+    /// `η_{ECN1(i)}` per cluster, averaged over destination clusters
+    /// (Eq. (24)).
+    pub eta_ecn1: Vec<f64>,
+    /// `η_{ICN2}` averaged over cluster pairs (Eq. (25)).
+    pub eta_icn2: f64,
+    /// Predicted busy fraction per cluster's ICN1 (`η · M·t_cs`).
+    pub util_icn1: Vec<f64>,
+    /// Predicted busy fraction per cluster's ECN1.
+    pub util_ecn1: Vec<f64>,
+    /// Predicted busy fraction of ICN2 channels.
+    pub util_icn2: f64,
+}
+
+/// Computes the predicted rates/utilisations of every network.
+pub fn network_rates(spec: &SystemSpec, wl: &Workload) -> NetworkRates {
+    let c = spec.num_clusters();
+    let m = spec.m;
+    let n_c = spec.icn2_height().expect("validated spec");
+    let mut eta_icn1 = Vec::with_capacity(c);
+    let mut eta_ecn1 = Vec::with_capacity(c);
+    let mut util_icn1 = Vec::with_capacity(c);
+    let mut util_ecn1 = Vec::with_capacity(c);
+    let mut eta_icn2_acc = 0.0;
+    let mut pairs = 0.0;
+
+    for i in 0..c {
+        let n_i = spec.clusters[i].n;
+        let big_n_i = spec.cluster_nodes(i) as f64;
+        let u_i = spec.outgoing_probability(i);
+
+        // Eq. (7) + Eq. (10).
+        let lambda_i1 = big_n_i * wl.lambda_g * (1.0 - u_i);
+        let e_i1 = lambda_i1 * mean_distance(m, n_i) / (4.0 * n_i as f64 * big_n_i);
+        eta_icn1.push(e_i1);
+        util_icn1.push(e_i1 * wl.msg_flits as f64 * spec.clusters[i].icn1.t_cs(wl.flit_bytes));
+
+        // Eqs. (22), (24)–(25), averaged over j ≠ i.
+        let mut e_e1 = 0.0;
+        for j in 0..c {
+            if j == i {
+                continue;
+            }
+            let big_n_j = spec.cluster_nodes(j) as f64;
+            let u_j = spec.outgoing_probability(j);
+            let lambda_e1 = wl.lambda_g * (big_n_i * u_i + big_n_j * u_j);
+            e_e1 += lambda_e1 * mean_distance(m, n_i) / (4.0 * n_i as f64 * big_n_i);
+            let lambda_i2 = 0.5 * lambda_e1;
+            eta_icn2_acc += lambda_i2 * mean_distance(m, n_c) / (4.0 * n_c as f64);
+            pairs += 1.0;
+        }
+        e_e1 /= (c - 1) as f64;
+        eta_ecn1.push(e_e1);
+        util_ecn1.push(e_e1 * wl.msg_flits as f64 * spec.clusters[i].ecn1.t_cs(wl.flit_bytes));
+    }
+    let eta_icn2 = eta_icn2_acc / pairs;
+    let util_icn2 = eta_icn2 * wl.msg_flits as f64 * spec.icn2.t_cs(wl.flit_bytes);
+    NetworkRates {
+        eta_icn1,
+        eta_ecn1,
+        eta_icn2,
+        util_icn1,
+        util_ecn1,
+        util_icn2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocnet_topology::{ClusterSpec, NetworkCharacteristics};
+
+    fn spec() -> SystemSpec {
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        let c = |n| ClusterSpec {
+            n,
+            icn1: net1,
+            ecn1: net2,
+        };
+        SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
+    }
+
+    #[test]
+    fn rates_scale_linearly_with_load() {
+        let s = spec();
+        let a = network_rates(&s, &Workload::new(1e-4, 32, 256.0).unwrap());
+        let b = network_rates(&s, &Workload::new(2e-4, 32, 256.0).unwrap());
+        assert!((b.eta_icn2 / a.eta_icn2 - 2.0).abs() < 1e-12);
+        for i in 0..4 {
+            assert!((b.eta_icn1[i] / a.eta_icn1[i] - 2.0).abs() < 1e-12);
+            assert!((b.eta_ecn1[i] / a.eta_ecn1[i] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inter_cluster_networks_dominate() {
+        // The paper's bottleneck claim: at uniform traffic the ECN1/ICN2
+        // utilisations dwarf ICN1 (U_i ≈ 0.9 sends almost everything out).
+        let s = spec();
+        let r = network_rates(&s, &Workload::new(2e-4, 32, 256.0).unwrap());
+        for i in 0..4 {
+            assert!(
+                r.util_ecn1[i] > 3.0 * r.util_icn1[i],
+                "cluster {i}: ecn1 {} vs icn1 {}",
+                r.util_ecn1[i],
+                r.util_icn1[i]
+            );
+        }
+        assert!(r.util_icn2 > 4.0 * r.util_icn1.iter().cloned().fold(0.0, f64::max));
+    }
+
+    #[test]
+    fn zero_load_is_all_zero() {
+        let s = spec();
+        let r = network_rates(&s, &Workload::new(0.0, 32, 256.0).unwrap());
+        assert_eq!(r.eta_icn2, 0.0);
+        assert!(r.util_icn1.iter().all(|&u| u == 0.0));
+        assert!(r.util_ecn1.iter().all(|&u| u == 0.0));
+    }
+
+    #[test]
+    fn utilisations_stay_subunit_below_saturation() {
+        let s = spec();
+        let wl = Workload::new(0.0, 32, 256.0).unwrap();
+        let sat =
+            crate::sweep::saturation_point(&s, &wl, &crate::ModelOptions::default(), 1e-4)
+                .unwrap();
+        let r = network_rates(&s, &wl.with_rate(sat * 0.95));
+        assert!(r.util_icn2 < 1.0);
+        assert!(r.util_ecn1.iter().all(|&u| u < 1.0));
+        assert!(r.util_icn1.iter().all(|&u| u < 1.0));
+    }
+}

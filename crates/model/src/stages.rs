@@ -1,0 +1,195 @@
+//! Per-stage blocking recursion — Eqs. (13)–(14) and (26)–(29).
+//!
+//! Under wormhole flow control a message holds every channel it has
+//! acquired while it waits for the next one, so the *service time* a channel
+//! offers at stage `k` includes the waits the message will incur at all
+//! later stages. The paper models this with a backward recursion over the
+//! `K` stages between source and destination:
+//!
+//! * last stage (`k = K−1`, the ejection link): `T_{K−1} = M·t` where `t`
+//!   is that stage's flit transfer time — the destination always sinks;
+//! * other stages: `T_k = M·t_k + Σ_{s=k+1}^{K−1} W_s`;
+//! * the wait to acquire the channel of stage `k` is
+//!   `W_k = ½·η_k·T_k²` (Eq. (13)), with `η_k` the per-channel message rate
+//!   of the network that stage belongs to — scaled by the relaxing factor
+//!   `δ` on ICN2 stages (Eq. (27)).
+//!
+//! The network latency of the whole journey is `T_0` (Eq. (14) footnote).
+
+/// One pipeline stage of a journey: the message transfer time the stage's
+/// channel charges (`M·t`, flits × per-flit time) and the per-channel
+/// message rate `η` used for its blocking wait.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// Full message transfer time across this stage's channel (`M·t`).
+    pub transfer: f64,
+    /// Effective per-channel message rate `η` at this stage (already
+    /// including any relaxing factor).
+    pub eta: f64,
+}
+
+/// Result of the backward recursion over one journey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JourneyLatency {
+    /// `T_0`: the mean network latency of the journey (Eq. (14)).
+    pub t0: f64,
+    /// The per-stage waits `W_k` (diagnostics; `W_{K−1}` is by construction
+    /// unused by `T_0` but reported for completeness).
+    pub waits: Vec<f64>,
+}
+
+/// Runs the backward recursion of Eqs. (13)–(14) over `stages`
+/// (stage 0 first). Returns the journey's network latency `T_0`.
+///
+/// # Panics
+/// Panics if `stages` is empty.
+pub fn journey_latency(stages: &[Stage]) -> JourneyLatency {
+    assert!(!stages.is_empty(), "a journey needs at least one stage");
+    let k = stages.len();
+    let mut waits = vec![0.0; k];
+    // Backward pass: T_k needs Σ W_s for s > k. The last stage has no
+    // downstream waits (the destination always accepts).
+    let mut wait_suffix = 0.0;
+    let mut t0 = 0.0;
+    for idx in (0..k).rev() {
+        let t_k = stages[idx].transfer + if idx == k - 1 { 0.0 } else { wait_suffix };
+        let w_k = 0.5 * stages[idx].eta * t_k * t_k;
+        waits[idx] = w_k;
+        if idx == 0 {
+            t0 = t_k;
+        }
+        wait_suffix += w_k;
+    }
+    JourneyLatency { t0, waits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_is_pure_transfer() {
+        let j = journey_latency(&[Stage {
+            transfer: 16.0,
+            eta: 0.01,
+        }]);
+        assert_eq!(j.t0, 16.0);
+        assert_eq!(j.waits.len(), 1);
+        assert!((j.waits[0] - 0.5 * 0.01 * 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_reduces_to_transfer_times() {
+        // With η = 0 there is no blocking: T_0 = transfer of stage 0 only
+        // (later transfers are pipelined, not serialized, under wormhole).
+        let stages = vec![
+            Stage {
+                transfer: 10.0,
+                eta: 0.0,
+            };
+            5
+        ];
+        let j = journey_latency(&stages);
+        assert_eq!(j.t0, 10.0);
+        assert!(j.waits.iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn two_stage_hand_computation() {
+        // K=2: T_1 = M t_1 (last stage); W_1 = ½ η T_1²;
+        //      T_0 = M t_0 + W_1.
+        let stages = [
+            Stage {
+                transfer: 4.0,
+                eta: 0.05,
+            },
+            Stage {
+                transfer: 6.0,
+                eta: 0.05,
+            },
+        ];
+        let j = journey_latency(&stages);
+        let w1 = 0.5 * 0.05 * 36.0;
+        assert!((j.t0 - (4.0 + w1)).abs() < 1e-12);
+        assert!((j.waits[1] - w1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_stage_recursion_accumulates() {
+        // K=3 with equal transfers τ and rate η:
+        // T_2 = τ, W_2 = ½ητ²
+        // T_1 = τ + W_2, W_1 = ½ηT_1²
+        // T_0 = τ + W_1 + W_2.
+        let tau = 5.0;
+        let eta = 0.02;
+        let j = journey_latency(&[
+            Stage {
+                transfer: tau,
+                eta,
+            },
+            Stage {
+                transfer: tau,
+                eta,
+            },
+            Stage {
+                transfer: tau,
+                eta,
+            },
+        ]);
+        let w2 = 0.5 * eta * tau * tau;
+        let t1 = tau + w2;
+        let w1 = 0.5 * eta * t1 * t1;
+        assert!((j.t0 - (tau + w1 + w2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_monotone_in_rate() {
+        let mk = |eta| {
+            journey_latency(&[
+                Stage {
+                    transfer: 8.0,
+                    eta,
+                },
+                Stage {
+                    transfer: 8.0,
+                    eta,
+                },
+                Stage {
+                    transfer: 8.0,
+                    eta,
+                },
+            ])
+            .t0
+        };
+        assert!(mk(0.001) < mk(0.01));
+        assert!(mk(0.01) < mk(0.05));
+    }
+
+    #[test]
+    fn heterogeneous_stage_rates() {
+        // Lower η on middle stages (the ICN2 relaxing factor) must reduce T_0.
+        let base = [
+            Stage {
+                transfer: 8.0,
+                eta: 0.02,
+            },
+            Stage {
+                transfer: 8.0,
+                eta: 0.02,
+            },
+            Stage {
+                transfer: 8.0,
+                eta: 0.02,
+            },
+        ];
+        let mut relaxed = base;
+        relaxed[1].eta *= 0.5;
+        assert!(journey_latency(&relaxed).t0 < journey_latency(&base).t0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_journey_panics() {
+        journey_latency(&[]);
+    }
+}

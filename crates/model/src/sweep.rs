@@ -1,0 +1,140 @@
+//! Load sweeps and saturation-point search.
+//!
+//! The paper's figures plot mean latency against the traffic generation
+//! rate `λ_g`; [`sweep`] produces exactly such a series from the model, and
+//! [`saturation_point`] locates the stability boundary (the largest `λ_g`
+//! the model can evaluate) by bisection on the M/G/1 constraints.
+
+use crate::error::ModelError;
+use crate::model::{evaluate, ModelOptions};
+use crate::workload::Workload;
+use cocnet_stats::Series;
+use cocnet_topology::SystemSpec;
+
+/// Evaluates the model at each rate in `rates`, producing a labelled
+/// series. Rates past the saturation point yield no point (the paper's
+/// analysis curves likewise stop at the stability boundary).
+pub fn sweep(
+    spec: &SystemSpec,
+    wl: &Workload,
+    rates: &[f64],
+    opts: &ModelOptions,
+    label: impl Into<String>,
+) -> Series {
+    let mut series = Series::new(label);
+    for &rate in rates {
+        if let Ok(out) = evaluate(spec, &wl.with_rate(rate), opts) {
+            series.push(rate, out.latency);
+        }
+    }
+    series
+}
+
+/// Convenience: `count` evenly spaced rates in `(0, max]`, always starting
+/// at `max/count` (λ=0 is included separately by callers that want it).
+pub fn rate_grid(max: f64, count: usize) -> Vec<f64> {
+    assert!(count > 0 && max > 0.0);
+    (1..=count).map(|i| max * i as f64 / count as f64).collect()
+}
+
+/// Finds the saturation rate: the supremum of `λ_g` for which the model is
+/// stable, located by exponential search followed by bisection. Returns a
+/// rate `λ*` such that the model evaluates at `λ*` but not at
+/// `λ* · (1 + tol)`.
+pub fn saturation_point(
+    spec: &SystemSpec,
+    wl: &Workload,
+    opts: &ModelOptions,
+    tol: f64,
+) -> Result<f64, ModelError> {
+    // Start from a rate that surely evaluates.
+    let mut lo = 0.0;
+    // Exponential search for an unstable rate.
+    let mut hi = 1e-6;
+    evaluate(spec, &wl.with_rate(lo), opts)?;
+    while evaluate(spec, &wl.with_rate(hi), opts).is_ok() {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 1e12 {
+            return Err(ModelError::BadWorkload {
+                what: "system never saturates at any finite rate",
+            });
+        }
+    }
+    // Bisection.
+    while (hi - lo) / hi > tol {
+        let mid = 0.5 * (lo + hi);
+        if evaluate(spec, &wl.with_rate(mid), opts).is_ok() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
+
+    fn spec() -> SystemSpec {
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        let c = |n| ClusterSpec {
+            n,
+            icn1: net1,
+            ecn1: net2,
+        };
+        SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
+    }
+
+    fn wl() -> Workload {
+        Workload::new(0.0, 32, 256.0).unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_monotone_series() {
+        let rates = rate_grid(2e-4, 10);
+        let s = sweep(&spec(), &wl(), &rates, &ModelOptions::default(), "model");
+        assert_eq!(s.len(), 10);
+        assert!(s.is_monotone_non_decreasing());
+        assert_eq!(s.label, "model");
+    }
+
+    #[test]
+    fn sweep_skips_saturated_rates() {
+        let rates = vec![1e-5, 1.0]; // the second is far past saturation
+        let s = sweep(&spec(), &wl(), &rates, &ModelOptions::default(), "model");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn rate_grid_shape() {
+        let g = rate_grid(1e-3, 4);
+        assert_eq!(g.len(), 4);
+        assert!((g[0] - 2.5e-4).abs() < 1e-18);
+        assert!((g[3] - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn saturation_point_brackets_stability() {
+        let opts = ModelOptions::default();
+        let sat = saturation_point(&spec(), &wl(), &opts, 1e-4).unwrap();
+        assert!(sat > 0.0);
+        assert!(evaluate(&spec(), &wl().with_rate(sat), &opts).is_ok());
+        assert!(evaluate(&spec(), &wl().with_rate(sat * 1.01), &opts).is_err());
+    }
+
+    #[test]
+    fn longer_messages_halve_saturation() {
+        let opts = ModelOptions::default();
+        let s = spec();
+        let sat32 = saturation_point(&s, &Workload::new(0.0, 32, 256.0).unwrap(), &opts, 1e-5)
+            .unwrap();
+        let sat64 = saturation_point(&s, &Workload::new(0.0, 64, 256.0).unwrap(), &opts, 1e-5)
+            .unwrap();
+        let ratio = sat32 / sat64;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio} should be ~2");
+    }
+}

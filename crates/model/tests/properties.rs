@@ -1,0 +1,143 @@
+//! Property tests for the analytical model's building blocks and for
+//! whole-model structural invariants over random valid systems.
+
+use cocnet_model::mg1::{mg1_wait, Mg1Wait};
+use cocnet_model::prob::{hop_distribution, mean_distance};
+use cocnet_model::stages::{journey_latency, Stage};
+use cocnet_model::{evaluate, ModelOptions, Workload};
+use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
+use proptest::prelude::*;
+
+fn arb_stages() -> impl Strategy<Value = Vec<Stage>> {
+    prop::collection::vec(
+        (0.1f64..100.0, 0.0f64..0.01).prop_map(|(transfer, eta)| Stage { transfer, eta }),
+        1..12,
+    )
+}
+
+fn arb_system() -> impl Strategy<Value = SystemSpec> {
+    (
+        0u32..2,
+        1u32..=2,
+        prop::collection::vec(1u32..=3, 1..4),
+        100.0f64..1000.0,
+        100.0f64..1000.0,
+    )
+        .prop_map(|(mi, n_c, height_pool, bw1, bw2)| {
+            let m = [4u32, 8][mi as usize];
+            let count = 2 * (m as usize / 2).pow(n_c);
+            let net1 = NetworkCharacteristics::new(bw1, 0.01, 0.02).unwrap();
+            let net2 = NetworkCharacteristics::new(bw2, 0.05, 0.01).unwrap();
+            let clusters: Vec<ClusterSpec> = (0..count)
+                .map(|i| ClusterSpec {
+                    n: height_pool[i % height_pool.len()],
+                    icn1: net1,
+                    ecn1: net2,
+                })
+                .collect();
+            SystemSpec::new(m, clusters, net1).unwrap()
+        })
+}
+
+proptest! {
+    #[test]
+    fn journey_latency_bounds(stages in arb_stages()) {
+        let j = journey_latency(&stages);
+        // T0 is at least the first stage's transfer and at least the last
+        // stage's (pipelining never beats a single serialization).
+        prop_assert!(j.t0 >= stages[0].transfer - 1e-12);
+        prop_assert!(j.waits.iter().all(|&w| w >= 0.0));
+        // Zero rates collapse to the bare stage-0 transfer.
+        let free: Vec<Stage> = stages
+            .iter()
+            .map(|s| Stage { transfer: s.transfer, eta: 0.0 })
+            .collect();
+        prop_assert!((journey_latency(&free).t0 - stages[0].transfer).abs() < 1e-12);
+    }
+
+    #[test]
+    fn journey_latency_monotone_in_eta(stages in arb_stages(), scale in 1.0f64..5.0) {
+        let heavier: Vec<Stage> = stages
+            .iter()
+            .map(|s| Stage { transfer: s.transfer, eta: s.eta * scale })
+            .collect();
+        prop_assert!(journey_latency(&heavier).t0 >= journey_latency(&stages).t0 - 1e-12);
+    }
+
+    #[test]
+    fn appending_a_stage_never_reduces_t0(stages in arb_stages()) {
+        // Adding a (contended) stage to the end of the journey can only add
+        // waits upstream.
+        let mut longer = stages.clone();
+        longer.push(Stage { transfer: 1.0, eta: 0.001 });
+        prop_assert!(journey_latency(&longer).t0 >= journey_latency(&stages).t0 - 1e-9);
+    }
+
+    #[test]
+    fn mg1_wait_monotone_in_lambda(
+        x in 0.1f64..50.0,
+        var in 0.0f64..100.0,
+        l1 in 0.0f64..0.01,
+        l2 in 0.0f64..0.01,
+    ) {
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        match (mg1_wait(lo, x, var), mg1_wait(hi, x, var)) {
+            (Mg1Wait::Stable(a), Mg1Wait::Stable(b)) => prop_assert!(b >= a - 1e-12),
+            (Mg1Wait::Saturated(_), Mg1Wait::Stable(_)) => {
+                prop_assert!(false, "lower rate saturated but higher stable")
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn hop_distribution_is_proper_for_any_tree(half in 1u32..5, n in 1u32..6) {
+        let m = 2 * half;
+        let p = hop_distribution(m, n);
+        prop_assert_eq!(p.len(), n as usize);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let d = mean_distance(m, n);
+        prop_assert!(d >= 2.0 - 1e-12 && d <= 2.0 * n as f64 + 1e-12);
+    }
+
+    #[test]
+    fn model_latency_positive_and_monotone(spec in arb_system(), seed in 0u64..1000) {
+        let _ = seed;
+        let opts = ModelOptions::default();
+        let wl = Workload::new(0.0, 16, 256.0).unwrap();
+        let zero = evaluate(&spec, &wl, &opts).unwrap();
+        prop_assert!(zero.latency > 0.0);
+        // A modest positive load must not reduce latency.
+        let loaded = evaluate(&spec, &wl.with_rate(1e-5), &opts);
+        if let Ok(out) = loaded {
+            prop_assert!(out.latency >= zero.latency - 1e-9);
+        }
+    }
+
+    #[test]
+    fn model_per_cluster_weights_sum(spec in arb_system()) {
+        let opts = ModelOptions::default();
+        let wl = Workload::new(1e-5, 16, 256.0).unwrap();
+        if let Ok(out) = evaluate(&spec, &wl, &opts) {
+            let n = spec.total_nodes() as f64;
+            let weighted: f64 = out
+                .per_cluster
+                .iter()
+                .map(|c| spec.cluster_nodes(c.cluster) as f64 / n * c.mean)
+                .sum();
+            prop_assert!((weighted - out.latency).abs() < 1e-9);
+            // U_i in [0, 1] and bigger clusters have smaller U.
+            for a in &out.per_cluster {
+                prop_assert!((0.0..=1.0).contains(&a.outgoing_probability));
+                for b in &out.per_cluster {
+                    if spec.cluster_nodes(a.cluster) > spec.cluster_nodes(b.cluster) {
+                        prop_assert!(
+                            a.outgoing_probability <= b.outgoing_probability + 1e-12
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

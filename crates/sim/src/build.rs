@@ -1,0 +1,398 @@
+//! Materialising a [`SystemSpec`] into simulator state: channel tables for
+//! every network and path construction for intra- and inter-cluster
+//! messages.
+//!
+//! Global channel numbering concatenates, in order: each cluster's ICN1,
+//! each cluster's ECN1, then the ICN2 network. The ICN2 tree's "processing
+//! nodes" are the `C` concentrator/dispatcher devices, one per cluster.
+
+use cocnet_topology::{AscentPolicy, ChannelKind, Graph, MPortNTree, SystemSpec};
+use rand::Rng;
+
+/// One wormhole segment: a maximal run of channels between rate-decoupling
+/// buffers (source, concentrator, dispatcher, sink).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Global channel ids, in traversal order.
+    pub chans: Vec<u32>,
+}
+
+/// A [`SystemSpec`] materialised for simulation.
+#[derive(Debug)]
+pub struct BuiltSystem {
+    spec: SystemSpec,
+    icn1: Vec<Graph>,
+    ecn1: Vec<Graph>,
+    icn2: Graph,
+    icn1_off: Vec<u32>,
+    ecn1_off: Vec<u32>,
+    icn2_off: u32,
+    /// Per-flit transfer time of every global channel.
+    chan_time: Vec<f64>,
+    /// Flat-node → (cluster, local) lookup.
+    node_cluster: Vec<u32>,
+    node_local: Vec<u32>,
+    /// Up*/Down* ascent policy used for every route.
+    policy: AscentPolicy,
+}
+
+impl BuiltSystem {
+    /// Builds all network graphs and the global channel table for messages
+    /// whose flits are `flit_bytes` long, using the default (balanced)
+    /// ascent policy.
+    pub fn build(spec: &SystemSpec, flit_bytes: f64) -> Self {
+        Self::build_with_policy(spec, flit_bytes, AscentPolicy::default())
+    }
+
+    /// [`BuiltSystem::build`] with an explicit Up*/Down* ascent policy
+    /// (see the `ablation_routing` experiment).
+    pub fn build_with_policy(spec: &SystemSpec, flit_bytes: f64, policy: AscentPolicy) -> Self {
+        let c = spec.num_clusters();
+        let mut icn1 = Vec::with_capacity(c);
+        let mut ecn1 = Vec::with_capacity(c);
+        let mut icn1_off = Vec::with_capacity(c);
+        let mut ecn1_off = Vec::with_capacity(c);
+        let mut chan_time: Vec<f64> = Vec::new();
+
+        let push_graph = |graph: &Graph, t_cn: f64, t_cs: f64, chan_time: &mut Vec<f64>| {
+            let off = chan_time.len() as u32;
+            for i in 0..graph.num_channels() {
+                let kind = graph.channel(cocnet_topology::ChannelId(i as u32)).kind;
+                chan_time.push(match kind {
+                    ChannelKind::NodeToSwitch | ChannelKind::SwitchToNode => t_cn,
+                    ChannelKind::SwitchToSwitch => t_cs,
+                });
+            }
+            off
+        };
+
+        for i in 0..c {
+            let tree = spec.cluster_tree(i);
+            let g = Graph::build(tree);
+            let net = &spec.clusters[i].icn1;
+            icn1_off.push(push_graph(
+                &g,
+                net.t_cn(flit_bytes),
+                net.t_cs(flit_bytes),
+                &mut chan_time,
+            ));
+            icn1.push(g);
+        }
+        for i in 0..c {
+            let tree = spec.cluster_tree(i);
+            let g = Graph::build(tree);
+            let net = &spec.clusters[i].ecn1;
+            ecn1_off.push(push_graph(
+                &g,
+                net.t_cn(flit_bytes),
+                net.t_cs(flit_bytes),
+                &mut chan_time,
+            ));
+            ecn1.push(g);
+        }
+        let icn2_tree: MPortNTree = spec.icn2_tree();
+        let icn2 = Graph::build(icn2_tree);
+        let icn2_off = push_graph(
+            &icn2,
+            spec.icn2.t_cn(flit_bytes),
+            spec.icn2.t_cs(flit_bytes),
+            &mut chan_time,
+        );
+
+        let total = spec.total_nodes();
+        let mut node_cluster = Vec::with_capacity(total);
+        let mut node_local = Vec::with_capacity(total);
+        for i in 0..c {
+            for l in 0..spec.cluster_nodes(i) {
+                node_cluster.push(i as u32);
+                node_local.push(l as u32);
+            }
+        }
+
+        Self {
+            spec: spec.clone(),
+            icn1,
+            ecn1,
+            icn2,
+            icn1_off,
+            ecn1_off,
+            icn2_off,
+            chan_time,
+            node_cluster,
+            node_local,
+            policy,
+        }
+    }
+
+    /// The underlying system specification.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Total number of global channels.
+    pub fn num_channels(&self) -> usize {
+        self.chan_time.len()
+    }
+
+    /// Per-flit transfer time of global channel `c`.
+    pub fn chan_time(&self, c: u32) -> f64 {
+        self.chan_time[c as usize]
+    }
+
+    /// Total number of processing nodes (flat indexing).
+    pub fn total_nodes(&self) -> usize {
+        self.node_cluster.len()
+    }
+
+    /// Cluster owning flat node `f`.
+    pub fn cluster_of(&self, f: usize) -> usize {
+        self.node_cluster[f] as usize
+    }
+
+    /// Which network a global channel belongs to, for diagnostics:
+    /// `("ICN1", i)`, `("ECN1", i)` or `("ICN2", 0)`.
+    pub fn network_of(&self, chan: u32) -> (&'static str, usize) {
+        if chan >= self.icn2_off {
+            return ("ICN2", 0);
+        }
+        for i in (0..self.ecn1_off.len()).rev() {
+            if chan >= self.ecn1_off[i] {
+                return ("ECN1", i);
+            }
+        }
+        for i in (0..self.icn1_off.len()).rev() {
+            if chan >= self.icn1_off[i] {
+                return ("ICN1", i);
+            }
+        }
+        unreachable!("channel id out of range")
+    }
+
+    /// Human-readable description of a global channel (network, endpoints).
+    pub fn describe_channel(&self, chan: u32) -> String {
+        let (net, i) = self.network_of(chan);
+        let (graph, off) = match net {
+            "ICN1" => (&self.icn1[i], self.icn1_off[i]),
+            "ECN1" => (&self.ecn1[i], self.ecn1_off[i]),
+            _ => (&self.icn2, self.icn2_off),
+        };
+        let desc = graph.channel(cocnet_topology::ChannelId(chan - off));
+        match net {
+            "ICN2" => format!("ICN2 {:?} -> {:?}", desc.from, desc.to),
+            _ => format!("{net}({i}) {:?} -> {:?}", desc.from, desc.to),
+        }
+    }
+
+    /// Builds the wormhole segments for a message from flat node `src` to
+    /// flat node `dst`.
+    ///
+    /// * intra-cluster: one segment through ICN1(i);
+    /// * inter-cluster: ECN1(i) ascent → ICN2 crossing → ECN1(j) descent,
+    ///   three segments separated by the concentrator and dispatcher
+    ///   buffers. The ICN2 segment's injection channel *is* the
+    ///   concentrator queue; the ECN1(j) segment's first channel is the
+    ///   dispatcher queue.
+    ///
+    /// # Panics
+    /// Panics if `src == dst` (patterns never produce self-traffic).
+    pub fn segments_for(&self, src: usize, dst: usize) -> Vec<Segment> {
+        assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
+        let (ci, li) = (self.node_cluster[src] as usize, self.node_local[src] as usize);
+        let (cj, lj) = (self.node_cluster[dst] as usize, self.node_local[dst] as usize);
+        if ci == cj {
+            let route = self.icn1[ci]
+                .route_with_policy(li, lj, self.policy)
+                .expect("valid local ids");
+            let off = self.icn1_off[ci];
+            return vec![Segment {
+                chans: route.channels.iter().map(|c| off + c.0).collect(),
+            }];
+        }
+        let up = self.ecn1[ci]
+            .route_to_root_with_policy(li, self.policy)
+            .expect("valid local id");
+        let off_up = self.ecn1_off[ci];
+        let cross = self
+            .icn2
+            .route_with_policy(ci, cj, self.policy)
+            .expect("valid cluster ids");
+        let down = self.ecn1[cj]
+            .route_from_root_with_policy(lj, self.policy)
+            .expect("valid local id");
+        let off_down = self.ecn1_off[cj];
+        vec![
+            Segment {
+                chans: up.channels.iter().map(|c| off_up + c.0).collect(),
+            },
+            Segment {
+                chans: cross.channels.iter().map(|c| self.icn2_off + c.0).collect(),
+            },
+            Segment {
+                chans: down.channels.iter().map(|c| off_down + c.0).collect(),
+            },
+        ]
+    }
+}
+
+impl BuiltSystem {
+    /// Like [`BuiltSystem::segments_for`], but with per-message random
+    /// ascent digits — the oblivious-adaptive routing variant (paper ref
+    /// \[7\] contrasts adaptive wormhole routing with the deterministic
+    /// scheme the model assumes). Descent stays destination-determined.
+    pub fn segments_for_adaptive<R: Rng + ?Sized>(
+        &self,
+        src: usize,
+        dst: usize,
+        rng: &mut R,
+    ) -> Vec<Segment> {
+        assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
+        let k = self.spec.m / 2;
+        let mut digits = |len: u32| -> Vec<u32> {
+            (0..len).map(|_| rng.random_range(0..k)).collect()
+        };
+        let (ci, li) = (self.node_cluster[src] as usize, self.node_local[src] as usize);
+        let (cj, lj) = (self.node_cluster[dst] as usize, self.node_local[dst] as usize);
+        if ci == cj {
+            let n = self.spec.clusters[ci].n;
+            let route = self.icn1[ci]
+                .route_adaptive(li, lj, &digits(n.saturating_sub(1)))
+                .expect("valid local ids");
+            let off = self.icn1_off[ci];
+            return vec![Segment {
+                chans: route.channels.iter().map(|c| off + c.0).collect(),
+            }];
+        }
+        let n_i = self.spec.clusters[ci].n;
+        let n_c = self.spec.icn2_height().expect("validated");
+        let up = self.ecn1[ci]
+            .route_to_root_adaptive(li, &digits(n_i.saturating_sub(1)))
+            .expect("valid local id");
+        let off_up = self.ecn1_off[ci];
+        let cross = self
+            .icn2
+            .route_adaptive(ci, cj, &digits(n_c.saturating_sub(1)))
+            .expect("valid cluster ids");
+        let down = self.ecn1[cj]
+            .route_from_root_with_policy(lj, self.policy)
+            .expect("valid local id");
+        let off_down = self.ecn1_off[cj];
+        vec![
+            Segment {
+                chans: up.channels.iter().map(|c| off_up + c.0).collect(),
+            },
+            Segment {
+                chans: cross.channels.iter().map(|c| self.icn2_off + c.0).collect(),
+            },
+            Segment {
+                chans: down.channels.iter().map(|c| off_down + c.0).collect(),
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocnet_topology::{ClusterSpec, NetworkCharacteristics};
+
+    fn spec() -> SystemSpec {
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        let c = |n| ClusterSpec {
+            n,
+            icn1: net1,
+            ecn1: net2,
+        };
+        SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap()
+    }
+
+    #[test]
+    fn channel_count_covers_all_networks() {
+        let b = BuiltSystem::build(&spec(), 256.0);
+        // ICN1 and ECN1 per cluster: 2·n·N directed channels each
+        // (clusters: two with n=1,N=4 and two with n=2,N=8); ICN2: 2·n_c·C.
+        let per_network: usize = 2 * (2 * 4) + 2 * (2 * 2 * 8);
+        let expected = 2 * per_network + 2 * 4;
+        assert_eq!(b.num_channels(), expected);
+        assert_eq!(b.total_nodes(), 24);
+    }
+
+    #[test]
+    fn intra_message_is_one_segment() {
+        let b = BuiltSystem::build(&spec(), 256.0);
+        let segs = b.segments_for(8, 9); // both in cluster 2
+        assert_eq!(segs.len(), 1);
+        assert!(!segs[0].chans.is_empty());
+        assert_eq!(segs[0].chans.len() % 2, 0, "2h channels");
+    }
+
+    #[test]
+    fn inter_message_is_three_segments() {
+        let b = BuiltSystem::build(&spec(), 256.0);
+        let segs = b.segments_for(0, 23); // cluster 0 -> cluster 3
+        assert_eq!(segs.len(), 3);
+        // ECN1(0) ascent: n_0 = 1 channel; ICN2: 2l; ECN1(3) descent: n_3 = 2.
+        assert_eq!(segs[0].chans.len(), 1);
+        assert_eq!(segs[1].chans.len() % 2, 0);
+        assert_eq!(segs[2].chans.len(), 2);
+    }
+
+    #[test]
+    fn segments_use_disjoint_channel_ranges() {
+        let b = BuiltSystem::build(&spec(), 256.0);
+        let segs = b.segments_for(0, 23);
+        let all: Vec<u32> = segs.iter().flat_map(|s| s.chans.iter().copied()).collect();
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "no channel repeats on a path");
+        for &c in &all {
+            assert!((c as usize) < b.num_channels());
+        }
+    }
+
+    #[test]
+    fn channel_times_match_network_characteristics() {
+        let b = BuiltSystem::build(&spec(), 256.0);
+        // Intra path channels use ICN1 times (net1).
+        let segs = b.segments_for(8, 9);
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let first = segs[0].chans[0];
+        assert!((b.chan_time(first) - net1.t_cn(256.0)).abs() < 1e-12);
+        // Inter first segment uses ECN1 times (net2).
+        let segs = b.segments_for(0, 23);
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        assert!((b.chan_time(segs[0].chans[0]) - net2.t_cn(256.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_segments_share_shape_with_deterministic() {
+        use rand::SeedableRng;
+        let b = BuiltSystem::build(&spec(), 256.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for (src, dst) in [(0usize, 23usize), (8, 9), (4, 12)] {
+            let det = b.segments_for(src, dst);
+            let ada = b.segments_for_adaptive(src, dst, &mut rng);
+            assert_eq!(det.len(), ada.len());
+            for (d, a) in det.iter().zip(&ada) {
+                assert_eq!(d.chans.len(), a.chans.len());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-traffic")]
+    fn self_traffic_rejected() {
+        let b = BuiltSystem::build(&spec(), 256.0);
+        b.segments_for(3, 3);
+    }
+
+    #[test]
+    fn cluster_of_matches_spec_layout() {
+        let b = BuiltSystem::build(&spec(), 256.0);
+        assert_eq!(b.cluster_of(0), 0);
+        assert_eq!(b.cluster_of(7), 1);
+        assert_eq!(b.cluster_of(8), 2);
+        assert_eq!(b.cluster_of(23), 3);
+    }
+}

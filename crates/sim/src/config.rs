@@ -1,0 +1,139 @@
+//! Simulation run configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the concentrator/dispatcher buffers couple adjacent networks on an
+/// inter-cluster path.
+///
+/// The paper's model is subtly split on this: Eq. (20) merges the three
+/// networks into one wormhole pipeline, while Eqs. (36)–(37) give the
+/// concentrator a full-message service time `M·t_cs^{ICN2}` — a buffer that
+/// decouples the drain rates of adjacent networks. Rate decoupling is what
+/// makes every stage's service in Eqs. (29)–(30) use the *local* network's
+/// flit time, so the default mode preserves it; the alternatives trade it
+/// against serialization delay and are kept as ablations (see the
+/// `coupling_modes` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Coupling {
+    /// Virtual cut-through with rate conversion (default): the buffer
+    /// forwards the header at the *latest* start time that keeps the output
+    /// link streaming without flit starvation. Downstream channels are held
+    /// only for their own network's full-message time (matching the model's
+    /// per-network stage services and the concentrator's `M·t_cs^{ICN2}`
+    /// M/G/1 service), while the serialization penalty of full buffering is
+    /// mostly avoided.
+    #[default]
+    VirtualCutThrough,
+    /// The buffer receives the whole message, then retransmits: adjacent
+    /// networks are fully rate-decoupled, at the cost of one full-message
+    /// serialization per boundary.
+    StoreAndForward,
+    /// The header forwards immediately and flits follow as they arrive:
+    /// lowest zero-load latency, but a slow upstream network extends
+    /// downstream channel holding times, moving saturation earlier than the
+    /// model predicts.
+    CutThrough,
+}
+
+/// Configuration of one simulation run.
+///
+/// The defaults reproduce the paper's methodology (§4): 10 000 warm-up
+/// messages, 100 000 measured messages, 10 000 drain messages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Messages generated before statistics gathering starts.
+    pub warmup: u64,
+    /// Messages whose latency is recorded.
+    pub measured: u64,
+    /// Extra messages generated after the measured ones so that the tail of
+    /// the measured population is not biased by an emptying network.
+    pub drain: u64,
+    /// RNG seed; identical seeds give bit-identical results.
+    pub seed: u64,
+    /// Safety valve: abort (with `completed = false`) after this many
+    /// processed events. A saturated network never delivers its measured
+    /// population, so an un-capped run would never terminate.
+    pub max_events: u64,
+    /// Optional latency histogram: `(upper_bound, bins)`.
+    pub histogram: Option<(f64, usize)>,
+    /// Network-boundary coupling mode (see [`Coupling`]).
+    pub coupling: Coupling,
+    /// Flit-buffer depth per channel, used by the flit-level engine.
+    /// The paper's assumption 6 is depth 1; deeper buffers are an
+    /// extension experiment (`buffer_depth` bin). The worm engine ignores
+    /// this (its message-level treatment has no per-flit buffering).
+    pub flit_buffer_depth: u32,
+    /// Record a full event trace for the first `trace_messages` generated
+    /// messages (worm engine only). `0` disables tracing.
+    pub trace_messages: u64,
+    /// Use oblivious-adaptive routing (random ascent digits per message)
+    /// instead of the deterministic Up*/Down* scheme (worm engine only).
+    pub adaptive_routing: bool,
+    /// Retain raw latency samples and report exact p50/p95/p99 (worm
+    /// engine only; costs one `f64` per measured message).
+    pub collect_percentiles: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            warmup: 10_000,
+            measured: 100_000,
+            drain: 10_000,
+            seed: 0x5eed_c0c0,
+            max_events: 500_000_000,
+            histogram: None,
+            coupling: Coupling::default(),
+            flit_buffer_depth: 1,
+            trace_messages: 0,
+            adaptive_routing: false,
+            collect_percentiles: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A scaled-down configuration for unit tests and quick validation:
+    /// 1 000 warm-up, 10 000 measured, 1 000 drain.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            warmup: 1_000,
+            measured: 10_000,
+            drain: 1_000,
+            seed,
+            max_events: 100_000_000,
+            histogram: None,
+            coupling: Coupling::default(),
+            flit_buffer_depth: 1,
+            trace_messages: 0,
+            adaptive_routing: false,
+            collect_percentiles: false,
+        }
+    }
+
+    /// Total messages generated over the run.
+    pub fn total_messages(&self) -> u64 {
+        self.warmup + self.measured + self.drain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_methodology() {
+        let c = SimConfig::default();
+        assert_eq!(c.warmup, 10_000);
+        assert_eq!(c.measured, 100_000);
+        assert_eq!(c.drain, 10_000);
+        assert_eq!(c.total_messages(), 120_000);
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let c = SimConfig::quick(1);
+        assert!(c.total_messages() < SimConfig::default().total_messages());
+        assert_eq!(c.seed, 1);
+    }
+}

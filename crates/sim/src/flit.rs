@@ -1,0 +1,581 @@
+//! Flit-level reference engine.
+//!
+//! The default worm engine treats a message as one unit whose tail drains
+//! at the segment's bottleneck rate — exact in steady state, approximate in
+//! transients. This engine simulates **every flit individually** under the
+//! strict buffered-channel semantics of assumption 6:
+//!
+//! * each channel has a wire (one flit in transit) and a receive buffer of
+//!   `SimConfig::flit_buffer_depth` flits (assumption 6 is depth 1, the
+//!   default; deeper buffers are the `buffer_depth` extension experiment);
+//! * a flit may start crossing channel `j` only when `j` is allocated to
+//!   its message (wormhole), the wire is free, and the receive buffer has
+//!   room (the last channel's receiver is the always-accepting sink);
+//! * a channel is released the moment the tail flit vacates its receive
+//!   buffer.
+//!
+//! Segment boundaries (concentrator/dispatcher) are store-and-forward
+//! here: the message is fully buffered before re-injection. That gives the
+//! engine exact, assumption-free semantics — which is the point of a
+//! reference implementation — at the cost of the boundary serialization
+//! the worm engine's virtual cut-through avoids. Cross-validation against
+//! the worm engine therefore uses `Coupling::StoreAndForward`
+//! (see `tests/engine_agreement.rs` and the `engine_agreement` bench bin).
+
+use crate::build::BuiltSystem;
+use crate::config::SimConfig;
+use crate::results::SimResults;
+use cocnet_model::Workload;
+use cocnet_stats::{Histogram, OnlineStats};
+use cocnet_topology::SystemSpec;
+use cocnet_workloads::{exponential_sample, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Generate { node: u32 },
+    /// Flit `flit` of `msg` finished crossing the channel at `pos` of the
+    /// message's current segment.
+    CrossComplete { msg: u32, flit: u32, pos: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-channel flit-level state.
+#[derive(Debug)]
+struct ChanF {
+    /// Per-flit crossing time.
+    t: f64,
+    /// Message currently holding the channel (wormhole allocation).
+    owner: Option<u32>,
+    /// Whether a flit is in transit on the wire.
+    wire_busy: bool,
+    /// The receive buffer, FIFO of `(msg, flit)`; capacity =
+    /// `cfg.flit_buffer_depth` (assumption 6: depth 1).
+    buf: VecDeque<(u32, u32)>,
+    /// Headers waiting for allocation: `(msg, header_wait_pos)` where the
+    /// header sits at `wait_pos` (−1 encoded as `i32`) of its own path.
+    queue: VecDeque<(u32, i32)>,
+}
+
+#[derive(Debug)]
+struct MsgF {
+    gen_time: f64,
+    /// Segments of global channel ids (same construction as the worm engine).
+    segments: Vec<Vec<u32>>,
+    /// Current segment index.
+    seg: u16,
+    /// Flits already injected into the current segment.
+    injected: u32,
+    recorded: bool,
+    intra: bool,
+    src_cluster: u32,
+}
+
+struct FlitSimulator<'a> {
+    built: &'a BuiltSystem,
+    cfg: SimConfig,
+    depth: usize,
+    m_flits: u32,
+    lambda: f64,
+    pattern: Pattern,
+    rng: StdRng,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    chans: Vec<ChanF>,
+    msgs: Vec<MsgF>,
+    generated: u64,
+    recorded_done: u64,
+    events_processed: u64,
+    now: f64,
+    latency: OnlineStats,
+    intra_lat: OnlineStats,
+    inter_lat: OnlineStats,
+    per_cluster: Vec<OnlineStats>,
+    histogram: Option<Histogram>,
+    busy_total: Vec<f64>,
+    busy_since: Vec<f64>,
+}
+
+impl<'a> FlitSimulator<'a> {
+    fn new(built: &'a BuiltSystem, wl: &Workload, pattern: Pattern, cfg: SimConfig) -> Self {
+        assert!(wl.lambda_g > 0.0, "simulation needs a positive rate");
+        let chans = (0..built.num_channels())
+            .map(|c| ChanF {
+                t: built.chan_time(c as u32),
+                owner: None,
+                wire_busy: false,
+                buf: VecDeque::new(),
+                queue: VecDeque::new(),
+            })
+            .collect();
+        let histogram = cfg.histogram.map(|(hi, bins)| Histogram::new(0.0, hi, bins));
+        assert!(cfg.flit_buffer_depth >= 1, "buffers need at least one slot");
+        Self {
+            built,
+            depth: cfg.flit_buffer_depth as usize,
+            cfg,
+            m_flits: wl.msg_flits,
+            lambda: wl.lambda_g,
+            pattern,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            chans,
+            msgs: Vec::with_capacity(cfg.total_messages() as usize),
+            generated: 0,
+            recorded_done: 0,
+            events_processed: 0,
+            now: 0.0,
+            latency: OnlineStats::new(),
+            intra_lat: OnlineStats::new(),
+            inter_lat: OnlineStats::new(),
+            per_cluster: vec![OnlineStats::new(); built.spec().num_clusters()],
+            histogram,
+            busy_total: vec![0.0; built.num_channels()],
+            busy_since: vec![0.0; built.num_channels()],
+        }
+    }
+
+    fn schedule(&mut self, time: f64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    fn run(mut self) -> SimResults {
+        for node in 0..self.built.total_nodes() {
+            let gap = exponential_sample(&mut self.rng, self.lambda);
+            self.schedule(gap, EventKind::Generate { node: node as u32 });
+        }
+        let mut completed = false;
+        while let Some(ev) = self.heap.pop() {
+            self.events_processed += 1;
+            if self.events_processed > self.cfg.max_events {
+                break;
+            }
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Generate { node } => self.on_generate(node, ev.time),
+                EventKind::CrossComplete { msg, flit, pos } => {
+                    self.on_cross_complete(msg, flit, pos, ev.time)
+                }
+            }
+            if self.recorded_done >= self.cfg.measured {
+                completed = true;
+                break;
+            }
+        }
+        SimResults::collect(
+            &self.latency,
+            &self.intra_lat,
+            &self.inter_lat,
+            &self.per_cluster,
+            self.generated,
+            self.recorded_done,
+            completed,
+            self.now,
+            self.histogram,
+            self.busy_total,
+            Vec::new(),
+            None,
+        )
+    }
+
+    fn on_generate(&mut self, node: u32, t: f64) {
+        if self.generated >= self.cfg.total_messages() {
+            return;
+        }
+        let src = node as usize;
+        let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
+        let segments: Vec<Vec<u32>> = self
+            .built
+            .segments_for(src, dst)
+            .into_iter()
+            .map(|s| s.chans)
+            .collect();
+        let recorded = self.generated >= self.cfg.warmup
+            && self.generated < self.cfg.warmup + self.cfg.measured;
+        self.generated += 1;
+        let msg_id = self.msgs.len() as u32;
+        self.msgs.push(MsgF {
+            gen_time: t,
+            segments,
+            seg: 0,
+            injected: 0,
+            recorded,
+            intra: self.built.cluster_of(src) == self.built.cluster_of(dst),
+            src_cluster: self.built.cluster_of(src) as u32,
+        });
+        self.inject_segment(msg_id, t);
+        if self.generated < self.cfg.total_messages() {
+            let gap = exponential_sample(&mut self.rng, self.lambda);
+            self.schedule(t + gap, EventKind::Generate { node });
+        }
+    }
+
+    /// The message (fully buffered) requests its current segment's first
+    /// channel; the header sits at source position −1.
+    fn inject_segment(&mut self, msg_id: u32, t: f64) {
+        let chan = self.msgs[msg_id as usize].segments[self.msgs[msg_id as usize].seg as usize][0];
+        let c = &mut self.chans[chan as usize];
+        if c.owner.is_none() {
+            c.owner = Some(msg_id);
+            self.busy_since[chan as usize] = t;
+            self.try_move(msg_id, -1, t);
+        } else {
+            c.queue.push_back((msg_id, -1));
+        }
+    }
+
+    /// Channel id at `pos` of the message's current segment.
+    fn chan_at(&self, msg_id: u32, pos: u32) -> u32 {
+        let m = &self.msgs[msg_id as usize];
+        m.segments[m.seg as usize][pos as usize]
+    }
+
+    fn seg_len(&self, msg_id: u32) -> u32 {
+        let m = &self.msgs[msg_id as usize];
+        m.segments[m.seg as usize].len() as u32
+    }
+
+    /// Attempts to move the flit at `from_pos` (−1 = source buffer) one
+    /// channel forward. Returns whether a move started. On success,
+    /// recursively lets the flit behind advance into the freed buffer.
+    fn try_move(&mut self, msg_id: u32, from_pos: i32, t: f64) -> bool {
+        let to = (from_pos + 1) as u32;
+        if to >= self.seg_len(msg_id) {
+            return false;
+        }
+        // Identify the flit at from_pos.
+        let flit = if from_pos < 0 {
+            let m = &self.msgs[msg_id as usize];
+            if m.injected >= self.m_flits {
+                return false; // nothing left to inject
+            }
+            m.injected
+        } else {
+            match self.chans[self.chan_at(msg_id, from_pos as u32) as usize]
+                .buf
+                .front()
+            {
+                Some(&(owner, f)) if owner == msg_id => f,
+                _ => return false,
+            }
+        };
+        let to_chan = self.chan_at(msg_id, to);
+        let last = to == self.seg_len(msg_id) - 1;
+        {
+            let c = &self.chans[to_chan as usize];
+            if c.owner != Some(msg_id) || c.wire_busy {
+                return false;
+            }
+            // Receive buffer must have room, except at the last channel
+            // whose receiver is the always-accepting sink / boundary buffer.
+            if !last && c.buf.len() >= self.depth {
+                return false;
+            }
+        }
+        // Start the crossing.
+        let crossing_time = self.chans[to_chan as usize].t;
+        self.chans[to_chan as usize].wire_busy = true;
+        if from_pos >= 0 {
+            let from_chan = self.chan_at(msg_id, from_pos as u32);
+            self.chans[from_chan as usize].buf.pop_front();
+        } else {
+            self.msgs[msg_id as usize].injected += 1;
+        }
+        // The tail vacating a receive buffer releases that channel.
+        if flit == self.m_flits - 1 && from_pos >= 0 {
+            let freed = self.chan_at(msg_id, from_pos as u32);
+            self.release(freed, t);
+        }
+        self.schedule(
+            t + crossing_time,
+            EventKind::CrossComplete {
+                msg: msg_id,
+                flit,
+                pos: to,
+            },
+        );
+        // The freed slot lets the flit behind advance immediately.
+        self.try_move(msg_id, from_pos - 1, t);
+        true
+    }
+
+    fn on_cross_complete(&mut self, msg_id: u32, flit: u32, pos: u32, t: f64) {
+        let seg_len = self.seg_len(msg_id);
+        let chan = self.chan_at(msg_id, pos);
+        self.chans[chan as usize].wire_busy = false;
+        let last = pos == seg_len - 1;
+        if last {
+            // Delivered into the sink (or the boundary buffer).
+            if flit == self.m_flits - 1 {
+                self.release(chan, t);
+                self.segment_done(msg_id, t);
+            } else {
+                // The wire freed; the next flit can follow.
+                self.try_move(msg_id, pos as i32 - 1, t);
+            }
+            return;
+        }
+        self.chans[chan as usize].buf.push_back((msg_id, flit));
+        if flit == 0 {
+            // Header allocates the next channel.
+            let next_chan = self.chan_at(msg_id, pos + 1);
+            let c = &mut self.chans[next_chan as usize];
+            if c.owner.is_none() {
+                c.owner = Some(msg_id);
+                self.busy_since[next_chan as usize] = t;
+            } else if c.owner != Some(msg_id) {
+                c.queue.push_back((msg_id, pos as i32));
+            }
+        }
+        // This flit may continue; if it does, the one behind follows.
+        if !self.try_move(msg_id, pos as i32, t) {
+            // Buffer stays occupied; upstream cannot advance into it, but
+            // the wire we just freed may admit the previous flit once our
+            // buffer clears later. Nothing else to do now.
+        }
+    }
+
+    /// Releases a channel: account busy time and grant to the next queued
+    /// header (whose message may immediately start moving).
+    fn release(&mut self, chan: u32, t: f64) {
+        self.busy_total[chan as usize] += t - self.busy_since[chan as usize];
+        let next = self.chans[chan as usize].queue.pop_front();
+        match next {
+            Some((w, wait_pos)) => {
+                self.chans[chan as usize].owner = Some(w);
+                self.busy_since[chan as usize] = t;
+                self.try_move(w, wait_pos, t);
+            }
+            None => self.chans[chan as usize].owner = None,
+        }
+    }
+
+    /// The tail of the current segment arrived: store-and-forward into the
+    /// next segment, or deliver.
+    fn segment_done(&mut self, msg_id: u32, t: f64) {
+        let m = &mut self.msgs[msg_id as usize];
+        if (m.seg as usize) + 1 < m.segments.len() {
+            m.seg += 1;
+            m.injected = 0;
+            self.inject_segment(msg_id, t);
+            return;
+        }
+        let latency = t - m.gen_time;
+        let (recorded, intra, cluster) = (m.recorded, m.intra, m.src_cluster);
+        m.segments = Vec::new();
+        if recorded {
+            self.latency.push(latency);
+            if intra {
+                self.intra_lat.push(latency);
+            } else {
+                self.inter_lat.push(latency);
+            }
+            self.per_cluster[cluster as usize].push(latency);
+            if let Some(h) = &mut self.histogram {
+                h.record(latency);
+            }
+            self.recorded_done += 1;
+        }
+    }
+}
+
+/// Runs one simulation with the flit-level reference engine.
+///
+/// Boundaries are store-and-forward regardless of `cfg.coupling`; compare
+/// against the worm engine with `Coupling::StoreAndForward`.
+pub fn run_simulation_flit(
+    spec: &SystemSpec,
+    wl: &Workload,
+    pattern: Pattern,
+    cfg: &SimConfig,
+) -> SimResults {
+    let built = BuiltSystem::build(spec, wl.flit_bytes);
+    run_simulation_flit_built(&built, wl, pattern, cfg)
+}
+
+/// Like [`run_simulation_flit`] with a pre-built system.
+pub fn run_simulation_flit_built(
+    built: &BuiltSystem,
+    wl: &Workload,
+    pattern: Pattern,
+    cfg: &SimConfig,
+) -> SimResults {
+    FlitSimulator::new(built, wl, pattern, *cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Coupling;
+    use crate::engine::run_simulation;
+    use cocnet_topology::{ClusterSpec, NetworkCharacteristics};
+
+    fn spec() -> SystemSpec {
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        let c = |n| ClusterSpec {
+            n,
+            icn1: net1,
+            ecn1: net2,
+        };
+        SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap()
+    }
+
+    fn cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            warmup: 300,
+            measured: 3_000,
+            drain: 300,
+            seed,
+            coupling: Coupling::StoreAndForward,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_and_is_deterministic() {
+        let wl = Workload::new(1e-4, 8, 256.0).unwrap();
+        let a = run_simulation_flit(&spec(), &wl, Pattern::Uniform, &cfg(1));
+        let b = run_simulation_flit(&spec(), &wl, Pattern::Uniform, &cfg(1));
+        assert!(a.completed);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.delivered_recorded, 3_000);
+    }
+
+    #[test]
+    fn single_message_pipeline_time_is_exact() {
+        // With a near-zero rate every message travels alone; an intra
+        // message crossing 2h channels with times t_0..t_{2h−1} must take
+        // Σt + (M−1)·max(t) exactly (single-flit-buffer pipeline of
+        // deterministic stages).
+        let s = spec();
+        let wl = Workload::new(1e-7, 4, 256.0).unwrap();
+        let c = SimConfig {
+            warmup: 0,
+            measured: 50,
+            drain: 0,
+            seed: 9,
+            coupling: Coupling::StoreAndForward,
+            ..SimConfig::default()
+        };
+        let local = Pattern::ClusterLocal { locality: 1.0 };
+        let flit = run_simulation_flit(&s, &wl, local, &c);
+        let worm = run_simulation(&s, &wl, local, &c);
+        assert!(flit.completed && worm.completed);
+        // Same traffic (same seed/pattern): the two engines must agree up
+        // to float summation order at zero contention (the flit engine
+        // accumulates per-flit crossings; the worm engine uses the closed
+        // form Σt + (M−1)·max t).
+        assert!(
+            (flit.latency.mean - worm.latency.mean).abs() < 1e-6,
+            "flit {} vs worm {}",
+            flit.latency.mean,
+            worm.latency.mean
+        );
+    }
+
+    #[test]
+    fn agrees_with_worm_engine_under_load() {
+        // Moderate load, full system, store-and-forward boundaries on both
+        // engines: the worm engine's drain approximation must stay within
+        // a few percent of the flit-exact reference.
+        let s = spec();
+        let wl = Workload::new(3e-4, 16, 256.0).unwrap();
+        let flit = run_simulation_flit(&s, &wl, Pattern::Uniform, &cfg(3));
+        let worm = run_simulation(&s, &wl, Pattern::Uniform, &cfg(3));
+        assert!(flit.completed && worm.completed);
+        let rel = (flit.latency.mean - worm.latency.mean).abs() / flit.latency.mean;
+        assert!(
+            rel < 0.05,
+            "flit {} vs worm {} ({:.1}%)",
+            flit.latency.mean,
+            worm.latency.mean,
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn conservation_of_messages() {
+        let wl = Workload::new(2e-4, 8, 256.0).unwrap();
+        let r = run_simulation_flit(&spec(), &wl, Pattern::Uniform, &cfg(4));
+        assert!(r.completed);
+        assert_eq!(r.delivered_recorded, 3_000);
+        assert!(r.generated >= r.delivered_recorded);
+        let split = r.intra.count + r.inter.count;
+        assert_eq!(split, r.delivered_recorded);
+    }
+
+    #[test]
+    fn deeper_buffers_never_hurt() {
+        // Extension beyond assumption 6: more flit buffering can only
+        // reduce blocking. Latency must be non-increasing in depth.
+        let s = spec();
+        let wl = Workload::new(8e-4, 16, 256.0).unwrap();
+        let mut last = f64::INFINITY;
+        for depth in [1u32, 2, 4, 16] {
+            let c = SimConfig {
+                flit_buffer_depth: depth,
+                ..cfg(11)
+            };
+            let r = run_simulation_flit(&s, &wl, Pattern::Uniform, &c);
+            assert!(r.completed);
+            assert!(
+                r.latency.mean <= last * 1.01,
+                "depth {depth}: {} > previous {last}",
+                r.latency.mean
+            );
+            last = r.latency.mean;
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let s = spec();
+        let lo = run_simulation_flit(
+            &s,
+            &Workload::new(5e-5, 8, 256.0).unwrap(),
+            Pattern::Uniform,
+            &cfg(5),
+        );
+        let hi = run_simulation_flit(
+            &s,
+            &Workload::new(1e-3, 8, 256.0).unwrap(),
+            Pattern::Uniform,
+            &cfg(5),
+        );
+        assert!(lo.completed && hi.completed);
+        assert!(hi.latency.mean > lo.latency.mean);
+    }
+}

@@ -1,0 +1,140 @@
+//! Simulation result collection.
+
+use crate::trace::MessageTrace;
+use cocnet_stats::{Histogram, OnlineStats, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResults {
+    /// Latency summary over all recorded messages.
+    pub latency: Summary,
+    /// Latency summary of intra-cluster messages only.
+    pub intra: Summary,
+    /// Latency summary of inter-cluster messages only.
+    pub inter: Summary,
+    /// Latency summary per source cluster.
+    pub per_cluster: Vec<Summary>,
+    /// Total messages generated (including warm-up and drain).
+    pub generated: u64,
+    /// Recorded messages delivered (equals the configured `measured` count
+    /// when `completed`).
+    pub delivered_recorded: u64,
+    /// Whether the run delivered its full measured population. `false`
+    /// means the event cap was hit first — in practice, saturation.
+    pub completed: bool,
+    /// Simulation clock at termination.
+    pub sim_time: f64,
+    /// Optional latency histogram.
+    pub histogram: Option<Histogram>,
+    /// Cumulative busy time per global channel; divide by `sim_time` for
+    /// utilisation. Indexed like [`crate::BuiltSystem`]'s channel table.
+    pub channel_busy: Vec<f64>,
+    /// Event traces of the first `trace_messages` generated messages
+    /// (worm engine only; empty when tracing is off).
+    pub traces: Vec<MessageTrace>,
+    /// Exact latency percentiles `(p50, p95, p99)` when
+    /// `collect_percentiles` was set (worm engine only).
+    pub percentiles: Option<(f64, f64, f64)>,
+}
+
+impl SimResults {
+    /// Assembles results from the engine's sinks.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn collect(
+        latency: &OnlineStats,
+        intra: &OnlineStats,
+        inter: &OnlineStats,
+        per_cluster: &[OnlineStats],
+        generated: u64,
+        delivered_recorded: u64,
+        completed: bool,
+        sim_time: f64,
+        histogram: Option<Histogram>,
+        channel_busy: Vec<f64>,
+        traces: Vec<MessageTrace>,
+        percentiles: Option<(f64, f64, f64)>,
+    ) -> Self {
+        Self {
+            latency: Summary::from_stats(latency),
+            intra: Summary::from_stats(intra),
+            inter: Summary::from_stats(inter),
+            per_cluster: per_cluster.iter().map(Summary::from_stats).collect(),
+            generated,
+            delivered_recorded,
+            completed,
+            sim_time,
+            histogram,
+            channel_busy,
+            traces,
+            percentiles,
+        }
+    }
+
+    /// Observed share of inter-cluster messages among recorded ones.
+    pub fn inter_fraction(&self) -> f64 {
+        let total = self.intra.count + self.inter.count;
+        if total == 0 {
+            0.0
+        } else {
+            self.inter.count as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_fraction_handles_empty() {
+        let empty = OnlineStats::new();
+        let r =
+            SimResults::collect(
+                &empty,
+                &empty,
+                &empty,
+                &[],
+                0,
+                0,
+                false,
+                0.0,
+                None,
+                Vec::new(),
+                Vec::new(),
+                None,
+            );
+        assert_eq!(r.inter_fraction(), 0.0);
+    }
+
+    #[test]
+    fn inter_fraction_computes_share() {
+        let mut intra = OnlineStats::new();
+        let mut inter = OnlineStats::new();
+        for _ in 0..25 {
+            intra.push(1.0);
+        }
+        for _ in 0..75 {
+            inter.push(2.0);
+        }
+        let mut all = OnlineStats::new();
+        all.merge(&intra);
+        all.merge(&inter);
+        let r =
+            SimResults::collect(
+                &all,
+                &intra,
+                &inter,
+                &[],
+                100,
+                100,
+                true,
+                1.0,
+                None,
+                Vec::new(),
+                Vec::new(),
+                None,
+            );
+        assert!((r.inter_fraction() - 0.75).abs() < 1e-12);
+    }
+}

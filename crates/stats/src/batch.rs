@@ -1,0 +1,164 @@
+//! Batch-means analysis for autocorrelated sample streams.
+//!
+//! Latencies of consecutive messages through a queueing network are
+//! positively correlated, so the naive CI from [`crate::OnlineStats`]
+//! (which assumes i.i.d. samples) is too narrow near saturation. The
+//! classic fix is the method of batch means: split the stream into `b`
+//! contiguous batches, treat the batch averages as (approximately)
+//! independent, and build the CI from them. This module also estimates the
+//! lag-1 autocorrelation of the batch means, the standard diagnostic for
+//! "are the batches long enough".
+
+use crate::ci::{mean_confidence_interval, ConfidenceInterval};
+use crate::online::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// Streaming batch-means accumulator with a fixed batch size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: OnlineStats,
+    batch_means: Vec<f64>,
+    overall: OnlineStats,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size (≥ 1).
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size >= 1, "batch size must be positive");
+        Self {
+            batch_size,
+            current: OnlineStats::new(),
+            batch_means: Vec::new(),
+            overall: OnlineStats::new(),
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = OnlineStats::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn num_batches(&self) -> usize {
+        self.batch_means.len()
+    }
+
+    /// The completed batch means.
+    pub fn batch_means(&self) -> &[f64] {
+        &self.batch_means
+    }
+
+    /// Overall sample mean (all samples, including an unfinished batch).
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// 95 % confidence interval built from the batch means. Requires at
+    /// least two completed batches (else the half-width is infinite).
+    pub fn ci95(&self) -> ConfidenceInterval {
+        let mut stats = OnlineStats::new();
+        for &m in &self.batch_means {
+            stats.push(m);
+        }
+        mean_confidence_interval(&stats, 0.95)
+    }
+
+    /// Lag-1 autocorrelation of the batch means; `None` with < 3 batches.
+    /// Values near 0 indicate the batches are long enough to be treated as
+    /// independent; strongly positive values mean the CI is optimistic.
+    pub fn lag1_autocorrelation(&self) -> Option<f64> {
+        let n = self.batch_means.len();
+        if n < 3 {
+            return None;
+        }
+        let mean = self.batch_means.iter().sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n {
+            let d = self.batch_means[i] - mean;
+            den += d * d;
+            if i + 1 < n {
+                num += d * (self.batch_means[i + 1] - mean);
+            }
+        }
+        if den == 0.0 {
+            Some(0.0)
+        } else {
+            Some(num / den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_fill_and_roll() {
+        let mut b = BatchMeans::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            b.push(x);
+        }
+        assert_eq!(b.num_batches(), 2);
+        assert_eq!(b.batch_means(), &[2.0, 5.0]);
+        assert!((b.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_requires_two_batches() {
+        let mut b = BatchMeans::new(5);
+        for x in 0..4 {
+            b.push(x as f64);
+        }
+        assert!(b.ci95().half_width.is_infinite());
+        for x in 0..10 {
+            b.push(x as f64);
+        }
+        assert!(b.ci95().half_width.is_finite());
+    }
+
+    #[test]
+    fn iid_stream_has_low_autocorrelation() {
+        // A deterministic pseudo-random-ish stream with no drift.
+        let mut b = BatchMeans::new(50);
+        let mut x = 0.5f64;
+        for _ in 0..10_000 {
+            x = (x * 997.0 + 0.123).fract();
+            b.push(x);
+        }
+        let rho = b.lag1_autocorrelation().unwrap();
+        assert!(rho.abs() < 0.25, "rho = {rho}");
+    }
+
+    #[test]
+    fn trending_stream_has_positive_autocorrelation() {
+        // A ramp: consecutive batch means strictly increase.
+        let mut b = BatchMeans::new(10);
+        for i in 0..1_000 {
+            b.push(i as f64);
+        }
+        let rho = b.lag1_autocorrelation().unwrap();
+        assert!(rho > 0.8, "rho = {rho}");
+    }
+
+    #[test]
+    fn constant_stream_autocorrelation_is_zero() {
+        let mut b = BatchMeans::new(5);
+        for _ in 0..100 {
+            b.push(3.0);
+        }
+        assert_eq!(b.lag1_autocorrelation(), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Confidence intervals for sample means.
+//!
+//! The simulator reports mean message latency from ~100 000 samples; at that
+//! size the normal approximation is excellent, but the small-`n` unit tests
+//! also exercise the Student-t correction, so we carry a compact t-table.
+
+use crate::online::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Half-width of the interval; the interval is `mean ± half_width`.
+    pub half_width: f64,
+    /// Confidence level used, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo() && x <= self.hi()
+    }
+
+    /// Relative half-width (`half_width / |mean|`); `∞` for a zero mean.
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.half_width / self.mean.abs()
+        }
+    }
+}
+
+/// Two-sided Student-t critical values for 95 % confidence, indexed by
+/// degrees of freedom 1..=30. Beyond 30 d.o.f. we fall back to the normal
+/// quantile 1.96.
+const T_95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Two-sided Student-t critical values for 99 % confidence, d.o.f. 1..=30.
+const T_99: [f64; 30] = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169, 3.106, 3.055, 3.012,
+    2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779,
+    2.771, 2.763, 2.756, 2.750,
+];
+
+fn critical_value(level: f64, dof: u64) -> f64 {
+    let table: &[f64; 30] = if level >= 0.99 { &T_99 } else { &T_95 };
+    let normal = if level >= 0.99 { 2.576 } else { 1.96 };
+    if dof == 0 {
+        f64::INFINITY
+    } else if dof <= 30 {
+        table[(dof - 1) as usize]
+    } else {
+        normal
+    }
+}
+
+/// Computes a two-sided confidence interval for the mean of the samples in
+/// `stats`. `level` is clamped to {0.95, 0.99}: anything `>= 0.99` uses the
+/// 99 % table, everything else the 95 % one.
+///
+/// Returns an interval with infinite half-width when fewer than two samples
+/// are available.
+pub fn mean_confidence_interval(stats: &OnlineStats, level: f64) -> ConfidenceInterval {
+    let n = stats.count();
+    if n < 2 {
+        return ConfidenceInterval {
+            mean: stats.mean(),
+            half_width: f64::INFINITY,
+            level,
+        };
+    }
+    let t = critical_value(level, n - 1);
+    ConfidenceInterval {
+        mean: stats.mean(),
+        half_width: t * stats.std_error(),
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(xs: &[f64]) -> OnlineStats {
+        let mut s = OnlineStats::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    #[test]
+    fn small_sample_uses_t_table() {
+        // n=4 -> dof=3 -> t=3.182
+        let s = stats_of(&[1.0, 2.0, 3.0, 4.0]);
+        let ci = mean_confidence_interval(&s, 0.95);
+        let expected = 3.182 * s.std_error();
+        assert!((ci.half_width - expected).abs() < 1e-12);
+        assert!(ci.contains(2.5));
+    }
+
+    #[test]
+    fn large_sample_uses_normal_quantile() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = stats_of(&xs);
+        let ci = mean_confidence_interval(&s, 0.95);
+        let expected = 1.96 * s.std_error();
+        assert!((ci.half_width - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_level_is_wider() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sqrt()).collect();
+        let s = stats_of(&xs);
+        let ci95 = mean_confidence_interval(&s, 0.95);
+        let ci99 = mean_confidence_interval(&s, 0.99);
+        assert!(ci99.half_width > ci95.half_width);
+    }
+
+    #[test]
+    fn single_sample_is_infinite() {
+        let s = stats_of(&[5.0]);
+        let ci = mean_confidence_interval(&s, 0.95);
+        assert!(ci.half_width.is_infinite());
+        assert_eq!(ci.mean, 5.0);
+    }
+
+    #[test]
+    fn interval_bounds_and_contains() {
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+            level: 0.95,
+        };
+        assert_eq!(ci.lo(), 8.0);
+        assert_eq!(ci.hi(), 12.0);
+        assert!(ci.contains(8.0));
+        assert!(ci.contains(12.0));
+        assert!(!ci.contains(12.001));
+        assert!((ci.relative_half_width() - 0.2).abs() < 1e-12);
+    }
+}

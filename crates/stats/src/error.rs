@@ -1,0 +1,70 @@
+//! Error metrics used when comparing model predictions against simulation.
+
+/// Signed relative error of `predicted` with respect to `reference`:
+/// `(predicted − reference) / reference`.
+///
+/// Returns `f64::NAN` when `reference == 0` (no meaningful relative error).
+pub fn relative_error(predicted: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        f64::NAN
+    } else {
+        (predicted - reference) / reference
+    }
+}
+
+/// Mean absolute percentage error over paired series, skipping pairs whose
+/// reference value is zero. Returns `None` when no valid pairs exist or the
+/// slices have different lengths.
+pub fn mean_absolute_percentage_error(predicted: &[f64], reference: &[f64]) -> Option<f64> {
+    if predicted.len() != reference.len() {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&p, &r) in predicted.iter().zip(reference) {
+        if r != 0.0 {
+            sum += ((p - r) / r).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_signs() {
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(90.0, 100.0) + 0.1).abs() < 1e-12);
+        assert!(relative_error(1.0, 0.0).is_nan());
+    }
+
+    #[test]
+    fn mape_basic() {
+        let p = [110.0, 90.0];
+        let r = [100.0, 100.0];
+        let mape = mean_absolute_percentage_error(&p, &r).unwrap();
+        assert!((mape - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_reference() {
+        let p = [110.0, 5.0];
+        let r = [100.0, 0.0];
+        let mape = mean_absolute_percentage_error(&p, &r).unwrap();
+        assert!((mape - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_mismatched_or_empty_is_none() {
+        assert_eq!(mean_absolute_percentage_error(&[1.0], &[]), None);
+        assert_eq!(mean_absolute_percentage_error(&[], &[]), None);
+        assert_eq!(mean_absolute_percentage_error(&[1.0], &[0.0]), None);
+    }
+}

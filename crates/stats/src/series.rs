@@ -1,0 +1,167 @@
+//! Sweep series: ordered `(x, y)` data with a label, the exchange format
+//! between the experiment harness and the table/JSON renderers.
+//!
+//! Every figure in the paper is a set of labelled series (e.g. "Analysis
+//! (Lm=256)", "Simulation") plotted against the traffic generation rate, so
+//! this type is what the figure binaries produce.
+
+use serde::{Deserialize, Serialize};
+
+/// One data point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Independent variable (traffic generation rate λ_g in the paper).
+    pub x: f64,
+    /// Dependent variable (mean message latency).
+    pub y: f64,
+}
+
+/// A labelled, x-ordered series of points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label, e.g. `"Analysis (Lm=256)"`.
+    pub label: String,
+    /// The data points, in the order produced by the sweep.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(Point { x, y });
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The x values.
+    pub fn xs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.x).collect()
+    }
+
+    /// The y values.
+    pub fn ys(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y).collect()
+    }
+
+    /// Whether `y` is non-decreasing in `x` order (sanity check for latency
+    /// vs. load curves, which must grow with offered load).
+    pub fn is_monotone_non_decreasing(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].y >= w[0].y - 1e-9)
+    }
+
+    /// Linear interpolation of `y` at `x0`; `None` outside the x range or
+    /// when fewer than two points exist. Assumes points sorted by x.
+    pub fn interpolate(&self, x0: f64) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let first = self.points.first()?;
+        let last = self.points.last()?;
+        if x0 < first.x || x0 > last.x {
+            return None;
+        }
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if (a.x..=b.x).contains(&x0) {
+                if b.x == a.x {
+                    return Some(a.y);
+                }
+                let t = (x0 - a.x) / (b.x - a.x);
+                return Some(a.y + t * (b.y - a.y));
+            }
+        }
+        None
+    }
+
+    /// The x at which `y` first crosses `threshold` (linear interpolation
+    /// between the bracketing points); `None` if it never does.
+    pub fn first_crossing(&self, threshold: f64) -> Option<f64> {
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.y < threshold && b.y >= threshold {
+                let t = (threshold - a.y) / (b.y - a.y);
+                return Some(a.x + t * (b.x - a.x));
+            }
+        }
+        self.points
+            .first()
+            .filter(|p| p.y >= threshold)
+            .map(|p| p.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(points: &[(f64, f64)]) -> Series {
+        let mut out = Series::new("test");
+        for &(x, y) in points {
+            out.push(x, y);
+        }
+        out
+    }
+
+    #[test]
+    fn push_and_accessors() {
+        let se = s(&[(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(se.len(), 2);
+        assert_eq!(se.xs(), vec![0.0, 1.0]);
+        assert_eq!(se.ys(), vec![1.0, 3.0]);
+        assert!(!se.is_empty());
+    }
+
+    #[test]
+    fn monotonicity_check() {
+        assert!(s(&[(0.0, 1.0), (1.0, 1.0), (2.0, 5.0)]).is_monotone_non_decreasing());
+        assert!(!s(&[(0.0, 2.0), (1.0, 1.0)]).is_monotone_non_decreasing());
+    }
+
+    #[test]
+    fn interpolation_inside_and_outside() {
+        let se = s(&[(0.0, 0.0), (2.0, 4.0)]);
+        assert_eq!(se.interpolate(1.0), Some(2.0));
+        assert_eq!(se.interpolate(0.0), Some(0.0));
+        assert_eq!(se.interpolate(2.0), Some(4.0));
+        assert_eq!(se.interpolate(-0.1), None);
+        assert_eq!(se.interpolate(2.1), None);
+    }
+
+    #[test]
+    fn first_crossing_interpolates() {
+        let se = s(&[(0.0, 0.0), (1.0, 10.0)]);
+        let x = se.first_crossing(5.0).unwrap();
+        assert!((x - 0.5).abs() < 1e-12);
+        assert_eq!(se.first_crossing(100.0), None);
+    }
+
+    #[test]
+    fn first_crossing_when_already_above() {
+        let se = s(&[(0.5, 7.0), (1.0, 9.0)]);
+        assert_eq!(se.first_crossing(5.0), Some(0.5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let se = s(&[(0.0, 1.0)]);
+        let json = serde_json::to_string(&se).unwrap();
+        let back: Series = serde_json::from_str(&json).unwrap();
+        assert_eq!(se, back);
+    }
+}

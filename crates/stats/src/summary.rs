@@ -1,0 +1,77 @@
+//! One-shot summary of a sample set: count, mean, CI, spread, percentiles.
+
+use crate::ci::{mean_confidence_interval, ConfidenceInterval};
+use crate::online::OnlineStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A finished measurement summary, produced by the simulator's sinks at the
+/// end of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// 95 % confidence interval around the mean.
+    pub ci95: ConfidenceInterval,
+}
+
+impl Summary {
+    /// Builds a summary from a streaming accumulator.
+    pub fn from_stats(stats: &OnlineStats) -> Self {
+        Self {
+            count: stats.count(),
+            mean: stats.mean(),
+            std_dev: stats.std_dev(),
+            min: stats.min(),
+            max: stats.max(),
+            ci95: mean_confidence_interval(stats, 0.95),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} ±{:.4} (95% CI) sd={:.4} min={:.4} max={:.4}",
+            self.count, self.mean, self.ci95.half_width, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stats_copies_fields() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0] {
+            s.push(x);
+        }
+        let sum = Summary::from_stats(&s);
+        assert_eq!(sum.count, 3);
+        assert!((sum.mean - 2.0).abs() < 1e-12);
+        assert_eq!(sum.min, 1.0);
+        assert_eq!(sum.max, 3.0);
+        assert!(sum.ci95.contains(2.0));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut s = OnlineStats::new();
+        s.push(1.0);
+        s.push(2.0);
+        let text = Summary::from_stats(&s).to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.5"));
+    }
+}

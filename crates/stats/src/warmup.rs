@@ -1,0 +1,128 @@
+//! Warm-up (initial-transient) detection via the MSER rule.
+//!
+//! The paper fixes the warm-up at 10 000 messages; MSER (Marginal Standard
+//! Error Rule, White 1997) finds the truncation point that *minimises* the
+//! standard error of the remaining samples — a principled way to check
+//! that a fixed warm-up was long enough. The common MSER-5 variant first
+//! averages the stream into batches of 5 to smooth noise.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of an MSER scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MserResult {
+    /// Optimal truncation index into the (batched) series: samples before
+    /// this index are transient.
+    pub truncation: usize,
+    /// The minimised MSER statistic (squared standard error of the
+    /// retained suffix).
+    pub statistic: f64,
+}
+
+/// Computes the MSER truncation point of `samples`.
+///
+/// Scans every candidate truncation `d` over the first half of the series
+/// (the usual guard against degenerate all-but-tail truncations) and
+/// returns the `d` minimising `S²(d)/(n−d)²`… expressed per White's
+/// formulation as `var(suffix)/(n−d)`. Returns `None` for series shorter
+/// than 8 samples.
+pub fn mser(samples: &[f64]) -> Option<MserResult> {
+    let n = samples.len();
+    if n < 8 {
+        return None;
+    }
+    // Suffix sums for O(n) scanning.
+    let mut suffix_sum = vec![0.0; n + 1];
+    let mut suffix_sq = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        suffix_sum[i] = suffix_sum[i + 1] + samples[i];
+        suffix_sq[i] = suffix_sq[i + 1] + samples[i] * samples[i];
+    }
+    let mut best = MserResult {
+        truncation: 0,
+        statistic: f64::INFINITY,
+    };
+    for d in 0..n / 2 {
+        let m = (n - d) as f64;
+        let mean = suffix_sum[d] / m;
+        let var = (suffix_sq[d] / m - mean * mean).max(0.0);
+        let stat = var / m;
+        if stat < best.statistic {
+            best = MserResult {
+                truncation: d,
+                statistic: stat,
+            };
+        }
+    }
+    Some(best)
+}
+
+/// MSER-5: batches the stream into means of 5 before scanning, returning
+/// the truncation in *original sample* units (a multiple of 5).
+pub fn mser5(samples: &[f64]) -> Option<MserResult> {
+    let batches: Vec<f64> = samples
+        .chunks_exact(5)
+        .map(|c| c.iter().sum::<f64>() / 5.0)
+        .collect();
+    mser(&batches).map(|r| MserResult {
+        truncation: r.truncation * 5,
+        statistic: r.statistic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn too_short_returns_none() {
+        assert!(mser(&[1.0; 7]).is_none());
+        // MSER-5 needs at least 8 batches of 5.
+        assert!(mser5(&[1.0; 39]).is_none());
+        assert!(mser5(&[1.0; 40]).is_some());
+    }
+
+    #[test]
+    fn stationary_series_needs_no_truncation() {
+        // Alternating around a constant mean: truncating cannot help much.
+        let xs: Vec<f64> = (0..200).map(|i| 5.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let r = mser(&xs).unwrap();
+        assert!(r.truncation <= 4, "truncation {}", r.truncation);
+    }
+
+    #[test]
+    fn detects_initial_transient() {
+        // A decaying start-up ramp followed by a stationary phase — the
+        // textbook shape of a queue warming up.
+        let mut xs = Vec::new();
+        for i in 0..50 {
+            xs.push(100.0 * (-(i as f64) / 10.0).exp() + 10.0);
+        }
+        for i in 0..200 {
+            xs.push(10.0 + if i % 2 == 0 { 0.2 } else { -0.2 });
+        }
+        let r = mser(&xs).unwrap();
+        assert!(
+            (20..=60).contains(&r.truncation),
+            "truncation {} should fall at the end of the transient",
+            r.truncation
+        );
+    }
+
+    #[test]
+    fn mser5_truncation_is_multiple_of_five() {
+        let mut xs = vec![50.0; 25];
+        xs.extend(std::iter::repeat_n(10.0, 200));
+        let r = mser5(&xs).unwrap();
+        assert_eq!(r.truncation % 5, 0);
+        assert!(r.truncation >= 25, "truncation {}", r.truncation);
+    }
+
+    #[test]
+    fn statistic_is_nonnegative_and_finite() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        let r = mser(&xs).unwrap();
+        assert!(r.statistic.is_finite());
+        assert!(r.statistic >= 0.0);
+    }
+}

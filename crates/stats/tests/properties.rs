@@ -1,0 +1,132 @@
+//! Property tests for the statistics primitives.
+
+use cocnet_stats::{mser, BatchMeans, Histogram, OnlineStats, Percentiles, Series};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn online_stats_match_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..400)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.max() >= s.mean() - 1e-9);
+    }
+
+    #[test]
+    fn online_stats_merge_is_order_insensitive(
+        a in prop::collection::vec(-1e3f64..1e3, 1..100),
+        b in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let fill = |xs: &[f64]| {
+            let mut s = OnlineStats::new();
+            for &x in xs {
+                s.push(x);
+            }
+            s
+        };
+        let mut ab = fill(&a);
+        ab.merge(&fill(&b));
+        let mut ba = fill(&b);
+        ba.merge(&fill(&a));
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+    }
+
+    #[test]
+    fn histogram_conserves_samples(
+        xs in prop::collection::vec(-10.0f64..110.0, 1..300),
+        bins in 1usize..50,
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, bins);
+        for &x in &xs {
+            h.record(x);
+        }
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(
+            binned + h.underflow() + h.overflow(),
+            xs.len() as u64
+        );
+        let expected_under = xs.iter().filter(|&&x| x < 0.0).count() as u64;
+        let expected_over = xs.iter().filter(|&&x| x >= 100.0).count() as u64;
+        prop_assert_eq!(h.underflow(), expected_under);
+        prop_assert_eq!(h.overflow(), expected_over);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_q(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..200),
+    ) {
+        let mut p = Percentiles::new();
+        for &x in &xs {
+            p.record(x);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = p.quantile(q).unwrap();
+            prop_assert!(v >= last, "q={q}: {v} < {last}");
+            last = v;
+        }
+        // Extremes match exact order statistics.
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(p.quantile(0.0).unwrap(), sorted[0]);
+        prop_assert_eq!(p.quantile(1.0).unwrap(), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn batch_means_overall_mean_matches(
+        xs in prop::collection::vec(0.0f64..100.0, 10..300),
+        batch in 1u64..20,
+    ) {
+        let mut b = BatchMeans::new(batch);
+        for &x in &xs {
+            b.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((b.mean() - mean).abs() < 1e-9);
+        prop_assert_eq!(b.num_batches(), xs.len() / batch as usize);
+    }
+
+    #[test]
+    fn mser_truncation_is_in_first_half(
+        xs in prop::collection::vec(0.0f64..100.0, 8..300),
+    ) {
+        if let Some(r) = mser(&xs) {
+            prop_assert!(r.truncation < xs.len() / 2 + 1);
+            prop_assert!(r.statistic.is_finite());
+        }
+    }
+
+    #[test]
+    fn series_interpolation_brackets(
+        ys in prop::collection::vec(0.0f64..100.0, 2..50),
+    ) {
+        let mut s = Series::new("p");
+        for (i, &y) in ys.iter().enumerate() {
+            s.push(i as f64, y);
+        }
+        // Interpolating at a grid point returns the exact value.
+        for (i, &y) in ys.iter().enumerate() {
+            let v = s.interpolate(i as f64).unwrap();
+            prop_assert!((v - y).abs() < 1e-9);
+        }
+        // Midpoints stay within the segment's bounds.
+        for i in 0..ys.len() - 1 {
+            let v = s.interpolate(i as f64 + 0.5).unwrap();
+            let (lo, hi) = (ys[i].min(ys[i + 1]), ys[i].max(ys[i + 1]));
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for topology construction and system-spec validation.
+
+use std::fmt;
+
+/// Errors raised when constructing trees, routing, or validating a
+/// cluster-of-clusters system specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// `m` must be even and at least 2 (switch ports split half down, half up).
+    BadPortCount {
+        /// The offending `m`.
+        m: u32,
+    },
+    /// `n` must be at least 1 (at least one switch level).
+    BadTreeHeight {
+        /// The offending `n`.
+        n: u32,
+    },
+    /// The requested topology would overflow the node/switch id space.
+    TooLarge {
+        /// Human-readable description of what overflowed.
+        what: &'static str,
+    },
+    /// A node id outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the tree.
+        num_nodes: usize,
+    },
+    /// The number of clusters `C` is not expressible as `2(m/2)^{n_c}`,
+    /// so no m-port n_c-tree ICN2 exists for it.
+    ClusterCountNotTreeSized {
+        /// Number of clusters.
+        c: usize,
+        /// Switch arity.
+        m: u32,
+    },
+    /// A system spec must contain at least two clusters (the model's
+    /// inter-cluster terms average over `j ≠ i`).
+    TooFewClusters {
+        /// The number of clusters supplied.
+        c: usize,
+    },
+    /// A network characteristic must be positive and finite.
+    BadNetworkCharacteristic {
+        /// Which parameter was invalid.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadPortCount { m } => {
+                write!(f, "switch port count m={m} must be even and >= 2")
+            }
+            Self::BadTreeHeight { n } => write!(f, "tree height n={n} must be >= 1"),
+            Self::TooLarge { what } => write!(f, "topology too large: {what} overflows"),
+            Self::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range (tree has {num_nodes} nodes)")
+            }
+            Self::ClusterCountNotTreeSized { c, m } => write!(
+                f,
+                "cluster count C={c} is not 2*(m/2)^n_c for any n_c with m={m}; \
+                 the global ICN2 tree cannot be built"
+            ),
+            Self::TooFewClusters { c } => {
+                write!(f, "system needs at least 2 clusters, got {c}")
+            }
+            Self::BadNetworkCharacteristic { what } => {
+                write!(f, "network characteristic {what} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let e = TopologyError::BadPortCount { m: 3 };
+        assert!(e.to_string().contains("m=3"));
+        let e = TopologyError::ClusterCountNotTreeSized { c: 10, m: 8 };
+        assert!(e.to_string().contains("C=10"));
+        let e = TopologyError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 8,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,750 @@
+//! Explicit channel-level wiring of an m-port n-tree with deterministic
+//! Up*/Down* routing.
+//!
+//! The [`Graph`] materialises every directed channel of a tree so the
+//! discrete-event simulator can model per-channel contention (assumption 6:
+//! input-buffered switches, one flit buffer per channel). Routes follow the
+//! paper's deterministic Up*/Down* scheme (refs \[19, 20\]): ascend to a
+//! nearest common ancestor, then descend. The ascent's up-port choice is a
+//! fixed function of the addresses, making the path unique per
+//! (source, destination) pair — deterministic routing, as in most cluster
+//! interconnect technologies (paper §2).
+//!
+//! Channels are allocated so that the two directions of one physical link
+//! get consecutive ids; [`Graph::reverse`] is therefore just `id ^ 1`.
+
+use crate::error::TopologyError;
+use crate::labels::{NodeLabel, SwitchLabel};
+use crate::tree::MPortNTree;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One directed channel (graph edge) of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelId(pub u32);
+
+/// What kind of connection a channel realises; determines whether the
+/// node↔switch (`t_cn`) or switch↔switch (`t_cs`) service time applies
+/// (Eqs. (11)–(12)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// Injection channel: processing node into its leaf switch.
+    NodeToSwitch,
+    /// Internal channel between two switches (either direction).
+    SwitchToSwitch,
+    /// Ejection channel: leaf switch down to a processing node.
+    SwitchToNode,
+}
+
+/// A vertex of the network graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// Processing node, by node id.
+    Node(u32),
+    /// Switch, by dense switch index (see [`Graph::switch_label`]).
+    Switch(u32),
+}
+
+/// Descriptor of one directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelDesc {
+    /// Source endpoint.
+    pub from: Endpoint,
+    /// Destination endpoint.
+    pub to: Endpoint,
+    /// Connection kind (service-time class).
+    pub kind: ChannelKind,
+}
+
+/// A routed path: the ordered channels a message's header traverses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Channels in traversal order.
+    pub channels: Vec<ChannelId>,
+    /// NCA level of the journey (`h`); `channels.len() == 2h` for
+    /// node-to-node routes.
+    pub nca_level: u32,
+}
+
+/// How the Up*/Down* ascent picks its up-port at each level.
+///
+/// Both policies are deterministic per (source, destination); they differ
+/// in how traffic toward a *skewed* destination distribution spreads over
+/// the parallel ancestors (see DESIGN.md §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AscentPolicy {
+    /// Read the shaping label's trailing digits (`p_n` first) — Lin's
+    /// multiple-LID / d-mod-k flavour. Destinations that share a subtree
+    /// (and therefore their descent digits) still fan out across different
+    /// roots: balanced under skewed traffic. The default.
+    #[default]
+    TrailingDigits,
+    /// Mirror the descent digits (`p_{n-1}` first, folded into `m/2` by a
+    /// modulo). Simple, but every message toward the same subtree climbs
+    /// through the same ancestors — a root hot-spot under skewed traffic.
+    /// Kept as the `ablation_routing` baseline.
+    MirrorDescent,
+}
+
+/// An m-port n-tree with all channels materialised.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    tree: MPortNTree,
+    switch_labels: Vec<SwitchLabel>,
+    switch_index: HashMap<SwitchLabel, u32>,
+    channels: Vec<ChannelDesc>,
+    lookup: HashMap<(Endpoint, Endpoint), ChannelId>,
+    roots: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds the full channel graph of `tree`.
+    pub fn build(tree: MPortNTree) -> Self {
+        let n = tree.n();
+        let k = tree.k();
+        let mut switch_labels = Vec::with_capacity(tree.num_switches());
+        let mut switch_index = HashMap::with_capacity(tree.num_switches());
+        let mut roots = Vec::new();
+
+        // Enumerate switches level by level, starting from the leaves (the
+        // leaf switch of every node, deduplicated) and walking parents.
+        // Simpler and robust: enumerate labels directly per level.
+        for level in 1..=n {
+            let fixed_len = (n - level) as usize;
+            let ups_len = (level - 1) as usize;
+            // fixed digits: first digit radix m (if any), rest radix k;
+            // ups digits: radix k.
+            let fixed_count: usize = if fixed_len == 0 {
+                1
+            } else {
+                tree.m() as usize * (k as usize).pow(fixed_len as u32 - 1)
+            };
+            let ups_count = (k as usize).pow(ups_len as u32);
+            for fi in 0..fixed_count {
+                let fixed = crate::labels::mixed_radix_decode(fi, fixed_len, tree.m(), k);
+                for ui in 0..ups_count {
+                    let ups = crate::labels::mixed_radix_decode(ui, ups_len, k, k);
+                    let label = SwitchLabel {
+                        fixed: fixed.clone(),
+                        ups,
+                    };
+                    let idx = switch_labels.len() as u32;
+                    if level == n {
+                        roots.push(idx);
+                    }
+                    switch_index.insert(label.clone(), idx);
+                    switch_labels.push(label);
+                }
+            }
+        }
+        debug_assert_eq!(switch_labels.len(), tree.num_switches());
+
+        let mut channels = Vec::new();
+        let mut lookup = HashMap::new();
+        let mut add_link = |a: Endpoint, b: Endpoint, kind_ab: ChannelKind, kind_ba: ChannelKind| {
+            let id_ab = ChannelId(channels.len() as u32);
+            channels.push(ChannelDesc {
+                from: a,
+                to: b,
+                kind: kind_ab,
+            });
+            let id_ba = ChannelId(channels.len() as u32);
+            channels.push(ChannelDesc {
+                from: b,
+                to: a,
+                kind: kind_ba,
+            });
+            lookup.insert((a, b), id_ab);
+            lookup.insert((b, a), id_ba);
+        };
+
+        // Node <-> leaf-switch links.
+        for node in 0..tree.num_nodes() {
+            let label = NodeLabel::from_id(node, tree.m(), n);
+            let leaf = SwitchLabel::leaf_of(&label);
+            let sw = switch_index[&leaf];
+            add_link(
+                Endpoint::Node(node as u32),
+                Endpoint::Switch(sw),
+                ChannelKind::NodeToSwitch,
+                ChannelKind::SwitchToNode,
+            );
+        }
+
+        // Switch <-> switch links: every non-root switch has k up-ports.
+        for (idx, label) in switch_labels.iter().enumerate() {
+            if label.fixed.is_empty() {
+                continue; // root
+            }
+            for u in 0..k {
+                let parent = label.parent(u).expect("non-root has a parent");
+                let p_idx = switch_index[&parent];
+                add_link(
+                    Endpoint::Switch(idx as u32),
+                    Endpoint::Switch(p_idx),
+                    ChannelKind::SwitchToSwitch,
+                    ChannelKind::SwitchToSwitch,
+                );
+            }
+        }
+
+        Self {
+            tree,
+            switch_labels,
+            switch_index,
+            channels,
+            lookup,
+            roots,
+        }
+    }
+
+    /// The tree descriptor this graph was built from.
+    pub fn tree(&self) -> &MPortNTree {
+        &self.tree
+    }
+
+    /// Total number of directed channels (`2·n·N` for an m-port n-tree).
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Descriptor of channel `id`.
+    pub fn channel(&self, id: ChannelId) -> &ChannelDesc {
+        &self.channels[id.0 as usize]
+    }
+
+    /// The opposite direction of the same physical link.
+    pub fn reverse(&self, id: ChannelId) -> ChannelId {
+        ChannelId(id.0 ^ 1)
+    }
+
+    /// Label of switch index `idx`.
+    pub fn switch_label(&self, idx: u32) -> &SwitchLabel {
+        &self.switch_labels[idx as usize]
+    }
+
+    /// Switch indices of the root level.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Channel from endpoint `a` to adjacent endpoint `b`, if the link exists.
+    pub fn channel_between(&self, a: Endpoint, b: Endpoint) -> Option<ChannelId> {
+        self.lookup.get(&(a, b)).copied()
+    }
+
+    /// The deterministic up-port digit used when ascending from level `l`
+    /// (1-based) toward a path shaped by `shape` (the destination label for
+    /// node-to-node routes).
+    ///
+    /// The ascent reads the label's *trailing* digits (`p_n` first), in the
+    /// spirit of Lin's multiple-LID / d-mod-k schemes: labels that share a
+    /// long prefix (and therefore must share descent digits) still fan out
+    /// across different ancestors, which keeps root load balanced even when
+    /// the destination distribution is skewed toward one subtree. Trailing
+    /// digits all have radix `m/2`, so the value is always a valid up-port.
+    fn up_digit_with(&self, shape: &NodeLabel, l: u32, policy: AscentPolicy) -> u32 {
+        let n = self.tree.n() as usize;
+        match policy {
+            AscentPolicy::TrailingDigits => {
+                let idx = n - l as usize; // p_n for l=1, p_{n-1} for l=2, ...
+                debug_assert!(idx >= 1, "ascent digits have radix m/2");
+                shape.digits[idx]
+            }
+            AscentPolicy::MirrorDescent => {
+                // The digit the descent will use at this level, folded into
+                // the up-port range (index 0 has radix m).
+                let idx = n - l as usize - 1;
+                shape.digits[idx] % self.tree.k()
+            }
+        }
+    }
+
+    /// Deterministic Up*/Down* route between two distinct nodes: `h`
+    /// up-links to the NCA (up-ports chosen from the destination address),
+    /// then `h` down-links following the destination digits.
+    ///
+    /// Returns an empty route when `src == dst`.
+    ///
+    /// ```
+    /// use cocnet_topology::{Graph, MPortNTree};
+    /// let g = Graph::build(MPortNTree::new(4, 2)?);
+    /// // Nodes 0 and 7 share no leaf switch: the route climbs to a root,
+    /// // 2h = 4 channels in total.
+    /// let route = g.route(0, 7)?;
+    /// assert_eq!(route.nca_level, 2);
+    /// assert_eq!(route.channels.len(), 4);
+    /// # Ok::<(), cocnet_topology::TopologyError>(())
+    /// ```
+    pub fn route(&self, src: usize, dst: usize) -> Result<Route, TopologyError> {
+        self.route_with_policy(src, dst, AscentPolicy::default())
+    }
+
+    /// [`Graph::route`] with an explicit ascent policy.
+    pub fn route_with_policy(
+        &self,
+        src: usize,
+        dst: usize,
+        policy: AscentPolicy,
+    ) -> Result<Route, TopologyError> {
+        let n = self.tree.n();
+        let h = self.tree.nca_level(src, dst)?;
+        if h == 0 {
+            return Ok(Route {
+                channels: Vec::new(),
+                nca_level: 0,
+            });
+        }
+        let src_label = self.tree.node_label(src)?;
+        let dst_label = self.tree.node_label(dst)?;
+
+        let mut channels = Vec::with_capacity(2 * h as usize);
+        // Ascend: node -> leaf -> ... -> NCA at level h.
+        let mut sw = SwitchLabel::leaf_of(&src_label);
+        let mut cur = Endpoint::Switch(self.switch_index[&sw]);
+        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        for l in 1..h {
+            let u = self.up_digit_with(&dst_label, l, policy);
+            let parent = sw.parent(u).expect("ascending below the root");
+            let next = Endpoint::Switch(self.switch_index[&parent]);
+            channels.push(self.lookup[&(cur, next)]);
+            sw = parent;
+            cur = next;
+        }
+        // Descend: NCA -> ... -> leaf(dst) -> node.
+        for l in (1..h).rev() {
+            // Down to level l: new fixed digit is dst digit at index n-l-1.
+            let d = dst_label.digits[(n - l - 1) as usize];
+            let child = sw.child(d).expect("descending above the leaves");
+            let next = Endpoint::Switch(self.switch_index[&child]);
+            channels.push(self.lookup[&(cur, next)]);
+            sw = child;
+            cur = next;
+        }
+        channels.push(self.lookup[&(cur, Endpoint::Node(dst as u32))]);
+        debug_assert_eq!(channels.len(), 2 * h as usize);
+        Ok(Route {
+            channels,
+            nca_level: h,
+        })
+    }
+
+    /// Route from a node up to its deterministic exit root (used by
+    /// inter-cluster messages leaving through an ECN1 tree): `n` links.
+    ///
+    /// The root choice is a function of the *source* address, spreading the
+    /// exit traffic of different nodes across the `(m/2)^{n−1}` roots.
+    pub fn route_to_root(&self, src: usize) -> Result<Route, TopologyError> {
+        self.route_to_root_with_policy(src, AscentPolicy::default())
+    }
+
+    /// [`Graph::route_to_root`] with an explicit ascent policy.
+    pub fn route_to_root_with_policy(
+        &self,
+        src: usize,
+        policy: AscentPolicy,
+    ) -> Result<Route, TopologyError> {
+        let n = self.tree.n();
+        let src_label = self.tree.node_label(src)?;
+        let mut channels = Vec::with_capacity(n as usize);
+        let mut sw = SwitchLabel::leaf_of(&src_label);
+        let mut cur = Endpoint::Switch(self.switch_index[&sw]);
+        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        for l in 1..n {
+            let u = self.up_digit_with(&src_label, l, policy);
+            let parent = sw.parent(u).expect("ascending below the root");
+            let next = Endpoint::Switch(self.switch_index[&parent]);
+            channels.push(self.lookup[&(cur, next)]);
+            sw = parent;
+            cur = next;
+        }
+        Ok(Route {
+            channels,
+            nca_level: n,
+        })
+    }
+
+    /// Route from the deterministic entry root down to a node (used by
+    /// inter-cluster messages entering through an ECN1 tree): the exact
+    /// reverse of [`Graph::route_to_root`]`(dst)`, `n` links.
+    pub fn route_from_root(&self, dst: usize) -> Result<Route, TopologyError> {
+        self.route_from_root_with_policy(dst, AscentPolicy::default())
+    }
+
+    /// Adaptive variant of [`Graph::route_to_root`]: ascent digits supplied
+    /// by the caller (missing ones fall back to the deterministic policy).
+    pub fn route_to_root_adaptive(
+        &self,
+        src: usize,
+        up_digits: &[u32],
+    ) -> Result<Route, TopologyError> {
+        let n = self.tree.n();
+        let src_label = self.tree.node_label(src)?;
+        let mut channels = Vec::with_capacity(n as usize);
+        let mut sw = SwitchLabel::leaf_of(&src_label);
+        let mut cur = Endpoint::Switch(self.switch_index[&sw]);
+        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        for l in 1..n {
+            let u = up_digits
+                .get((l - 1) as usize)
+                .map(|&d| d % self.tree.k())
+                .unwrap_or_else(|| {
+                    self.up_digit_with(&src_label, l, AscentPolicy::TrailingDigits)
+                });
+            let parent = sw.parent(u).expect("ascending below the root");
+            let next = Endpoint::Switch(self.switch_index[&parent]);
+            channels.push(self.lookup[&(cur, next)]);
+            sw = parent;
+            cur = next;
+        }
+        Ok(Route {
+            channels,
+            nca_level: n,
+        })
+    }
+
+    /// [`Graph::route_from_root`] with an explicit ascent policy.
+    pub fn route_from_root_with_policy(
+        &self,
+        dst: usize,
+        policy: AscentPolicy,
+    ) -> Result<Route, TopologyError> {
+        let up = self.route_to_root_with_policy(dst, policy)?;
+        let channels = up
+            .channels
+            .iter()
+            .rev()
+            .map(|&c| self.reverse(c))
+            .collect();
+        Ok(Route {
+            channels,
+            nca_level: up.nca_level,
+        })
+    }
+
+    /// Adaptive Up*/Down* route: like [`Graph::route`] but the ascent
+    /// up-ports are taken from `up_digits` (one digit in `0..m/2` per
+    /// ascent hop, `h−1` of them at most), as supplied by the caller —
+    /// typically sampled uniformly per message, which models the oblivious
+    /// flavour of adaptive wormhole routing (paper ref \[7\]) without
+    /// making this crate depend on an RNG.
+    ///
+    /// Missing digits fall back to the deterministic policy; excess digits
+    /// are ignored. Descent is fixed by the destination as always.
+    pub fn route_adaptive(
+        &self,
+        src: usize,
+        dst: usize,
+        up_digits: &[u32],
+    ) -> Result<Route, TopologyError> {
+        let n = self.tree.n();
+        let h = self.tree.nca_level(src, dst)?;
+        if h == 0 {
+            return Ok(Route {
+                channels: Vec::new(),
+                nca_level: 0,
+            });
+        }
+        let src_label = self.tree.node_label(src)?;
+        let dst_label = self.tree.node_label(dst)?;
+        let mut channels = Vec::with_capacity(2 * h as usize);
+        let mut sw = SwitchLabel::leaf_of(&src_label);
+        let mut cur = Endpoint::Switch(self.switch_index[&sw]);
+        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        for l in 1..h {
+            let u = up_digits
+                .get((l - 1) as usize)
+                .map(|&d| d % self.tree.k())
+                .unwrap_or_else(|| {
+                    self.up_digit_with(&dst_label, l, AscentPolicy::TrailingDigits)
+                });
+            let parent = sw.parent(u).expect("ascending below the root");
+            let next = Endpoint::Switch(self.switch_index[&parent]);
+            channels.push(self.lookup[&(cur, next)]);
+            sw = parent;
+            cur = next;
+        }
+        for l in (1..h).rev() {
+            let d = dst_label.digits[(n - l - 1) as usize];
+            let child = sw.child(d).expect("descending above the leaves");
+            let next = Endpoint::Switch(self.switch_index[&child]);
+            channels.push(self.lookup[&(cur, next)]);
+            sw = child;
+            cur = next;
+        }
+        channels.push(self.lookup[&(cur, Endpoint::Node(dst as u32))]);
+        Ok(Route {
+            channels,
+            nca_level: h,
+        })
+    }
+
+    /// Structural self-check: channel count, port budgets, reverse pairing.
+    /// Cheap enough to run in tests on every topology used.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.tree.n() as usize;
+        let nodes = self.tree.num_nodes();
+        let expect = 2 * n * nodes;
+        if self.num_channels() != expect {
+            return Err(format!(
+                "channel count {} != 2nN = {expect}",
+                self.num_channels()
+            ));
+        }
+        // Reverse pairing: reverse(reverse(c)) == c, endpoints mirrored.
+        for i in 0..self.channels.len() {
+            let id = ChannelId(i as u32);
+            let rev = self.reverse(id);
+            let a = self.channel(id);
+            let b = self.channel(rev);
+            if a.from != b.to || a.to != b.from {
+                return Err(format!("channel {i} and its reverse are not mirrored"));
+            }
+        }
+        // Per-switch port budget: down + up degree <= m (root: == m down).
+        let mut down = vec![0u32; self.switch_labels.len()];
+        let mut up = vec![0u32; self.switch_labels.len()];
+        for ch in &self.channels {
+            if let (Endpoint::Switch(s), Endpoint::Switch(t)) = (ch.from, ch.to) {
+                let ls = self.switch_labels[s as usize].level(self.tree.n());
+                let lt = self.switch_labels[t as usize].level(self.tree.n());
+                if ls < lt {
+                    up[s as usize] += 1;
+                } else {
+                    down[s as usize] += 1;
+                }
+            } else if let (Endpoint::Switch(s), Endpoint::Node(_)) = (ch.from, ch.to) {
+                down[s as usize] += 1;
+            }
+        }
+        for (i, label) in self.switch_labels.iter().enumerate() {
+            let level = label.level(self.tree.n());
+            let is_root = level == self.tree.n();
+            // Roots use all m ports downward; in a single-level tree the
+            // sole switch is both root and leaf, also with m node ports.
+            let expect_down = if is_root {
+                self.tree.m()
+            } else {
+                self.tree.k()
+            };
+            let expect_up = if is_root { 0 } else { self.tree.k() };
+            if down[i] != expect_down || up[i] != expect_up {
+                return Err(format!(
+                    "switch {i} (level {level}) has {} down / {} up ports, expected {} / {}",
+                    down[i], up[i], expect_down, expect_up
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(m: u32, n: u32) -> Graph {
+        Graph::build(MPortNTree::new(m, n).unwrap())
+    }
+
+    #[test]
+    fn structure_validates_for_paper_trees() {
+        for (m, n) in [(4, 1), (4, 2), (4, 3), (4, 4), (8, 1), (8, 2), (8, 3)] {
+            let g = graph(m, n);
+            g.validate().unwrap_or_else(|e| panic!("m={m} n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn channel_count_is_2nn() {
+        let g = graph(8, 2);
+        assert_eq!(g.num_channels(), 2 * 2 * 32);
+    }
+
+    #[test]
+    fn route_length_is_twice_nca_level() {
+        let g = graph(4, 3);
+        let t = g.tree();
+        for src in 0..t.num_nodes() {
+            for dst in 0..t.num_nodes() {
+                let r = g.route(src, dst).unwrap();
+                let h = t.nca_level(src, dst).unwrap();
+                assert_eq!(r.channels.len(), 2 * h as usize, "{src}->{dst}");
+                assert_eq!(r.nca_level, h);
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_connected_and_valley_free() {
+        // Channels must chain (to == next.from), start at src, end at dst,
+        // and switch levels must rise to the NCA then fall (Up*/Down*).
+        let g = graph(8, 3);
+        let t = *g.tree();
+        let n = t.num_nodes();
+        for (src, dst) in [(0, n - 1), (3, 77), (100, 5), (1, 0), (42, 43)] {
+            let r = g.route(src, dst).unwrap();
+            let first = g.channel(r.channels[0]);
+            assert_eq!(first.from, Endpoint::Node(src as u32));
+            let last = g.channel(*r.channels.last().unwrap());
+            assert_eq!(last.to, Endpoint::Node(dst as u32));
+            let mut levels = Vec::new();
+            for w in r.channels.windows(2) {
+                let a = g.channel(w[0]);
+                let b = g.channel(w[1]);
+                assert_eq!(a.to, b.from, "path must chain");
+                if let Endpoint::Switch(s) = a.to {
+                    levels.push(g.switch_label(s).level(t.n()));
+                }
+            }
+            // Valley-free: strictly increasing then strictly decreasing.
+            let peak = levels.iter().position(|&l| l == r.nca_level).unwrap();
+            assert!(levels[..peak].windows(2).all(|w| w[1] == w[0] + 1));
+            assert!(levels[peak..].windows(2).all(|w| w[1] == w[0] - 1));
+        }
+    }
+
+    #[test]
+    fn route_same_node_is_empty() {
+        let g = graph(4, 2);
+        let r = g.route(3, 3).unwrap();
+        assert!(r.channels.is_empty());
+        assert_eq!(r.nca_level, 0);
+    }
+
+    #[test]
+    fn route_deterministic() {
+        let g = graph(8, 2);
+        let a = g.route(1, 20).unwrap();
+        let b = g.route(1, 20).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn route_to_root_has_n_links_and_ends_at_root() {
+        let g = graph(4, 3);
+        for src in 0..g.tree().num_nodes() {
+            let r = g.route_to_root(src).unwrap();
+            assert_eq!(r.channels.len(), 3);
+            let last = g.channel(*r.channels.last().unwrap());
+            if let Endpoint::Switch(s) = last.to {
+                assert_eq!(g.switch_label(s).level(3), 3, "must end at a root");
+            } else {
+                panic!("route_to_root must end at a switch");
+            }
+        }
+    }
+
+    #[test]
+    fn route_from_root_mirrors_route_to_root() {
+        let g = graph(4, 2);
+        for dst in 0..g.tree().num_nodes() {
+            let up = g.route_to_root(dst).unwrap();
+            let down = g.route_from_root(dst).unwrap();
+            assert_eq!(down.channels.len(), up.channels.len());
+            let first = g.channel(down.channels[0]);
+            if let Endpoint::Switch(s) = first.from {
+                assert_eq!(g.switch_label(s).level(2), 2);
+            } else {
+                panic!("route_from_root must start at a switch");
+            }
+            let last = g.channel(*down.channels.last().unwrap());
+            assert_eq!(last.to, Endpoint::Node(dst as u32));
+        }
+    }
+
+    #[test]
+    fn exit_roots_spread_across_sources() {
+        // With k^(n-1) = 4 roots and 32 nodes, the per-source deterministic
+        // exit root must hit more than one distinct root.
+        let g = graph(8, 2);
+        let mut seen = std::collections::HashSet::new();
+        for src in 0..g.tree().num_nodes() {
+            let r = g.route_to_root(src).unwrap();
+            if let Endpoint::Switch(s) = g.channel(*r.channels.last().unwrap()).to {
+                seen.insert(s);
+            }
+        }
+        assert_eq!(seen.len(), g.roots().len(), "all roots should be used");
+    }
+
+    #[test]
+    fn reverse_is_involutive_and_mirrored() {
+        let g = graph(4, 2);
+        for i in 0..g.num_channels() {
+            let id = ChannelId(i as u32);
+            assert_eq!(g.reverse(g.reverse(id)), id);
+            let a = g.channel(id);
+            let b = g.channel(g.reverse(id));
+            assert_eq!(a.from, b.to);
+            assert_eq!(a.to, b.from);
+        }
+    }
+
+    #[test]
+    fn adaptive_routes_are_valid_for_any_digits() {
+        let g = graph(8, 3);
+        let t = *g.tree();
+        for (src, dst) in [(0usize, 127usize), (5, 9), (64, 1)] {
+            let h = t.nca_level(src, dst).unwrap();
+            // Every combination of up digits yields a valid chained route
+            // of the same length ending at the destination.
+            for digits in [[0u32, 0], [3, 1], [2, 3], [1, 2]] {
+                let r = g.route_adaptive(src, dst, &digits).unwrap();
+                assert_eq!(r.channels.len(), 2 * h as usize);
+                for w in r.channels.windows(2) {
+                    assert_eq!(g.channel(w[0]).to, g.channel(w[1]).from);
+                }
+                assert_eq!(
+                    g.channel(*r.channels.last().unwrap()).to,
+                    Endpoint::Node(dst as u32)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_with_no_digits_matches_deterministic() {
+        let g = graph(4, 3);
+        for (src, dst) in [(0usize, 15usize), (3, 12), (7, 8)] {
+            let det = g.route(src, dst).unwrap();
+            let ada = g.route_adaptive(src, dst, &[]).unwrap();
+            assert_eq!(det, ada);
+        }
+    }
+
+    #[test]
+    fn adaptive_digits_select_distinct_ncas() {
+        // Different up digits must reach different root switches for a
+        // maximal-distance pair.
+        let g = graph(8, 2);
+        let mut roots = std::collections::HashSet::new();
+        for u in 0..4u32 {
+            let r = g.route_adaptive(0, 31, &[u]).unwrap();
+            // The NCA is the endpoint of the last ascent channel.
+            let nca = g.channel(r.channels[1]).to;
+            roots.insert(format!("{nca:?}"));
+        }
+        assert_eq!(roots.len(), 4);
+    }
+
+    #[test]
+    fn kinds_are_consistent() {
+        let g = graph(4, 2);
+        for i in 0..g.num_channels() {
+            let ch = g.channel(ChannelId(i as u32));
+            match (ch.from, ch.to) {
+                (Endpoint::Node(_), Endpoint::Switch(_)) => {
+                    assert_eq!(ch.kind, ChannelKind::NodeToSwitch)
+                }
+                (Endpoint::Switch(_), Endpoint::Node(_)) => {
+                    assert_eq!(ch.kind, ChannelKind::SwitchToNode)
+                }
+                (Endpoint::Switch(_), Endpoint::Switch(_)) => {
+                    assert_eq!(ch.kind, ChannelKind::SwitchToSwitch)
+                }
+                _ => panic!("node-to-node channel cannot exist"),
+            }
+        }
+    }
+}

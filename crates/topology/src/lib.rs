@@ -1,0 +1,36 @@
+//! m-port n-tree fat-tree topologies and heterogeneous cluster-of-clusters
+//! system specifications.
+//!
+//! This crate provides the *structural* substrate of the cocnet toolkit:
+//!
+//! * [`tree::MPortNTree`] — the m-port n-tree topology of Lin (ref \[17\] of
+//!   the paper): `2(m/2)^n` processing nodes, `(2n−1)(m/2)^{n−1}` switches,
+//!   with label algebra, nearest-common-ancestor levels and hop statistics.
+//! * [`graph::Graph`] — an explicit channel-level wiring of a tree with
+//!   deterministic Up*/Down* routing (refs \[19, 20\]), used by the
+//!   discrete-event simulator.
+//! * [`system::SystemSpec`] — the heterogeneous cluster-of-clusters system
+//!   of the paper's Fig. 1: `C` clusters, per-cluster ICN1/ECN1 trees with
+//!   individual network characteristics, and a global ICN2 tree joined by
+//!   concentrator/dispatchers.
+//! * [`netchar::NetworkCharacteristics`] — bandwidth/latency parameters and
+//!   the service-time formulas of Eqs. (11)–(12).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod error;
+pub mod graph;
+pub mod labels;
+pub mod metrics;
+pub mod netchar;
+pub mod system;
+pub mod tree;
+
+pub use error::TopologyError;
+pub use graph::{AscentPolicy, ChannelId, ChannelKind, Endpoint, Graph, Route};
+pub use labels::{NodeLabel, SwitchLabel};
+pub use metrics::TreeMetrics;
+pub use netchar::NetworkCharacteristics;
+pub use system::{ClusterSpec, SystemSpec};
+pub use tree::MPortNTree;

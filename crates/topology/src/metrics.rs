@@ -1,0 +1,137 @@
+//! Structural metrics of m-port n-trees.
+//!
+//! The paper motivates fat trees by their *Constant Bisectional Bandwidth*
+//! (§2: "High performance computing clusters typically utilize Constant
+//! Bisectional Bandwidth (i.e., Fat-Tree) networks"). This module computes
+//! the quantities that make that statement checkable: link counts per
+//! level, the root-cut capacity, diameter, and path redundancy.
+
+use crate::tree::MPortNTree;
+use serde::{Deserialize, Serialize};
+
+/// Structural metrics of one m-port n-tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeMetrics {
+    /// Processing nodes `N`.
+    pub nodes: usize,
+    /// Switches `N_sw`.
+    pub switches: usize,
+    /// Directed channels (`2·n·N`).
+    pub channels: usize,
+    /// Network diameter in links (`2n`: up to a root and back down).
+    pub diameter: usize,
+    /// Undirected links crossing into the root level — the tree's
+    /// bisection-defining cut.
+    pub root_cut_links: usize,
+    /// Number of distinct roots (equivalently, link-disjoint up/down path
+    /// families between maximally distant nodes): `(m/2)^{n−1}`.
+    pub path_redundancy: usize,
+    /// Undirected links per link-level (node↔leaf first). All entries are
+    /// equal for a fat tree — the constant-bisectional-bandwidth property.
+    pub links_per_level: Vec<usize>,
+}
+
+impl TreeMetrics {
+    /// Computes all metrics for `tree`.
+    pub fn compute(tree: &MPortNTree) -> Self {
+        let n = tree.n() as usize;
+        let nodes = tree.num_nodes();
+        let k = tree.k() as usize;
+        // Level l in 1..=n: links between level l−1 (nodes for l=1) and l.
+        let mut links_per_level = Vec::with_capacity(n);
+        for level in 1..=n {
+            let links = if level == n {
+                // Each root has m down ports.
+                tree.switches_at_level(level as u32) * tree.m() as usize
+            } else {
+                // Each level-l switch has k up ports.
+                tree.switches_at_level(level as u32) * k
+            };
+            links_per_level.push(if level == 1 {
+                // Leaf switches' down ports == node count.
+                nodes
+            } else {
+                links_down_into(tree, level)
+            });
+            let _ = links;
+        }
+        let root_cut_links = *links_per_level.last().expect("n >= 1");
+        Self {
+            nodes,
+            switches: tree.num_switches(),
+            channels: 2 * n * nodes,
+            diameter: 2 * n,
+            root_cut_links,
+            path_redundancy: k.pow(tree.n() - 1),
+            links_per_level,
+        }
+    }
+
+    /// Whether every link level carries the same capacity (constant
+    /// bisectional bandwidth).
+    pub fn has_constant_bisection(&self) -> bool {
+        self.links_per_level
+            .iter()
+            .all(|&l| l == self.links_per_level[0])
+    }
+
+    /// Bisection ratio: root-cut links per node. `1.0` for a full fat tree.
+    pub fn bisection_ratio(&self) -> f64 {
+        self.root_cut_links as f64 / self.nodes as f64
+    }
+}
+
+/// Undirected links between switch level `level−1` and `level`
+/// (for `level ≥ 2`): the up-port budget of level `level−1`.
+fn links_down_into(tree: &MPortNTree, level: usize) -> usize {
+    tree.switches_at_level(level as u32 - 1) * tree.k() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_has_constant_bisection() {
+        for (m, n) in [(4u32, 1u32), (4, 2), (4, 3), (8, 2), (8, 3), (16, 2)] {
+            let t = MPortNTree::new(m, n).unwrap();
+            let metrics = TreeMetrics::compute(&t);
+            assert!(
+                metrics.has_constant_bisection(),
+                "m={m} n={n}: {:?}",
+                metrics.links_per_level
+            );
+            assert!((metrics.bisection_ratio() - 1.0).abs() < 1e-12);
+            assert_eq!(metrics.links_per_level[0], t.num_nodes());
+        }
+    }
+
+    #[test]
+    fn counts_match_tree_formulas() {
+        let t = MPortNTree::new(8, 3).unwrap();
+        let m = TreeMetrics::compute(&t);
+        assert_eq!(m.nodes, 128);
+        assert_eq!(m.switches, 80);
+        assert_eq!(m.channels, 2 * 3 * 128);
+        assert_eq!(m.diameter, 6);
+        assert_eq!(m.path_redundancy, 16);
+        assert_eq!(m.links_per_level, vec![128, 128, 128]);
+    }
+
+    #[test]
+    fn single_level_tree() {
+        let t = MPortNTree::new(8, 1).unwrap();
+        let m = TreeMetrics::compute(&t);
+        assert_eq!(m.diameter, 2);
+        assert_eq!(m.path_redundancy, 1);
+        assert_eq!(m.root_cut_links, 8);
+        assert!(m.has_constant_bisection());
+    }
+
+    #[test]
+    fn redundancy_grows_with_height_and_arity() {
+        let r = |m, n| TreeMetrics::compute(&MPortNTree::new(m, n).unwrap()).path_redundancy;
+        assert!(r(4, 3) > r(4, 2));
+        assert!(r(8, 3) > r(4, 3));
+    }
+}

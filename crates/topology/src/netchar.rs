@@ -1,0 +1,120 @@
+//! Network characteristics and the service-time formulas of Eqs. (11)–(12).
+//!
+//! Every network in the system (each cluster's ICN1 and ECN1, and the global
+//! ICN2) carries its own `NetworkCharacteristics`, which is exactly how the
+//! paper expresses network heterogeneity (assumption 5).
+
+use crate::error::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency parameters of one communication network.
+///
+/// Units follow the paper's Table 2: `bandwidth` in bytes per time unit
+/// (so `β = 1/bandwidth` is the per-byte transmission time of Eq. (11)),
+/// `network_latency` is `α_n`, `switch_latency` is `α_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCharacteristics {
+    /// Link bandwidth (bytes per time unit); `β_n = 1/bandwidth`.
+    pub bandwidth: f64,
+    /// Network interface latency `α_n` (time units).
+    pub network_latency: f64,
+    /// Switch latency `α_s` (time units).
+    pub switch_latency: f64,
+}
+
+impl NetworkCharacteristics {
+    /// Creates a validated characteristics record.
+    pub fn new(
+        bandwidth: f64,
+        network_latency: f64,
+        switch_latency: f64,
+    ) -> Result<Self, TopologyError> {
+        let ok = |x: f64| x.is_finite() && x > 0.0;
+        if !ok(bandwidth) {
+            return Err(TopologyError::BadNetworkCharacteristic { what: "bandwidth" });
+        }
+        if !(network_latency.is_finite() && network_latency >= 0.0) {
+            return Err(TopologyError::BadNetworkCharacteristic {
+                what: "network_latency",
+            });
+        }
+        if !(switch_latency.is_finite() && switch_latency >= 0.0) {
+            return Err(TopologyError::BadNetworkCharacteristic {
+                what: "switch_latency",
+            });
+        }
+        Ok(Self {
+            bandwidth,
+            network_latency,
+            switch_latency,
+        })
+    }
+
+    /// Per-byte transmission time `β_n = 1 / bandwidth`.
+    pub fn beta(&self) -> f64 {
+        1.0 / self.bandwidth
+    }
+
+    /// Node↔switch flit transfer time, Eq. (11):
+    /// `t_cn = 0.5·α_n + d_m·β_n` for a flit of `d_m` bytes.
+    pub fn t_cn(&self, flit_bytes: f64) -> f64 {
+        0.5 * self.network_latency + flit_bytes * self.beta()
+    }
+
+    /// Switch↔switch flit transfer time, Eq. (12):
+    /// `t_cs = α_s + d_m·β_n`.
+    pub fn t_cs(&self, flit_bytes: f64) -> f64 {
+        self.switch_latency + flit_bytes * self.beta()
+    }
+
+    /// Returns a copy with bandwidth scaled by `factor` (used by the Fig. 7
+    /// design-space experiment, which raises ICN2 bandwidth by 20 %).
+    pub fn scale_bandwidth(&self, factor: f64) -> Self {
+        Self {
+            bandwidth: self.bandwidth * factor,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net1_service_times_match_hand_calc() {
+        // Table 2, Net.1: bandwidth 500, α_n 0.01, α_s 0.02; flit 256 bytes.
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        assert!((net1.beta() - 0.002).abs() < 1e-15);
+        assert!((net1.t_cn(256.0) - (0.005 + 0.512)).abs() < 1e-12);
+        assert!((net1.t_cs(256.0) - (0.02 + 0.512)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net2_service_times_match_hand_calc() {
+        // Table 2, Net.2: bandwidth 250, α_n 0.05, α_s 0.01; flit 512 bytes.
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        assert!((net2.t_cn(512.0) - (0.025 + 2.048)).abs() < 1e-12);
+        assert!((net2.t_cs(512.0) - (0.01 + 2.048)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(NetworkCharacteristics::new(0.0, 0.1, 0.1).is_err());
+        assert!(NetworkCharacteristics::new(-1.0, 0.1, 0.1).is_err());
+        assert!(NetworkCharacteristics::new(f64::NAN, 0.1, 0.1).is_err());
+        assert!(NetworkCharacteristics::new(1.0, -0.1, 0.1).is_err());
+        assert!(NetworkCharacteristics::new(1.0, 0.1, f64::INFINITY).is_err());
+        // Zero latencies are allowed (ideal network).
+        assert!(NetworkCharacteristics::new(1.0, 0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn bandwidth_scaling() {
+        let net = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let faster = net.scale_bandwidth(1.2);
+        assert!((faster.bandwidth - 600.0).abs() < 1e-12);
+        assert_eq!(faster.network_latency, net.network_latency);
+        assert!(faster.t_cs(256.0) < net.t_cs(256.0));
+    }
+}

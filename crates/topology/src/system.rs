@@ -1,0 +1,269 @@
+//! Heterogeneous cluster-of-clusters system specification (paper Fig. 1).
+//!
+//! A [`SystemSpec`] captures everything the analytical model and the
+//! simulator need to know about a system: the common switch arity `m`, one
+//! [`ClusterSpec`] per cluster (tree height `n_i` plus the characteristics
+//! of its ICN1 and ECN1 networks), and the characteristics of the global
+//! ICN2 tree. Cluster-size heterogeneity is expressed by different `n_i`
+//! (assumption 3); network heterogeneity by different characteristics per
+//! network (assumption 5).
+
+use crate::error::TopologyError;
+use crate::netchar::NetworkCharacteristics;
+use crate::tree::MPortNTree;
+use serde::{Deserialize, Serialize};
+
+/// One cluster: an m-port `n`-tree of compute nodes with its own
+/// intra-cluster (ICN1) and inter-cluster (ECN1) networks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Tree height `n_i`; the cluster has `2(m/2)^{n_i}` nodes.
+    pub n: u32,
+    /// Characteristics of the intra-cluster network ICN1(i).
+    pub icn1: NetworkCharacteristics,
+    /// Characteristics of the inter-cluster access network ECN1(i).
+    pub ecn1: NetworkCharacteristics,
+}
+
+/// A complete cluster-of-clusters system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// Switch arity `m`, shared by all trees in the system.
+    pub m: u32,
+    /// Per-cluster specifications (length `C`).
+    pub clusters: Vec<ClusterSpec>,
+    /// Characteristics of the global inter-cluster network ICN2.
+    pub icn2: NetworkCharacteristics,
+}
+
+impl SystemSpec {
+    /// Creates and validates a system spec.
+    ///
+    /// ```
+    /// use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
+    /// let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02)?;
+    /// let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01)?;
+    /// let cluster = |n| ClusterSpec { n, icn1: net1, ecn1: net2 };
+    /// // Four m=4 clusters: two of 8 nodes (n=2), two of 16 (n=3).
+    /// let spec = SystemSpec::new(4, vec![cluster(2), cluster(2), cluster(3), cluster(3)], net1)?;
+    /// assert_eq!(spec.total_nodes(), 48);
+    /// assert_eq!(spec.icn2_height()?, 1); // C=4 = 2·2^1
+    /// # Ok::<(), cocnet_topology::TopologyError>(())
+    /// ```
+    pub fn new(
+        m: u32,
+        clusters: Vec<ClusterSpec>,
+        icn2: NetworkCharacteristics,
+    ) -> Result<Self, TopologyError> {
+        let spec = Self { m, clusters, icn2 };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates arity, cluster count and per-cluster trees; checks that the
+    /// ICN2 tree height exists for `C` clusters.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.m < 2 || !self.m.is_multiple_of(2) {
+            return Err(TopologyError::BadPortCount { m: self.m });
+        }
+        if self.clusters.len() < 2 {
+            return Err(TopologyError::TooFewClusters {
+                c: self.clusters.len(),
+            });
+        }
+        for c in &self.clusters {
+            MPortNTree::new(self.m, c.n)?;
+        }
+        self.icn2_height()?;
+        Ok(())
+    }
+
+    /// Number of clusters `C`.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Tree descriptor of cluster `i`'s ICN1/ECN1 (both are m-port
+    /// `n_i`-trees over the same `N_i` nodes).
+    pub fn cluster_tree(&self, i: usize) -> MPortNTree {
+        MPortNTree::new(self.m, self.clusters[i].n).expect("validated at construction")
+    }
+
+    /// Number of nodes in cluster `i`, `N_i = 2(m/2)^{n_i}`.
+    pub fn cluster_nodes(&self, i: usize) -> usize {
+        self.cluster_tree(i).num_nodes()
+    }
+
+    /// Total nodes in the system, `N = Σ N_i`.
+    pub fn total_nodes(&self) -> usize {
+        (0..self.num_clusters()).map(|i| self.cluster_nodes(i)).sum()
+    }
+
+    /// Tree height `n_c` of the ICN2 network: the solution of
+    /// `C = 2(m/2)^{n_c}`. Errors if `C` is not exactly tree-sized.
+    pub fn icn2_height(&self) -> Result<u32, TopologyError> {
+        let c = self.clusters.len();
+        let k = (self.m / 2) as usize;
+        let mut size = 2usize;
+        let mut n_c = 0u32;
+        while size < c {
+            size = size
+                .checked_mul(k)
+                .ok_or(TopologyError::TooLarge { what: "ICN2" })?;
+            n_c += 1;
+            if k == 1 && size < c {
+                // k == 1 never grows; bail out.
+                return Err(TopologyError::ClusterCountNotTreeSized { c, m: self.m });
+            }
+        }
+        if size == c && n_c > 0 {
+            Ok(n_c)
+        } else {
+            Err(TopologyError::ClusterCountNotTreeSized { c, m: self.m })
+        }
+    }
+
+    /// Tree descriptor of the ICN2 network (an m-port `n_c`-tree whose
+    /// "nodes" are the `C` concentrator/dispatchers).
+    pub fn icn2_tree(&self) -> MPortNTree {
+        MPortNTree::new(self.m, self.icn2_height().expect("validated")).expect("validated")
+    }
+
+    /// Probability that a message born in cluster `i` leaves the cluster,
+    /// Eq. (2): `U_i = 1 − (N_i − 1)/(N − 1)` (uniform destinations).
+    pub fn outgoing_probability(&self, i: usize) -> f64 {
+        let n_i = self.cluster_nodes(i) as f64;
+        let n = self.total_nodes() as f64;
+        1.0 - (n_i - 1.0) / (n - 1.0)
+    }
+
+    /// The relaxing factor of Eq. (28) for cluster `i`:
+    /// `δ_i = β_{ICN2} / β_{ECN1(i)}` — the ICN2/ECN1 bandwidth ratio used
+    /// to discount waiting on ICN2 stages.
+    pub fn relaxing_factor(&self, i: usize) -> f64 {
+        self.icn2.beta() / self.clusters[i].ecn1.beta()
+    }
+
+    /// Global node index ranges: cluster `i` owns nodes
+    /// `offset(i) .. offset(i) + N_i` in the flattened node numbering used
+    /// by the simulator and workloads.
+    pub fn node_offset(&self, i: usize) -> usize {
+        (0..i).map(|j| self.cluster_nodes(j)).sum()
+    }
+
+    /// Maps a flat node index to `(cluster, local index)`.
+    pub fn locate_node(&self, flat: usize) -> Option<(usize, usize)> {
+        let mut off = 0;
+        for i in 0..self.num_clusters() {
+            let sz = self.cluster_nodes(i);
+            if flat < off + sz {
+                return Some((i, flat - off));
+            }
+            off += sz;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netchar(bw: f64) -> NetworkCharacteristics {
+        NetworkCharacteristics::new(bw, 0.01, 0.02).unwrap()
+    }
+
+    /// Builds a toy heterogeneous system: m=4, clusters of heights 1, 1, 2, 2.
+    fn toy() -> SystemSpec {
+        let c = |n| ClusterSpec {
+            n,
+            icn1: netchar(500.0),
+            ecn1: netchar(250.0),
+        };
+        SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], netchar(500.0)).unwrap()
+    }
+
+    #[test]
+    fn node_counts_and_offsets() {
+        let s = toy();
+        assert_eq!(s.num_clusters(), 4);
+        assert_eq!(s.cluster_nodes(0), 4);
+        assert_eq!(s.cluster_nodes(2), 8);
+        assert_eq!(s.total_nodes(), 4 + 4 + 8 + 8);
+        assert_eq!(s.node_offset(0), 0);
+        assert_eq!(s.node_offset(2), 8);
+        assert_eq!(s.locate_node(0), Some((0, 0)));
+        assert_eq!(s.locate_node(9), Some((2, 1)));
+        assert_eq!(s.locate_node(23), Some((3, 7)));
+        assert_eq!(s.locate_node(24), None);
+    }
+
+    #[test]
+    fn icn2_height_solves_cluster_count() {
+        // C=4, m=4: 2*2^1 = 4 -> n_c = 1.
+        assert_eq!(toy().icn2_height().unwrap(), 1);
+    }
+
+    #[test]
+    fn paper_organizations_icn2_heights() {
+        let mk = |m: u32, heights: &[u32]| {
+            let clusters: Vec<ClusterSpec> = heights
+                .iter()
+                .map(|&n| ClusterSpec {
+                    n,
+                    icn1: netchar(500.0),
+                    ecn1: netchar(250.0),
+                })
+                .collect();
+            SystemSpec::new(m, clusters, netchar(500.0)).unwrap()
+        };
+        // N=1120: C=32, m=8 -> 2*4^2 = 32 -> n_c = 2.
+        let heights: Vec<u32> = std::iter::repeat_n(1, 12)
+            .chain(std::iter::repeat_n(2, 16))
+            .chain(std::iter::repeat_n(3, 4))
+            .collect();
+        let s = mk(8, &heights);
+        assert_eq!(s.total_nodes(), 1120);
+        assert_eq!(s.icn2_height().unwrap(), 2);
+
+        // N=544: C=16, m=4 -> 2*2^3 = 16 -> n_c = 3.
+        let heights: Vec<u32> = std::iter::repeat_n(3, 8)
+            .chain(std::iter::repeat_n(4, 3))
+            .chain(std::iter::repeat_n(5, 5))
+            .collect();
+        let s = mk(4, &heights);
+        assert_eq!(s.total_nodes(), 544);
+        assert_eq!(s.icn2_height().unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_non_tree_sized_cluster_counts() {
+        let c = ClusterSpec {
+            n: 1,
+            icn1: netchar(1.0),
+            ecn1: netchar(1.0),
+        };
+        // C=3 with m=4: 2*2^x never equals 3.
+        let err = SystemSpec::new(4, vec![c; 3], netchar(1.0)).unwrap_err();
+        assert!(matches!(err, TopologyError::ClusterCountNotTreeSized { .. }));
+        // C=1 rejected outright.
+        let err = SystemSpec::new(4, vec![c; 1], netchar(1.0)).unwrap_err();
+        assert!(matches!(err, TopologyError::TooFewClusters { .. }));
+    }
+
+    #[test]
+    fn outgoing_probability_matches_eq2() {
+        let s = toy(); // N = 24
+        // Cluster 0 has 4 nodes: U = 1 - 3/23.
+        assert!((s.outgoing_probability(0) - (1.0 - 3.0 / 23.0)).abs() < 1e-12);
+        // Bigger clusters keep more traffic local.
+        assert!(s.outgoing_probability(2) < s.outgoing_probability(0));
+    }
+
+    #[test]
+    fn relaxing_factor_is_bandwidth_ratio() {
+        let s = toy();
+        // β_ICN2 / β_ECN1 = (1/500)/(1/250) = 0.5.
+        assert!((s.relaxing_factor(0) - 0.5).abs() < 1e-12);
+    }
+}

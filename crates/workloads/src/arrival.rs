@@ -1,0 +1,350 @@
+//! Poisson message generation (paper assumption 1).
+//!
+//! Each node generates messages independently by a Poisson process of rate
+//! `λ_g`; inter-arrival gaps are exponential, sampled by inverse transform
+//! so the only dependency is a uniform RNG.
+
+use rand::Rng;
+
+/// Samples an exponential inter-arrival gap with the given `rate` via
+/// inverse transform: `−ln(1 − U)/rate` with `U ∈ [0, 1)`.
+///
+/// # Panics
+/// Panics if `rate` is not finite and positive.
+pub fn exponential_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// A per-node Poisson arrival stream: yields successive absolute arrival
+/// times starting from `t = 0`.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate: f64,
+    now: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a stream with the given rate (messages per time unit).
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { rate, now: 0.0 }
+    }
+
+    /// The generation rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Advances the stream and returns the next absolute arrival time.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.now += exponential_sample(rng, self.rate);
+        self.now
+    }
+}
+
+/// An interrupted-Poisson (on/off) arrival stream: exponentially
+/// distributed ON periods generating Poisson arrivals at `rate_on`,
+/// separated by silent exponentially distributed OFF periods.
+///
+/// With duty cycle `d = mean_on/(mean_on + mean_off)` the long-run mean
+/// rate is `rate_on·d`; holding the mean rate fixed while shrinking `d`
+/// makes the stream burstier — the time-domain counterpart of the paper's
+/// "non-uniform traffic" future work.
+#[derive(Debug, Clone)]
+pub struct OnOffArrivals {
+    rate_on: f64,
+    mean_on: f64,
+    mean_off: f64,
+    now: f64,
+    phase_end: f64,
+    on: bool,
+}
+
+impl OnOffArrivals {
+    /// Creates a stream; all parameters must be positive and finite.
+    pub fn new(rate_on: f64, mean_on: f64, mean_off: f64) -> Self {
+        assert!(rate_on.is_finite() && rate_on > 0.0, "rate_on must be positive");
+        assert!(mean_on.is_finite() && mean_on > 0.0, "mean_on must be positive");
+        assert!(
+            mean_off.is_finite() && mean_off > 0.0,
+            "mean_off must be positive"
+        );
+        Self {
+            rate_on,
+            mean_on,
+            mean_off,
+            now: 0.0,
+            // The first ON period is entered lazily at t=0 with length 0 so
+            // the phase sequence starts with a sampled OFF or ON fairly;
+            // simplest unbiased start: begin ON with a fresh period.
+            phase_end: 0.0,
+            on: false,
+        }
+    }
+
+    /// Long-run mean arrival rate `rate_on · mean_on/(mean_on + mean_off)`.
+    pub fn mean_rate(&self) -> f64 {
+        self.rate_on * self.mean_on / (self.mean_on + self.mean_off)
+    }
+
+    /// Advances the stream and returns the next absolute arrival time.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        loop {
+            if self.now >= self.phase_end {
+                // Switch phase.
+                self.on = !self.on;
+                let len = if self.on {
+                    exponential_sample(rng, 1.0 / self.mean_on)
+                } else {
+                    exponential_sample(rng, 1.0 / self.mean_off)
+                };
+                self.phase_end = self.now + len;
+                continue;
+            }
+            if !self.on {
+                self.now = self.phase_end;
+                continue;
+            }
+            let candidate = self.now + exponential_sample(rng, self.rate_on);
+            if candidate <= self.phase_end {
+                self.now = candidate;
+                return candidate;
+            }
+            // The ON period ended before the next arrival.
+            self.now = self.phase_end;
+        }
+    }
+}
+
+/// Specification of a per-node arrival process (buildable per node so each
+/// node owns independent phase state).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ArrivalSpec {
+    /// Plain Poisson at the given rate (the paper's assumption 1).
+    Poisson {
+        /// Messages per time unit.
+        rate: f64,
+    },
+    /// Interrupted Poisson: `rate_on` during exponentially distributed ON
+    /// periods of mean `mean_on`, silent for OFF periods of mean `mean_off`.
+    OnOff {
+        /// Rate while ON.
+        rate_on: f64,
+        /// Mean ON-period length.
+        mean_on: f64,
+        /// Mean OFF-period length.
+        mean_off: f64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Long-run mean rate.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalSpec::Poisson { rate } => rate,
+            ArrivalSpec::OnOff {
+                rate_on,
+                mean_on,
+                mean_off,
+            } => rate_on * mean_on / (mean_on + mean_off),
+        }
+    }
+
+    /// An on/off spec with the same mean rate as `rate` but the given duty
+    /// cycle `d ∈ (0, 1]` and mean burst length (in messages).
+    pub fn bursty(rate: f64, duty: f64, burst_messages: f64) -> Self {
+        assert!((0.0..=1.0).contains(&duty) && duty > 0.0);
+        if (duty - 1.0).abs() < f64::EPSILON {
+            return ArrivalSpec::Poisson { rate };
+        }
+        let rate_on = rate / duty;
+        let mean_on = burst_messages / rate_on;
+        let mean_off = mean_on * (1.0 - duty) / duty;
+        ArrivalSpec::OnOff {
+            rate_on,
+            mean_on,
+            mean_off,
+        }
+    }
+
+    /// Builds the runtime process.
+    pub fn build(&self) -> ArrivalProcess {
+        match *self {
+            ArrivalSpec::Poisson { rate } => ArrivalProcess::Poisson(PoissonArrivals::new(rate)),
+            ArrivalSpec::OnOff {
+                rate_on,
+                mean_on,
+                mean_off,
+            } => ArrivalProcess::OnOff(OnOffArrivals::new(rate_on, mean_on, mean_off)),
+        }
+    }
+}
+
+/// A runtime arrival process (one per node).
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Plain Poisson.
+    Poisson(PoissonArrivals),
+    /// Interrupted Poisson.
+    OnOff(OnOffArrivals),
+}
+
+impl ArrivalProcess {
+    /// Advances the stream and returns the next absolute arrival time.
+    pub fn next_arrival<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        match self {
+            ArrivalProcess::Poisson(p) => p.next_arrival(rng),
+            ArrivalProcess::OnOff(p) => p.next_arrival(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaps_are_positive_and_increasing() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = PoissonArrivals::new(0.5);
+        let mut last = 0.0;
+        for _ in 0..1000 {
+            let t = s.next_arrival(&mut rng);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn mean_gap_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let rate = 0.25;
+        let n = 200_000;
+        let mut s = PoissonArrivals::new(rate);
+        let mut last = 0.0;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let t = s.next_arrival(&mut rng);
+            sum += t - last;
+            last = t;
+        }
+        let mean = sum / n as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean - expected).abs() / expected < 0.02,
+            "mean gap {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn exponential_variance_matches() {
+        // Var = 1/rate² for the exponential distribution.
+        let mut rng = StdRng::seed_from_u64(3);
+        let rate = 2.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| exponential_sample(&mut rng, rate)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 0.25).abs() < 0.01, "variance {var} vs 0.25");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut sa = PoissonArrivals::new(1.0);
+        let mut sb = PoissonArrivals::new(1.0);
+        for _ in 0..100 {
+            assert_eq!(sa.next_arrival(&mut a), sb.next_arrival(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        PoissonArrivals::new(0.0);
+    }
+
+    #[test]
+    fn onoff_mean_rate_matches_construction() {
+        let spec = ArrivalSpec::bursty(1e-3, 0.25, 10.0);
+        assert!((spec.mean_rate() - 1e-3).abs() < 1e-12);
+        let ArrivalSpec::OnOff { rate_on, .. } = spec else {
+            panic!("duty < 1 must build an on/off spec");
+        };
+        assert!((rate_on - 4e-3).abs() < 1e-12);
+        // Duty 1.0 degenerates to Poisson.
+        assert!(matches!(
+            ArrivalSpec::bursty(1e-3, 1.0, 10.0),
+            ArrivalSpec::Poisson { .. }
+        ));
+    }
+
+    #[test]
+    fn onoff_empirical_rate_converges() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut p = OnOffArrivals::new(4e-3, 2_500.0, 7_500.0);
+        assert!((p.mean_rate() - 1e-3).abs() < 1e-12);
+        let n = 100_000;
+        let mut last = 0.0;
+        for _ in 0..n {
+            last = p.next_arrival(&mut rng);
+        }
+        let empirical = n as f64 / last;
+        assert!(
+            (empirical - 1e-3).abs() / 1e-3 < 0.05,
+            "empirical rate {empirical}"
+        );
+    }
+
+    #[test]
+    fn onoff_arrivals_strictly_increase() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = OnOffArrivals::new(0.1, 50.0, 200.0);
+        let mut last = 0.0;
+        for _ in 0..5_000 {
+            let t = p.next_arrival(&mut rng);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn onoff_is_burstier_than_poisson() {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, > 1 for the interrupted process at the same mean rate.
+        let mut rng = StdRng::seed_from_u64(8);
+        let cv2 = |mut next: Box<dyn FnMut(&mut StdRng) -> f64>, rng: &mut StdRng| {
+            let n = 50_000;
+            let mut last = 0.0;
+            let mut gaps = Vec::with_capacity(n);
+            for _ in 0..n {
+                let t = next(rng);
+                gaps.push(t - last);
+                last = t;
+            }
+            let mean = gaps.iter().sum::<f64>() / n as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64;
+            var / (mean * mean)
+        };
+        let mut poisson = PoissonArrivals::new(1e-3);
+        let cv2_p = cv2(Box::new(move |r| poisson.next_arrival(r)), &mut rng);
+        let mut onoff = OnOffArrivals::new(1e-2, 1_000.0, 9_000.0);
+        let cv2_b = cv2(Box::new(move |r| onoff.next_arrival(r)), &mut rng);
+        assert!((cv2_p - 1.0).abs() < 0.1, "poisson cv² {cv2_p}");
+        assert!(cv2_b > 2.0, "on/off cv² {cv2_b}");
+    }
+
+    #[test]
+    fn arrival_process_enum_dispatch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = ArrivalSpec::Poisson { rate: 0.5 }.build();
+        let mut b = ArrivalSpec::bursty(0.5, 0.5, 5.0).build();
+        assert!(p.next_arrival(&mut rng) > 0.0);
+        assert!(b.next_arrival(&mut rng) > 0.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's validation configurations: Table 1 (system organizations),
+//! Table 2 (network characteristics), and the workloads of Figs. 3–7.
+//!
+//! "The ICN1 and ICN2 networks used the Net.1 while the ECN1 networks used
+//! the Net.2 configuration" (§4).
+
+use cocnet_model::Workload;
+use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
+
+/// Table 2, Net.1: bandwidth 500, network latency 0.01, switch latency 0.02.
+pub fn net1() -> NetworkCharacteristics {
+    NetworkCharacteristics::new(500.0, 0.01, 0.02).expect("static parameters are valid")
+}
+
+/// Table 2, Net.2: bandwidth 250, network latency 0.05, switch latency 0.01.
+pub fn net2() -> NetworkCharacteristics {
+    NetworkCharacteristics::new(250.0, 0.05, 0.01).expect("static parameters are valid")
+}
+
+fn organization(m: u32, heights: &[(u32, usize)]) -> SystemSpec {
+    let clusters: Vec<ClusterSpec> = heights
+        .iter()
+        .flat_map(|&(n, count)| {
+            std::iter::repeat_n(ClusterSpec {
+                n,
+                icn1: net1(),
+                ecn1: net2(),
+            }, count)
+        })
+        .collect();
+    SystemSpec::new(m, clusters, net1()).expect("paper organizations are valid")
+}
+
+/// Table 1, row 1: `N = 1120`, `C = 32`, `m = 8`; clusters 0–11 have
+/// `n_i = 1`, clusters 12–27 have `n_i = 2`, clusters 28–31 have `n_i = 3`.
+pub fn org_1120() -> SystemSpec {
+    organization(8, &[(1, 12), (2, 16), (3, 4)])
+}
+
+/// Table 1, row 2: `N = 544`, `C = 16`, `m = 4`; clusters 0–7 have
+/// `n_i = 3`, clusters 8–10 have `n_i = 4`, clusters 11–15 have `n_i = 5`.
+pub fn org_544() -> SystemSpec {
+    organization(4, &[(3, 8), (4, 3), (5, 5)])
+}
+
+/// The Fig. 7 variant of an organization: ICN2 bandwidth raised by 20 %.
+pub fn with_boosted_icn2(spec: &SystemSpec, factor: f64) -> SystemSpec {
+    SystemSpec::new(
+        spec.m,
+        spec.clusters.clone(),
+        spec.icn2.scale_bandwidth(factor),
+    )
+    .expect("scaling bandwidth keeps the spec valid")
+}
+
+/// Workload of Figs. 3 and 5: `M = 32` flits of 256 bytes (λ set per sweep).
+pub fn wl_m32_l256() -> Workload {
+    Workload::new(0.0, 32, 256.0).expect("static parameters are valid")
+}
+
+/// Workload variant with 512-byte flits (the figures' `Lm=512` series).
+pub fn wl_m32_l512() -> Workload {
+    Workload::new(0.0, 32, 512.0).expect("static parameters are valid")
+}
+
+/// Workload of Figs. 4 and 6: `M = 64` flits of 256 bytes.
+pub fn wl_m64_l256() -> Workload {
+    Workload::new(0.0, 64, 256.0).expect("static parameters are valid")
+}
+
+/// `M = 64` flits of 512 bytes.
+pub fn wl_m64_l512() -> Workload {
+    Workload::new(0.0, 64, 512.0).expect("static parameters are valid")
+}
+
+/// Workload of Fig. 7: `M = 128` flits of 256 bytes.
+pub fn wl_m128_l256() -> Workload {
+    Workload::new(0.0, 128, 256.0).expect("static parameters are valid")
+}
+
+/// The x-axis ranges of the paper's figures (traffic generation rate λ_g).
+pub mod rates {
+    /// Fig. 3 (N=1120, M=32): 0 → 5·10⁻⁴.
+    pub const FIG3_MAX: f64 = 5e-4;
+    /// Fig. 4 (N=1120, M=64): 0 → 2.5·10⁻⁴.
+    pub const FIG4_MAX: f64 = 2.5e-4;
+    /// Fig. 5 (N=544, M=32): 0 → 1·10⁻³.
+    pub const FIG5_MAX: f64 = 1e-3;
+    /// Fig. 6 (N=544, M=64): 0 → 5·10⁻⁴.
+    pub const FIG6_MAX: f64 = 5e-4;
+    /// Fig. 7 (M=128, ICN2 +20 %): 0 → 3·10⁻⁴.
+    pub const FIG7_MAX: f64 = 3e-4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn organizations_match_table1() {
+        let s = org_1120();
+        assert_eq!(s.num_clusters(), 32);
+        assert_eq!(s.m, 8);
+        assert_eq!(s.total_nodes(), 1120);
+        assert_eq!(s.clusters[0].n, 1);
+        assert_eq!(s.clusters[11].n, 1);
+        assert_eq!(s.clusters[12].n, 2);
+        assert_eq!(s.clusters[27].n, 2);
+        assert_eq!(s.clusters[28].n, 3);
+        assert_eq!(s.clusters[31].n, 3);
+        assert_eq!(s.icn2_height().unwrap(), 2);
+
+        let s = org_544();
+        assert_eq!(s.num_clusters(), 16);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.total_nodes(), 544);
+        assert_eq!(s.clusters[7].n, 3);
+        assert_eq!(s.clusters[8].n, 4);
+        assert_eq!(s.clusters[10].n, 4);
+        assert_eq!(s.clusters[11].n, 5);
+        assert_eq!(s.icn2_height().unwrap(), 3);
+    }
+
+    #[test]
+    fn networks_match_table2() {
+        assert_eq!(net1().bandwidth, 500.0);
+        assert_eq!(net1().network_latency, 0.01);
+        assert_eq!(net1().switch_latency, 0.02);
+        assert_eq!(net2().bandwidth, 250.0);
+        assert_eq!(net2().network_latency, 0.05);
+        assert_eq!(net2().switch_latency, 0.01);
+        // Wiring: ICN1/ICN2 use Net.1, ECN1 uses Net.2.
+        let s = org_1120();
+        assert_eq!(s.clusters[0].icn1, net1());
+        assert_eq!(s.clusters[0].ecn1, net2());
+        assert_eq!(s.icn2, net1());
+    }
+
+    #[test]
+    fn boosted_icn2_only_changes_icn2() {
+        let base = org_544();
+        let boosted = with_boosted_icn2(&base, 1.2);
+        assert_eq!(boosted.icn2.bandwidth, 600.0);
+        assert_eq!(boosted.clusters, base.clusters);
+        assert_eq!(boosted.icn2.network_latency, base.icn2.network_latency);
+    }
+
+    #[test]
+    fn workload_presets() {
+        assert_eq!(wl_m32_l256().msg_flits, 32);
+        assert_eq!(wl_m32_l256().flit_bytes, 256.0);
+        assert_eq!(wl_m32_l512().flit_bytes, 512.0);
+        assert_eq!(wl_m64_l256().msg_flits, 64);
+        assert_eq!(wl_m64_l512().msg_flits, 64);
+        assert_eq!(wl_m128_l256().msg_flits, 128);
+    }
+}

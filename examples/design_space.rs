@@ -1,0 +1,87 @@
+//! Design-space exploration (the Fig. 7 scenario, generalised): how much
+//! does upgrading each network's bandwidth help, and which network is the
+//! bottleneck?
+//!
+//! The paper's §4 observes that "the inter-cluster networks, especially
+//! ICN2, are the bottlenecks of the system" and demonstrates a 20 % ICN2
+//! bandwidth boost. This example sweeps boost factors over *each* network
+//! class independently — the kind of what-if a system designer would run
+//! before buying hardware.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use cocnet::prelude::*;
+use cocnet::presets;
+
+/// Applies a bandwidth factor to one network class of the spec.
+fn boost(spec: &SystemSpec, which: &str, factor: f64) -> SystemSpec {
+    let mut clusters = spec.clusters.clone();
+    let mut icn2 = spec.icn2;
+    match which {
+        "ICN1" => {
+            for c in &mut clusters {
+                c.icn1 = c.icn1.scale_bandwidth(factor);
+            }
+        }
+        "ECN1" => {
+            for c in &mut clusters {
+                c.ecn1 = c.ecn1.scale_bandwidth(factor);
+            }
+        }
+        "ICN2" => icn2 = icn2.scale_bandwidth(factor),
+        _ => unreachable!(),
+    }
+    SystemSpec::new(spec.m, clusters, icn2).expect("scaled spec stays valid")
+}
+
+fn main() {
+    let opts = ModelOptions::default();
+    let wl = presets::wl_m128_l256();
+
+    for (name, spec) in [("N=544", presets::org_544()), ("N=1120", presets::org_1120())] {
+        println!("=== {name} (M=128 flits, 256-byte flits) ===");
+        let base_sat = saturation_point(&spec, &wl, &opts, 1e-4).unwrap();
+        println!("base saturation rate: {base_sat:.3e}");
+
+        // Which single-network upgrade buys the most halfway to saturation?
+        let probe_rate = 0.5 * base_sat;
+        let base_lat = evaluate(&spec, &wl.with_rate(probe_rate), &opts)
+            .unwrap()
+            .latency;
+        println!("base latency at λ={probe_rate:.2e}: {base_lat:.2}");
+        println!(
+            "{:<8} {:>10} {:>14} {:>16}",
+            "network", "+20% bw", "latency gain%", "saturation gain%"
+        );
+        for which in ["ICN1", "ECN1", "ICN2"] {
+            let boosted = boost(&spec, which, 1.2);
+            let lat = evaluate(&boosted, &wl.with_rate(probe_rate), &opts)
+                .unwrap()
+                .latency;
+            let sat = saturation_point(&boosted, &wl, &opts, 1e-4).unwrap();
+            println!(
+                "{which:<8} {:>10.2} {:>14.2} {:>16.2}",
+                lat,
+                (base_lat - lat) / base_lat * 100.0,
+                (sat - base_sat) / base_sat * 100.0
+            );
+        }
+
+        // The paper's Fig. 7 comparison: latency curves base vs +20 % ICN2.
+        let boosted = boost(&spec, "ICN2", 1.2);
+        println!("\nFig. 7-style curves (λ, base, +20% ICN2):");
+        for i in 1..=6 {
+            let rate = presets::rates::FIG7_MAX * i as f64 / 6.0;
+            let b = evaluate(&spec, &wl.with_rate(rate), &opts)
+                .map(|o| format!("{:.2}", o.latency))
+                .unwrap_or_else(|_| "sat".into());
+            let x = evaluate(&boosted, &wl.with_rate(rate), &opts)
+                .map(|o| format!("{:.2}", o.latency))
+                .unwrap_or_else(|_| "sat".into());
+            println!("  {rate:.2e}  {b:>10}  {x:>10}");
+        }
+        println!();
+    }
+}

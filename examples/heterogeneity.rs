@@ -1,0 +1,102 @@
+//! Heterogeneity study: how cluster-size imbalance changes system latency
+//! at a fixed total node count.
+//!
+//! The paper's model is built specifically to handle *cluster size*
+//! heterogeneity (assumption 3) and *network* heterogeneity (assumption 5).
+//! This example holds N and C fixed and redistributes nodes among clusters,
+//! then separately skews the network speeds, showing both effects — the
+//! kind of analysis the model makes cheap enough to run interactively.
+//!
+//! ```text
+//! cargo run --release --example heterogeneity
+//! ```
+
+use cocnet::prelude::*;
+
+fn netchar(bw: f64) -> NetworkCharacteristics {
+    NetworkCharacteristics::new(bw, 0.01, 0.02).unwrap()
+}
+
+fn system(m: u32, heights: &[u32], ecn_bw: f64) -> SystemSpec {
+    let clusters = heights
+        .iter()
+        .map(|&n| ClusterSpec {
+            n,
+            icn1: netchar(500.0),
+            ecn1: netchar(ecn_bw),
+        })
+        .collect();
+    SystemSpec::new(m, clusters, netchar(500.0)).expect("valid system")
+}
+
+fn main() {
+    let opts = ModelOptions::default();
+    let wl = Workload::new(0.0, 32, 256.0).unwrap();
+
+    // --- Cluster-size heterogeneity at fixed N = 96, C = 8, m = 4. ---
+    // (m=4 clusters: n=1 → 4 nodes, n=2 → 8, n=3 → 16, n=4 → 32.)
+    println!("=== cluster-size heterogeneity (N=96, C=8, m=4) ===");
+    // All three layouts have exactly N = 96 nodes across C = 8 clusters
+    // (m=4 heights: n=1 → 4, n=2 → 8, n=3 → 16, n=4 → 32 nodes).
+    let layouts: [(&str, Vec<u32>); 3] = [
+        ("balanced  (4 x 16 + 4 x 8)", vec![3, 3, 3, 3, 2, 2, 2, 2]),
+        ("skewed    (1 x 32, mixed rest)", vec![4, 3, 3, 2, 2, 2, 1, 1]),
+        ("extreme   (2 x 32 + 2 x 8 + 4 x 4)", vec![4, 4, 2, 2, 1, 1, 1, 1]),
+    ];
+    println!(
+        "{:<36} {:>6} {:>12} {:>14}",
+        "layout", "N", "latency@1e-4", "saturation"
+    );
+    for (name, heights) in &layouts {
+        let spec = system(4, heights, 250.0);
+        let lat = evaluate(&spec, &wl.with_rate(1e-4), &opts)
+            .map(|o| format!("{:.2}", o.latency))
+            .unwrap_or_else(|_| "saturated".into());
+        let sat = saturation_point(&spec, &wl, &opts, 1e-4).unwrap();
+        println!(
+            "{name:<36} {:>6} {lat:>12} {sat:>14.3e}",
+            spec.total_nodes()
+        );
+    }
+
+    // Per-cluster view of the most skewed layout: small clusters pay the
+    // inter-cluster price for almost all of their traffic.
+    let spec = system(4, &layouts[2].1, 250.0);
+    let out = evaluate(&spec, &wl.with_rate(1e-4), &opts).unwrap();
+    println!("\nper-cluster breakdown of the extreme layout at λ=1e-4:");
+    for c in &out.per_cluster {
+        println!(
+            "  cluster {} (N_i={:>2}): U={:.3}  mean={:.2}",
+            c.cluster,
+            spec.cluster_nodes(c.cluster),
+            c.outgoing_probability,
+            c.mean
+        );
+    }
+
+    // --- Network heterogeneity: slowing the ECN1s at fixed topology. ---
+    println!("\n=== network heterogeneity (balanced layout, ECN1 bandwidth sweep) ===");
+    println!("{:>10} {:>14} {:>14}", "ECN1 bw", "latency@1e-4", "saturation");
+    for bw in [500.0, 375.0, 250.0, 125.0] {
+        let spec = system(4, &layouts[0].1, bw);
+        let lat = evaluate(&spec, &wl.with_rate(1e-4), &opts)
+            .map(|o| format!("{:.2}", o.latency))
+            .unwrap_or_else(|_| "saturated".into());
+        let sat = saturation_point(&spec, &wl, &opts, 1e-4).unwrap();
+        println!("{bw:>10} {lat:>14} {sat:>14.3e}");
+    }
+
+    // Validate one heterogeneous point by simulation.
+    println!("\nspot-check by simulation (balanced layout, ECN1 bw=250, λ=1e-4):");
+    let spec = system(4, &layouts[0].1, 250.0);
+    let mut cfg = SimConfig::quick(11);
+    cfg.measured = 20_000;
+    let sim = run_simulation(&spec, &wl.with_rate(1e-4), Pattern::Uniform, &cfg);
+    let model = evaluate(&spec, &wl.with_rate(1e-4), &opts).unwrap().latency;
+    println!(
+        "  model {:.2} vs sim {:.2} ({:+.1} %)",
+        model,
+        sim.latency.mean,
+        (model - sim.latency.mean) / sim.latency.mean * 100.0
+    );
+}

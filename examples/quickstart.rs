@@ -1,0 +1,69 @@
+//! Quickstart: predict the mean message latency of a heterogeneous
+//! cluster-of-clusters system and check the prediction by simulation.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cocnet::prelude::*;
+
+fn main() {
+    // A small heterogeneous system: m=4 switches, four clusters — two with
+    // 8 nodes (n=2) and two with 16 nodes (n=3). Fast intra-cluster
+    // networks, a slower inter-cluster access network, fast global ICN2
+    // (the paper's Table 2 characteristics).
+    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+    let cluster = |n| ClusterSpec {
+        n,
+        icn1: net1,
+        ecn1: net2,
+    };
+    let spec = SystemSpec::new(4, vec![cluster(2), cluster(2), cluster(3), cluster(3)], net1)
+        .expect("valid system");
+
+    println!(
+        "system: C={} clusters, N={} nodes, ICN2 height n_c={}",
+        spec.num_clusters(),
+        spec.total_nodes(),
+        spec.icn2_height().unwrap()
+    );
+
+    // Messages: 32 flits of 256 bytes, Poisson rate 2e-4 per node.
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+
+    // 1. Analytical prediction (instant).
+    let predicted = evaluate(&spec, &wl, &ModelOptions::default()).expect("stable load");
+    println!("\nanalytical model:");
+    println!("  mean message latency = {:.2}", predicted.latency);
+    for c in &predicted.per_cluster {
+        println!(
+            "  cluster {}: U={:.3}  L_in={:.2}  L_out={:.2}  mean={:.2}",
+            c.cluster,
+            c.outgoing_probability,
+            c.intra.total(),
+            c.inter.total(),
+            c.mean
+        );
+    }
+
+    // 2. Discrete-event simulation (the paper's validation methodology,
+    //    scaled down for a quick run).
+    let mut cfg = SimConfig::quick(42);
+    cfg.measured = 20_000;
+    let sim = run_simulation(&spec, &wl, Pattern::Uniform, &cfg);
+    println!("\nsimulation ({} measured messages):", sim.latency.count);
+    println!("  mean latency = {}", sim.latency);
+    println!(
+        "  intra = {:.2} ({} msgs), inter = {:.2} ({} msgs)",
+        sim.intra.mean, sim.intra.count, sim.inter.mean, sim.inter.count
+    );
+
+    let err = (predicted.latency - sim.latency.mean) / sim.latency.mean * 100.0;
+    println!("\nmodel vs simulation: {err:+.1} %");
+
+    // 3. Where does this system stop being usable? The analytical model
+    //    finds the saturation rate in milliseconds.
+    let sat = saturation_point(&spec, &wl, &ModelOptions::default(), 1e-4).unwrap();
+    println!("predicted saturation rate: {sat:.3e} messages/node/time-unit");
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests of the `cocnet` command-line binary (spawned via the
+//! `CARGO_BIN_EXE_cocnet` path cargo provides to integration tests).
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cocnet"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn model_subcommand_prints_breakdown() {
+    let (stdout, _, ok) = run(&["model", "--org", "544", "--rate", "2e-4"]);
+    assert!(ok);
+    assert!(stdout.contains("C=16 N=544"));
+    assert!(stdout.contains("mean message latency"));
+    assert!(stdout.contains("L_out"));
+    // All 16 clusters listed.
+    assert!(stdout.matches('\n').count() >= 16 + 4);
+}
+
+#[test]
+fn model_subcommand_custom_spec() {
+    let (stdout, _, ok) = run(&[
+        "model",
+        "--m",
+        "4",
+        "--heights",
+        "2,2,3,3",
+        "--rate",
+        "1e-4",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("C=4 N=48"));
+}
+
+#[test]
+fn saturate_subcommand() {
+    let (stdout, _, ok) = run(&["saturate", "--org", "544"]);
+    assert!(ok);
+    assert!(stdout.contains("saturation rate"));
+    // The figure-axis check: the N=544 / M=32 boundary sits near 1e-3.
+    let value: f64 = stdout
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((5e-4..2e-3).contains(&value), "saturation {value}");
+}
+
+#[test]
+fn sweep_subcommand_renders_plot() {
+    let (stdout, _, ok) = run(&[
+        "sweep",
+        "--m",
+        "4",
+        "--heights",
+        "2,2,2,2",
+        "--max-rate",
+        "1e-3",
+        "--points",
+        "5",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("latency"));
+    assert!(stdout.contains("o Analysis"));
+}
+
+#[test]
+fn sim_subcommand_runs_small() {
+    let (stdout, _, ok) = run(&[
+        "sim",
+        "--m",
+        "4",
+        "--heights",
+        "1,1,2,2",
+        "--rate",
+        "2e-4",
+        "--measured",
+        "2000",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("completed=true"));
+    assert!(stdout.contains("latency: n=2000"));
+}
+
+#[test]
+fn saturated_model_reports_error_exit() {
+    let (_, stderr, ok) = run(&["model", "--org", "544", "--rate", "1.0"]);
+    assert!(!ok);
+    assert!(stderr.contains("saturated"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn figure_subcommand_prints_analysis_series() {
+    let (stdout, _, ok) = run(&["figure", "--fig", "fig5", "--points", "6"]);
+    assert!(ok);
+    assert!(stdout.contains("N=544, m=4, M=32"));
+    assert!(stdout.contains("Analysis (Lm=256)"));
+    assert!(stdout.contains("Analysis (Lm=512)"));
+    let (_, stderr, ok) = run(&["figure", "--fig", "fig9"]);
+    assert!(!ok);
+    assert!(stderr.contains("fig3|fig4|fig5|fig6"));
+}
+
+#[test]
+fn locality_flag_lowers_latency() {
+    let get = |extra: &[&str]| {
+        let mut args = vec!["model", "--org", "544", "--rate", "4e-4"];
+        args.extend_from_slice(extra);
+        let (stdout, _, ok) = run(&args);
+        assert!(ok);
+        stdout
+            .lines()
+            .find(|l| l.contains("mean message latency"))
+            .unwrap()
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .parse::<f64>()
+            .unwrap()
+    };
+    let uniform = get(&[]);
+    let local = get(&["--locality", "0.8"]);
+    assert!(local < uniform, "local {local} vs uniform {uniform}");
+}

@@ -1,0 +1,192 @@
+//! Non-uniform traffic: the paper's future-work direction, implemented as
+//! an outgoing-probability generalisation of the model and validated
+//! against the simulator's cluster-local pattern.
+
+use cocnet::model::{evaluate_with_profile, OutgoingProfile};
+use cocnet::prelude::*;
+
+fn spec() -> SystemSpec {
+    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+    let c = |n| ClusterSpec {
+        n,
+        icn1: net1,
+        ecn1: net2,
+    };
+    SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
+}
+
+fn sim_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup: 1_000,
+        measured: 15_000,
+        drain: 1_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn uniform_profile_reproduces_plain_evaluate() {
+    let s = spec();
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+    let opts = ModelOptions::default();
+    let a = evaluate(&s, &wl, &opts).unwrap();
+    let b = evaluate_with_profile(&s, &wl, &opts, &OutgoingProfile::uniform(&s)).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn locality_reduces_predicted_latency_monotonically() {
+    let s = spec();
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+    let opts = ModelOptions::default();
+    let mut last = f64::INFINITY;
+    for locality in [0.0, 0.25, 0.5, 0.75, 0.95] {
+        let profile = OutgoingProfile::cluster_local(&s, locality).unwrap();
+        let out = evaluate_with_profile(&s, &wl, &opts, &profile).unwrap();
+        assert!(
+            out.latency < last,
+            "locality {locality}: {} !< {last}",
+            out.latency
+        );
+        last = out.latency;
+    }
+}
+
+#[test]
+fn locality_extends_the_stability_region() {
+    // Keeping traffic local bypasses the concentrators — the saturation
+    // rate must grow with locality.
+    let s = spec();
+    let wl = Workload::new(0.0, 32, 256.0).unwrap();
+    let opts = ModelOptions::default();
+    let sat_at = |locality: f64| {
+        let profile = OutgoingProfile::cluster_local(&s, locality).unwrap();
+        // Bisection on the profiled model.
+        let mut lo = 0.0;
+        let mut hi = 1e-6;
+        while evaluate_with_profile(&s, &wl.with_rate(hi), &opts, &profile).is_ok() {
+            lo = hi;
+            hi *= 2.0;
+            assert!(hi < 1e6, "never saturates");
+        }
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if evaluate_with_profile(&s, &wl.with_rate(mid), &opts, &profile).is_ok() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    let sat_uniformish = sat_at(0.2);
+    let sat_local = sat_at(0.8);
+    assert!(
+        sat_local > 2.0 * sat_uniformish,
+        "local {sat_local:.2e} vs {sat_uniformish:.2e}"
+    );
+}
+
+#[test]
+fn model_tracks_simulation_under_cluster_local_traffic() {
+    let s = spec();
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+    let opts = ModelOptions::default();
+    for locality in [0.3, 0.7] {
+        let profile = OutgoingProfile::cluster_local(&s, locality).unwrap();
+        let model = evaluate_with_profile(&s, &wl, &opts, &profile).unwrap();
+        let sim = run_simulation(
+            &s,
+            &wl,
+            Pattern::ClusterLocal { locality },
+            &sim_cfg(21),
+        );
+        assert!(sim.completed);
+        let err = (model.latency - sim.latency.mean) / sim.latency.mean;
+        // Same documented inter-cluster offset as the uniform case; at
+        // higher locality the intra share grows and the error shrinks.
+        assert!(
+            err.abs() < 0.35,
+            "locality {locality}: model {:.2} vs sim {:.2} ({:+.1}%)",
+            model.latency,
+            sim.latency.mean,
+            err * 100.0
+        );
+        // The observed inter fraction must match 1 − locality closely.
+        assert!((sim.inter_fraction() - (1.0 - locality)).abs() < 0.02);
+    }
+}
+
+#[test]
+fn hotspot_pattern_degrades_simulated_latency() {
+    let s = spec();
+    let wl = Workload::new(3e-4, 32, 256.0).unwrap();
+    let uni = run_simulation(&s, &wl, Pattern::Uniform, &sim_cfg(22));
+    let hot = run_simulation(
+        &s,
+        &wl,
+        Pattern::Hotspot {
+            hotspot: 0,
+            fraction: 0.3,
+        },
+        &sim_cfg(22),
+    );
+    assert!(uni.completed);
+    // 30 % of all traffic converging on one node must hurt; depending on
+    // load it may stop completing at all.
+    let hot_mean = hot.latency.mean;
+    assert!(
+        !hot.completed || hot_mean > uni.latency.mean,
+        "hotspot {hot_mean} vs uniform {}",
+        uni.latency.mean
+    );
+}
+
+#[test]
+fn bursty_arrivals_raise_latency_at_fixed_mean_rate() {
+    use cocnet::sim::{run_simulation_arrivals, BuiltSystem};
+    use cocnet_workloads::ArrivalSpec;
+    let s = spec();
+    let wl = Workload::new(3e-4, 32, 256.0).unwrap();
+    let built = BuiltSystem::build(&s, wl.flit_bytes);
+    let cfg = sim_cfg(31);
+    let poisson = run_simulation_arrivals(
+        &built,
+        &wl,
+        Pattern::Uniform,
+        &cfg,
+        ArrivalSpec::Poisson { rate: 3e-4 },
+    );
+    let bursty = run_simulation_arrivals(
+        &built,
+        &wl,
+        Pattern::Uniform,
+        &cfg,
+        ArrivalSpec::bursty(3e-4, 0.2, 8.0),
+    );
+    assert!(poisson.completed && bursty.completed);
+    assert!(
+        bursty.latency.mean > poisson.latency.mean,
+        "bursty {} vs poisson {}",
+        bursty.latency.mean,
+        poisson.latency.mean
+    );
+    // Same mean load: generated populations match exactly (fixed count),
+    // and the spans should be within a factor ~2 of each other.
+    assert_eq!(poisson.generated, bursty.generated);
+}
+
+#[test]
+fn custom_profile_supports_asymmetric_clusters() {
+    // A profile where only cluster 0 sends everything outward.
+    let s = spec();
+    let wl = Workload::new(1e-4, 32, 256.0).unwrap();
+    let opts = ModelOptions::default();
+    let profile = OutgoingProfile::custom(&s, vec![1.0, 0.1, 0.1, 0.1]).unwrap();
+    let out = evaluate_with_profile(&s, &wl, &opts, &profile).unwrap();
+    // Cluster 0's mean is fully inter-cluster; cluster 1's mostly intra.
+    assert!(out.per_cluster[0].mean > out.per_cluster[1].mean);
+    assert_eq!(out.per_cluster[0].outgoing_probability, 1.0);
+}

@@ -1,0 +1,140 @@
+//! Saturation behaviour: the stability boundary the figures hinge on.
+
+use cocnet::model::error::SaturationSite;
+use cocnet::prelude::*;
+use cocnet::presets;
+
+fn spec() -> SystemSpec {
+    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+    let c = |n| ClusterSpec {
+        n,
+        icn1: net1,
+        ecn1: net2,
+    };
+    SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
+}
+
+#[test]
+fn saturation_point_is_a_tight_bracket() {
+    let opts = ModelOptions::default();
+    let wl = Workload::new(0.0, 32, 256.0).unwrap();
+    let sat = saturation_point(&spec(), &wl, &opts, 1e-5).unwrap();
+    assert!(evaluate(&spec(), &wl.with_rate(sat), &opts).is_ok());
+    assert!(evaluate(&spec(), &wl.with_rate(sat * 1.001), &opts).is_err());
+}
+
+#[test]
+fn paper_systems_saturate_inside_their_figure_axes() {
+    // Each figure's x-axis ends just past the analysis curve's saturation;
+    // the model must saturate within (0.5, 1.2]× the axis maximum.
+    let opts = ModelOptions::default();
+    for (spec, wl, axis_max) in [
+        (
+            presets::org_1120(),
+            presets::wl_m32_l256(),
+            presets::rates::FIG3_MAX,
+        ),
+        (
+            presets::org_1120(),
+            presets::wl_m64_l256(),
+            presets::rates::FIG4_MAX,
+        ),
+        (
+            presets::org_544(),
+            presets::wl_m32_l256(),
+            presets::rates::FIG5_MAX,
+        ),
+        (
+            presets::org_544(),
+            presets::wl_m64_l256(),
+            presets::rates::FIG6_MAX,
+        ),
+    ] {
+        let sat = saturation_point(&spec, &wl, &opts, 1e-4).unwrap();
+        let ratio = sat / axis_max;
+        assert!(
+            (0.5..=1.2).contains(&ratio),
+            "N={} M={}: saturation {sat:.2e} vs axis {axis_max:.2e} (ratio {ratio:.2})",
+            spec.total_nodes(),
+            wl.msg_flits
+        );
+    }
+}
+
+#[test]
+fn first_saturating_queue_is_the_concentrator() {
+    // §4: "the inter-cluster networks, especially ICN2, are the bottlenecks
+    // of the system". In the model the binding constraint is the
+    // concentrator/dispatcher M/G/1.
+    let opts = ModelOptions::default();
+    let wl = Workload::new(0.0, 32, 256.0).unwrap();
+    let sat = saturation_point(&spec(), &wl, &opts, 1e-5).unwrap();
+    let err = evaluate(&spec(), &wl.with_rate(sat * 1.01), &opts).unwrap_err();
+    match err {
+        cocnet::model::ModelError::Saturated { site, rho } => {
+            assert!(matches!(site, SaturationSite::Concentrator(_, _)), "{site:?}");
+            assert!(rho >= 1.0);
+        }
+        other => panic!("expected saturation, got {other}"),
+    }
+}
+
+#[test]
+fn icn2_bandwidth_boost_moves_saturation_proportionally() {
+    // Fig. 7's mechanism: the concentrator service is M·t_cs^{ICN2}, so a
+    // bandwidth boost stretches the stability region by (almost) the same
+    // factor (switch latency keeps it slightly below 20 %).
+    let opts = ModelOptions::default();
+    let wl = presets::wl_m128_l256();
+    for base in [presets::org_544(), presets::org_1120()] {
+        let boosted = presets::with_boosted_icn2(&base, 1.2);
+        let s0 = saturation_point(&base, &wl, &opts, 1e-4).unwrap();
+        let s1 = saturation_point(&boosted, &wl, &opts, 1e-4).unwrap();
+        let gain = s1 / s0 - 1.0;
+        assert!(
+            (0.15..=0.21).contains(&gain),
+            "N={}: gain {gain:.3}",
+            base.total_nodes()
+        );
+    }
+}
+
+#[test]
+fn flit_size_rescales_saturation_close_to_linearly() {
+    let opts = ModelOptions::default();
+    let s = spec();
+    let sat256 =
+        saturation_point(&s, &Workload::new(0.0, 32, 256.0).unwrap(), &opts, 1e-5).unwrap();
+    let sat512 =
+        saturation_point(&s, &Workload::new(0.0, 32, 512.0).unwrap(), &opts, 1e-5).unwrap();
+    let ratio = sat256 / sat512;
+    // Service = α_s + d_m β doubles the β part only; ratio ∈ (1.8, 2.0).
+    assert!((1.8..=2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn sweep_stops_at_saturation_not_before() {
+    let opts = ModelOptions::default();
+    let wl = Workload::new(0.0, 32, 256.0).unwrap();
+    let sat = saturation_point(&spec(), &wl, &opts, 1e-4).unwrap();
+    let rates: Vec<f64> = (1..=10).map(|i| sat * 1.2 * i as f64 / 10.0).collect();
+    let series = sweep(&spec(), &wl, &rates, &opts, "model");
+    // Points below saturation present, points above absent.
+    assert!(series.len() >= 8, "series has {} points", series.len());
+    assert!(series.len() < 10);
+    assert!(series.points.iter().all(|p| p.x <= sat * 1.0001));
+}
+
+#[test]
+fn zero_rate_evaluates_to_zero_wait_latency() {
+    let opts = ModelOptions::default();
+    let wl = Workload::new(0.0, 32, 256.0).unwrap();
+    let out = evaluate(&spec(), &wl, &opts).unwrap();
+    for c in &out.per_cluster {
+        assert_eq!(c.intra.source_wait, 0.0);
+        assert_eq!(c.inter.source_wait, 0.0);
+        assert_eq!(c.inter.condis_wait, 0.0);
+    }
+    assert!(out.latency > 0.0);
+}
