@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cocnet::experiments::{figure_config, run_figure_model, run_fig7, Figure};
+use cocnet::experiments::{figure_config, run_fig7, run_figure_model, Figure};
 use cocnet::model::ModelOptions;
 
 fn bench_figures(c: &mut Criterion) {

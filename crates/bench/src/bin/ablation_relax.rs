@@ -5,12 +5,15 @@
 //! waiting time will be decreased proportional to the capacity". This
 //! ablation quantifies how much that term matters, and on which side of
 //! the simulation the model lands with and without it.
+//!
+//! The simulation points run concurrently through the unified
+//! `Scenario` runner.
 
 use cocnet::model::{evaluate, ModelOptions, Workload};
 use cocnet::presets;
-use cocnet::sim::{run_simulation, SimConfig};
+use cocnet::runner::Scenario;
+use cocnet::sim::SimConfig;
 use cocnet::stats::Table;
-use cocnet_workloads::Pattern;
 
 fn main() {
     let with = ModelOptions::default();
@@ -40,12 +43,26 @@ fn main() {
         ),
     ] {
         println!("## {name}");
-        let mut table = Table::new(["rate", "with delta", "without delta", "delta effect%", "sim"]);
-        for rate in rates {
-            let w = Workload { lambda_g: rate, ..wl };
+        let mut table = Table::new([
+            "rate",
+            "with delta",
+            "without delta",
+            "delta effect%",
+            "sim",
+        ]);
+        let scenario = Scenario::new(name, spec.clone())
+            .with_workload("Lm=256", wl)
+            .with_rates(rates.to_vec())
+            .with_sim(sim_cfg);
+        let points = scenario.run_sim_detailed().remove(0);
+        for point in points {
+            let rate = point.rate;
+            let w = Workload {
+                lambda_g: rate,
+                ..wl
+            };
             let a = evaluate(&spec, &w, &with).map(|o| o.latency);
             let b = evaluate(&spec, &w, &without).map(|o| o.latency);
-            let sim = run_simulation(&spec, &w, Pattern::Uniform, &sim_cfg);
             let fmt = |r: &Result<f64, _>| {
                 r.as_ref()
                     .map(|v| format!("{v:.2}"))
@@ -60,7 +77,7 @@ fn main() {
                 fmt(&a),
                 fmt(&b),
                 effect,
-                format!("{:.2}", sim.latency.mean),
+                format!("{:.2}", point.first().latency.mean),
             ]);
         }
         println!("{}", table.render());

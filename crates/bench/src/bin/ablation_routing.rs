@@ -6,9 +6,13 @@
 //! happens when it doesn't: the `MirrorDescent` policy funnels all traffic
 //! toward the four big clusters of the N=1120 organization through one ICN2
 //! root, saturating it at a quarter of the predicted rate (DESIGN.md §4.2).
+//!
+//! The rate points run concurrently via the runner's [`par_map`]; each
+//! job evaluates all three routing configurations for its rate.
 
 use cocnet::model::Workload;
 use cocnet::presets;
+use cocnet::runner::par_map;
 use cocnet::sim::{run_simulation_built, BuiltSystem, SimConfig};
 use cocnet::stats::Table;
 use cocnet::topology::AscentPolicy;
@@ -33,7 +37,8 @@ fn main() {
         "adaptive (random)",
         "max util",
     ]);
-    for rate in [1e-4, 1.5e-4, 2e-4, 3e-4] {
+    let rates = [1e-4, 1.5e-4, 2e-4, 3e-4];
+    let rows = par_map(&rates, |&rate| {
         let wl = Workload {
             lambda_g: rate,
             ..presets::wl_m32_l256()
@@ -62,7 +67,10 @@ fn main() {
             ..cfg
         };
         push_run(&built, &adaptive_cfg, &mut cells);
-        table.push_row(cells);
+        cells
+    });
+    for row in rows {
+        table.push_row(row);
     }
     println!("{}", table.render());
     println!(

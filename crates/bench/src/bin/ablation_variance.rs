@@ -33,7 +33,10 @@ fn main() {
         let mut table = Table::new(["rate", "DraperGhosh", "sigma2=0", "gap%"]);
         for i in 1..=8 {
             let rate = max * i as f64 / 8.0;
-            let w = Workload { lambda_g: rate, ..wl };
+            let w = Workload {
+                lambda_g: rate,
+                ..wl
+            };
             let a = evaluate(&spec, &w, &dg).map(|o| o.latency);
             let b = evaluate(&spec, &w, &zero).map(|o| o.latency);
             let fmt = |r: &Result<f64, _>| {

@@ -6,12 +6,15 @@
 //! and cluster-size heterogeneity cannot predict cluster-of-clusters
 //! latency — it misses the slow ECN1 fabrics and the concentrator
 //! bottleneck entirely.
+//!
+//! The simulation points run concurrently through the unified
+//! `Scenario` runner.
 
 use cocnet::model::{evaluate, evaluate_baseline, ModelOptions, Workload};
 use cocnet::presets;
-use cocnet::sim::{run_simulation, SimConfig};
+use cocnet::runner::Scenario;
+use cocnet::sim::SimConfig;
 use cocnet::stats::Table;
-use cocnet_workloads::Pattern;
 
 fn main() {
     let opts = ModelOptions::default();
@@ -35,7 +38,13 @@ fn main() {
             "baseline err%",
             "model err%",
         ]);
-        for rate in rates {
+        let scenario = Scenario::new(name, spec.clone())
+            .with_workload("Lm=256", presets::wl_m32_l256())
+            .with_rates(rates.to_vec())
+            .with_sim(cfg);
+        let points = scenario.run_sim_detailed().remove(0);
+        for point in points {
+            let rate = point.rate;
             let wl = Workload {
                 lambda_g: rate,
                 ..presets::wl_m32_l256()
@@ -46,8 +55,7 @@ fn main() {
             let model = evaluate(&spec, &wl, &opts)
                 .map(|o| o.latency)
                 .unwrap_or(f64::NAN);
-            let sim = run_simulation(&spec, &wl, Pattern::Uniform, &cfg);
-            let s = sim.latency.mean;
+            let s = point.first().latency.mean;
             table.push_row([
                 format!("{rate:.1e}"),
                 format!("{flat:.2}"),

@@ -6,8 +6,12 @@
 //! engine and reports latency across loads — quantifying how much of the
 //! wormhole blocking the model describes is an artefact of minimal
 //! buffering.
+//!
+//! All (rate × depth) simulations run concurrently via the runner's
+//! [`par_map`].
 
 use cocnet::model::Workload;
+use cocnet::runner::par_map;
 use cocnet::sim::{run_simulation_flit_built, BuiltSystem, Coupling, SimConfig};
 use cocnet::stats::Table;
 use cocnet::topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
@@ -23,28 +27,36 @@ fn main() {
     };
     let spec = SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap();
     let built = BuiltSystem::build(&spec, 256.0);
+    let rates = [1e-3, 2e-3, 3e-3, 4e-3];
+    let depths = [1u32, 2, 4, 32];
+    let jobs: Vec<(f64, u32)> = rates
+        .iter()
+        .flat_map(|&rate| depths.iter().map(move |&d| (rate, d)))
+        .collect();
+    let results = par_map(&jobs, |&(rate, depth)| {
+        let wl = Workload::new(rate, 32, 256.0).unwrap();
+        let cfg = SimConfig {
+            warmup: 1_000,
+            measured: 10_000,
+            drain: 1_000,
+            seed: 23,
+            coupling: Coupling::StoreAndForward,
+            flit_buffer_depth: depth,
+            ..SimConfig::default()
+        };
+        let r = run_simulation_flit_built(&built, &wl, Pattern::Uniform, &cfg);
+        if r.completed {
+            format!("{:.2}", r.latency.mean)
+        } else {
+            "incomplete".into()
+        }
+    });
+
     println!("## N=48, M=32, Lm=256 — flit-buffer-depth sweep (flit engine)");
     let mut table = Table::new(["rate", "depth=1", "depth=2", "depth=4", "depth=32"]);
-    for rate in [1e-3, 2e-3, 3e-3, 4e-3] {
-        let wl = Workload::new(rate, 32, 256.0).unwrap();
+    for (i, &rate) in rates.iter().enumerate() {
         let mut row = vec![format!("{rate:.2e}")];
-        for depth in [1u32, 2, 4, 32] {
-            let cfg = SimConfig {
-                warmup: 1_000,
-                measured: 10_000,
-                drain: 1_000,
-                seed: 23,
-                coupling: Coupling::StoreAndForward,
-                flit_buffer_depth: depth,
-                ..SimConfig::default()
-            };
-            let r = run_simulation_flit_built(&built, &wl, Pattern::Uniform, &cfg);
-            row.push(if r.completed {
-                format!("{:.2}", r.latency.mean)
-            } else {
-                "incomplete".into()
-            });
-        }
+        row.extend_from_slice(&results[i * depths.len()..(i + 1) * depths.len()]);
         table.push_row(row);
     }
     println!("{}", table.render());

@@ -6,9 +6,12 @@
 //! mean rate constant and shrinks the duty cycle, showing how far the
 //! Poisson-based analytical model drifts as traffic becomes bursty —
 //! the time-domain counterpart of the §5 "non-uniform traffic" future work.
+//!
+//! The duty-cycle points run concurrently via the runner's [`par_map`].
 
 use cocnet::model::{evaluate, ModelOptions, Workload};
 use cocnet::presets;
+use cocnet::runner::par_map;
 use cocnet::sim::{run_simulation_arrivals, BuiltSystem, SimConfig};
 use cocnet::stats::Table;
 use cocnet_workloads::{ArrivalSpec, Pattern};
@@ -35,15 +38,15 @@ fn main() {
          (burst length 8 messages; duty 1.00 = the paper's Poisson assumption)"
     );
     println!("analytical model (Poisson assumption): {model:.2}\n");
-    let mut table = Table::new(["duty cycle", "sim latency", "vs Poisson sim", "model err%"]);
-    let mut poisson_ref = None;
-    for duty in [1.0, 0.5, 0.25, 0.1] {
+    let duties = [1.0, 0.5, 0.25, 0.1];
+    let runs = par_map(&duties, |&duty| {
         let arrival = ArrivalSpec::bursty(rate, duty, 8.0);
-        let r = run_simulation_arrivals(&built, &wl, Pattern::Uniform, &cfg, arrival);
+        run_simulation_arrivals(&built, &wl, Pattern::Uniform, &cfg, arrival)
+    });
+    let mut table = Table::new(["duty cycle", "sim latency", "vs Poisson sim", "model err%"]);
+    let poisson_ref = runs[0].latency.mean;
+    for (&duty, r) in duties.iter().zip(&runs) {
         let mean = r.latency.mean;
-        if poisson_ref.is_none() {
-            poisson_ref = Some(mean);
-        }
         table.push_row([
             format!("{duty:.2}"),
             if r.completed {
@@ -51,7 +54,7 @@ fn main() {
             } else {
                 "incomplete".into()
             },
-            format!("{:+.1}%", (mean / poisson_ref.unwrap() - 1.0) * 100.0),
+            format!("{:+.1}%", (mean / poisson_ref - 1.0) * 100.0),
             format!("{:+.1}", (model - mean) / mean * 100.0),
         ]);
     }

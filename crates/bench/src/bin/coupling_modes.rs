@@ -9,9 +9,13 @@
 //! model at light load but saturates early; store-and-forward matches the
 //! saturation point but overshoots light-load latency; virtual cut-through
 //! (the default) is the compromise.
+//!
+//! All (rate × coupling) simulations run concurrently via the runner's
+//! [`par_map`].
 
 use cocnet::model::{evaluate, ModelOptions, Workload};
 use cocnet::presets;
+use cocnet::runner::par_map;
 use cocnet::sim::{run_simulation, Coupling, SimConfig};
 use cocnet::stats::Table;
 use cocnet_workloads::Pattern;
@@ -27,28 +31,48 @@ fn main() {
         seed: 31,
         ..SimConfig::default()
     };
+    let rates = [1e-4, 2e-4, 4e-4, 6e-4, 8e-4];
+    let couplings = [
+        Coupling::CutThrough,
+        Coupling::VirtualCutThrough,
+        Coupling::StoreAndForward,
+    ];
+    // One job per (rate, coupling); results come back in job order.
+    let jobs: Vec<(f64, Coupling)> = rates
+        .iter()
+        .flat_map(|&rate| couplings.iter().map(move |&c| (rate, c)))
+        .collect();
+    let results = par_map(&jobs, |&(rate, coupling)| {
+        let w = Workload {
+            lambda_g: rate,
+            ..wl
+        };
+        let cfg = SimConfig { coupling, ..base };
+        let r = run_simulation(&spec, &w, Pattern::Uniform, &cfg);
+        if r.completed {
+            format!("{:.2}", r.latency.mean)
+        } else {
+            "incomplete".into()
+        }
+    });
+
     println!("## N=544, M=32, Lm=256 — coupling-mode comparison");
     let mut table = Table::new(["rate", "model", "cut-through", "virtual-ct", "store&fwd"]);
-    for rate in [1e-4, 2e-4, 4e-4, 6e-4, 8e-4] {
-        let w = Workload { lambda_g: rate, ..wl };
+    for (i, &rate) in rates.iter().enumerate() {
+        let w = Workload {
+            lambda_g: rate,
+            ..wl
+        };
         let model = evaluate(&spec, &w, &opts)
             .map(|o| format!("{:.2}", o.latency))
             .unwrap_or_else(|_| "saturated".into());
-        let run = |coupling| {
-            let cfg = SimConfig { coupling, ..base };
-            let r = run_simulation(&spec, &w, Pattern::Uniform, &cfg);
-            if r.completed {
-                format!("{:.2}", r.latency.mean)
-            } else {
-                "incomplete".into()
-            }
-        };
+        let row = &results[i * couplings.len()..(i + 1) * couplings.len()];
         table.push_row([
             format!("{rate:.2e}"),
             model,
-            run(Coupling::CutThrough),
-            run(Coupling::VirtualCutThrough),
-            run(Coupling::StoreAndForward),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
         ]);
     }
     println!("{}", table.render());

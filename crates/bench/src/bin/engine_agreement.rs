@@ -1,6 +1,11 @@
 //! Cross-validation experiment: worm engine vs flit-level reference engine
 //! over a load sweep (store-and-forward boundaries on both so the
 //! comparison isolates the worm engine's within-segment approximation).
+//!
+//! Deliberately **not** parallelised over the runner: the final column is a
+//! wall-clock cost comparison between the two engines, and concurrent
+//! sibling simulations would contaminate each run's timing with scheduler
+//! contention. Each engine pair runs alone, back to back.
 
 use cocnet::model::Workload;
 use cocnet::sim::{run_simulation, run_simulation_flit, Coupling, SimConfig};

@@ -8,10 +8,7 @@ use cocnet_workloads::{presets, Pattern};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let rate: f64 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.5e-4);
+    let rate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.5e-4);
     let spec = presets::org_1120();
     let wl = Workload {
         lambda_g: rate,

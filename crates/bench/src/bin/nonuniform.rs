@@ -4,10 +4,13 @@
 //! compares the generalised analytical model (outgoing-probability profile)
 //! against the simulator's cluster-local pattern, on the paper's N=544
 //! organization.
+//!
+//! The locality points run concurrently via the runner's [`par_map`].
 
 use cocnet::model::{evaluate_with_profile, ModelOptions, OutgoingProfile, Workload};
 use cocnet::presets;
-use cocnet::sim::{run_simulation, SimConfig};
+use cocnet::runner::par_map;
+use cocnet::sim::{run_simulation_built, BuiltSystem, SimConfig};
 use cocnet::stats::Table;
 use cocnet_workloads::Pattern;
 
@@ -26,18 +29,16 @@ fn main() {
         seed: 55,
         ..SimConfig::default()
     };
+    let built = BuiltSystem::build(&spec, wl.flit_bytes);
     println!("## N=544, M=32, Lm=256, rate={rate:.1e} — locality sweep");
+    let localities = [0.0, 0.2, 0.4, 0.6, 0.8, 0.95];
+    let sims = par_map(&localities, |&locality| {
+        run_simulation_built(&built, &wl, Pattern::ClusterLocal { locality }, &cfg)
+    });
     let mut table = Table::new(["locality", "model", "sim", "err%", "sim inter-frac"]);
-    for locality in [0.0, 0.2, 0.4, 0.6, 0.8, 0.95] {
+    for (&locality, sim) in localities.iter().zip(&sims) {
         let profile = OutgoingProfile::cluster_local(&spec, locality).unwrap();
-        let model = evaluate_with_profile(&spec, &wl, &opts, &profile)
-            .map(|o| o.latency);
-        let sim = run_simulation(
-            &spec,
-            &wl,
-            Pattern::ClusterLocal { locality },
-            &cfg,
-        );
+        let model = evaluate_with_profile(&spec, &wl, &opts, &profile).map(|o| o.latency);
         let model_cell = model
             .as_ref()
             .map(|v| format!("{v:.2}"))

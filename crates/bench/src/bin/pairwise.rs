@@ -23,7 +23,10 @@ fn main() {
         // One representative cluster per height class.
         let mut reps: Vec<usize> = Vec::new();
         for i in 0..spec.num_clusters() {
-            if !reps.iter().any(|&r| spec.clusters[r].n == spec.clusters[i].n) {
+            if !reps
+                .iter()
+                .any(|&r| spec.clusters[r].n == spec.clusters[i].n)
+            {
                 reps.push(i);
             }
         }
@@ -35,7 +38,11 @@ fn main() {
         );
         let mut table = Table::new(header);
         for &i in &reps {
-            let mut row = vec![format!("n={} (N={})", spec.clusters[i].n, spec.cluster_nodes(i))];
+            let mut row = vec![format!(
+                "n={} (N={})",
+                spec.clusters[i].n,
+                spec.cluster_nodes(i)
+            )];
             for &j in &reps {
                 // Same class: pick another member of that class if it
                 // exists (pair latency needs distinct clusters).
@@ -48,10 +55,7 @@ fn main() {
                 row.push(match j_eff {
                     Some(j2) => pair_latency(&spec, &wl, i, j2, &opts)
                         .map(|p| {
-                            format!(
-                                "{:.1}",
-                                p.source_wait + p.network + p.tail + p.condis_wait
-                            )
+                            format!("{:.1}", p.source_wait + p.network + p.tail + p.condis_wait)
                         })
                         .unwrap_or_else(|_| "sat".into()),
                     None => "-".into(),

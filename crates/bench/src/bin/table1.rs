@@ -32,7 +32,9 @@ fn main() {
 
     // The node algebra: N = Σ 2(m/2)^{n_i}.
     for spec in [presets::org_1120(), presets::org_544()] {
-        let sum: usize = (0..spec.num_clusters()).map(|i| spec.cluster_nodes(i)).sum();
+        let sum: usize = (0..spec.num_clusters())
+            .map(|i| spec.cluster_nodes(i))
+            .sum();
         assert_eq!(sum, spec.total_nodes());
         println!(
             "check: C={} clusters of m={} sum to N={} nodes; ICN2 is an m-port {}-tree",

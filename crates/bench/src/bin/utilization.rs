@@ -49,7 +49,12 @@ fn main() {
     }
 
     println!("## N=1120, M=32, Lm=256, rate={rate:.2e} — channel utilisation by network class");
-    let mut table = Table::new(["network class", "mean util (sim)", "max util (sim)", "predicted util (model)"]);
+    let mut table = Table::new([
+        "network class",
+        "mean util (sim)",
+        "max util (sim)",
+        "predicted util (model)",
+    ]);
     for ((net, h), (sum, max, count)) in &sums {
         // A representative predicted value for the class.
         let pred = match *net {

@@ -6,10 +6,14 @@
 //! inter-cluster populations. The intra-cluster split is the cleanest
 //! accuracy test (single network, no concentrator ambiguity); see
 //! EXPERIMENTS.md for the discussion of the inter-cluster offset.
+//!
+//! The simulation points run concurrently through the unified
+//! `Scenario` runner.
 
+use cocnet::runner::Scenario;
 use cocnet_model::{evaluate, ModelOptions, Workload};
-use cocnet_sim::{run_simulation, SimConfig};
-use cocnet_workloads::{presets, Pattern};
+use cocnet_sim::SimConfig;
+use cocnet_workloads::presets;
 
 fn main() {
     let opts = ModelOptions::default();
@@ -37,15 +41,29 @@ fn main() {
         println!("--- {name}");
         println!(
             "{:>10} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
-            "rate", "model", "sim", "err%", "model-in", "sim-in", "err%", "model-ex", "sim-ex",
+            "rate",
+            "model",
+            "sim",
+            "err%",
+            "model-in",
+            "sim-in",
+            "err%",
+            "model-ex",
+            "sim-ex",
             "err%"
         );
-        for rate in rates {
+        let scenario = Scenario::new(name, spec.clone())
+            .with_workload("Lm=256", wl)
+            .with_rates(rates)
+            .with_sim(cfg);
+        let points = scenario.run_sim_detailed().remove(0);
+        for point in points {
+            let rate = point.rate;
+            let sim = point.first();
             let w = Workload {
                 lambda_g: rate,
                 ..wl
             };
-            let sim = run_simulation(&spec, &w, Pattern::Uniform, &cfg);
             match evaluate(&spec, &w, &opts) {
                 Ok(out) => {
                     // Population-weighted model means for the intra/inter splits.

@@ -5,10 +5,18 @@
 //! * `--quick` — scaled-down simulation (2k/20k/2k messages instead of the
 //!   paper's 10k/100k/10k) for a fast smoke run;
 //! * `--points N` — number of x-axis points (default 10);
+//! * `--replications N` — independent simulation replications per point
+//!   (default 1);
 //! * `--json` — also print the series as JSON (recorded in EXPERIMENTS.md);
-//! * `--no-sim` — analysis only.
+//! * `--no-sim` — analysis only;
+//! * `--serial` — run the sweep on one core (the runner's serial reference
+//!   path; bit-identical results, used for speedup measurements).
+//!
+//! All simulation sweeps execute through [`cocnet::runner::Scenario`], so
+//! every (workload × rate × replication) run is fanned out over the rayon
+//! pool with deterministic seeding.
 
-use cocnet::experiments::{figure_config, run_figure_model, run_figure_sim, Figure};
+use cocnet::experiments::{figure_config, figure_scenario, Figure};
 use cocnet::model::ModelOptions;
 use cocnet::report::{render_figure, to_json};
 use cocnet::sim::SimConfig;
@@ -20,10 +28,14 @@ pub struct Cli {
     pub quick: bool,
     /// Number of sweep points.
     pub points: usize,
+    /// Independent replications per sweep point.
+    pub replications: usize,
     /// Emit JSON after the table.
     pub json: bool,
     /// Skip the simulation series.
     pub no_sim: bool,
+    /// Force the serial reference path (for speedup measurements).
+    pub serial: bool,
 }
 
 impl Cli {
@@ -33,8 +45,10 @@ impl Cli {
         let mut cli = Cli {
             quick: false,
             points: 10,
+            replications: 1,
             json: false,
             no_sim: false,
+            serial: false,
         };
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -42,11 +56,18 @@ impl Cli {
                 "--quick" => cli.quick = true,
                 "--json" => cli.json = true,
                 "--no-sim" => cli.no_sim = true,
+                "--serial" => cli.serial = true,
                 "--points" => {
                     cli.points = it
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--points needs a number");
+                }
+                "--replications" => {
+                    cli.replications = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--replications needs a number");
                 }
                 other => eprintln!("ignoring unknown argument {other:?}"),
             }
@@ -80,10 +101,28 @@ pub fn figure_main(fig: Figure) {
     let cfg = figure_config(fig);
     let opts = ModelOptions::default();
 
-    let mut series = run_figure_model(&cfg, &opts, cli.points);
+    let scenario = figure_scenario(&cfg, &cli.sim_config(), cli.points)
+        .with_opts(opts)
+        .with_replications(cli.replications);
+    let mut series = scenario.run_model();
     if !cli.no_sim {
-        let sim_cfg = cli.sim_config();
-        series.extend(run_figure_sim(&cfg, &sim_cfg, cli.points));
+        let start = std::time::Instant::now();
+        let sim_series = if cli.serial {
+            scenario.run_sim_serial()
+        } else {
+            scenario.run_sim()
+        };
+        let jobs = scenario.workloads.len() * scenario.rates.len() * scenario.replications;
+        eprintln!(
+            "[sweep: {jobs} simulations in {:.2?} ({})]",
+            start.elapsed(),
+            if cli.serial {
+                "serial".to_string()
+            } else {
+                format!("{} threads", rayon::current_num_threads())
+            },
+        );
+        series.extend(sim_series);
     }
     println!("{}", render_figure(&cfg.title, &series));
     println!("{}", cocnet::stats::scatter(&series, 64, 20));
@@ -101,8 +140,10 @@ mod tests {
         let quick = Cli {
             quick: true,
             points: 10,
+            replications: 1,
             json: false,
             no_sim: false,
+            serial: false,
         };
         let full = Cli {
             quick: false,

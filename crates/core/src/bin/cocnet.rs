@@ -20,8 +20,8 @@ use cocnet::experiments::{figure_config, run_figure_model, Figure};
 use cocnet::model::{
     evaluate_with_profile, saturation_point, sweep, ModelOptions, OutgoingProfile, Workload,
 };
-use cocnet::report::render_figure;
 use cocnet::presets;
+use cocnet::report::render_figure;
 use cocnet::sim::{run_simulation, SimConfig};
 use cocnet::stats::{scatter, Series, Table};
 use cocnet::topology::{ClusterSpec, SystemSpec};
@@ -208,7 +208,9 @@ fn cmd_sweep(flags: &HashMap<String, String>) {
     let wl = build_workload(flags);
     let max: f64 = get(flags, "max-rate", 1e-3);
     let points: usize = get(flags, "points", 12);
-    let rates: Vec<f64> = (1..=points).map(|i| max * i as f64 / points as f64).collect();
+    let rates: Vec<f64> = (1..=points)
+        .map(|i| max * i as f64 / points as f64)
+        .collect();
     let series: Series = sweep(&spec, &wl, &rates, &ModelOptions::default(), "Analysis");
     let mut table = Table::new(["rate", "latency"]);
     for p in &series.points {

@@ -8,10 +8,11 @@
 //! 20 %. [`figure_config`] returns the exact parameters; [`run_figure_model`]
 //! and [`run_figure_sim`] produce the series.
 
-use cocnet_model::{sweep, ModelOptions, Workload};
+use crate::runner::Scenario;
+use cocnet_model::{rate_grid, sweep, ModelOptions, Workload};
 use cocnet_stats::Series;
 use cocnet_topology::SystemSpec;
-use cocnet_workloads::{presets, Pattern};
+use cocnet_workloads::presets;
 
 /// The paper's latency-vs-load figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,56 +79,38 @@ pub fn figure_config(fig: Figure) -> FigureConfig {
     }
 }
 
-/// Evenly spaced rates over `(0, max]`.
-fn grid(max: f64, points: usize) -> Vec<f64> {
-    (1..=points).map(|i| max * i as f64 / points as f64).collect()
+/// The [`Scenario`] equivalent of a [`FigureConfig`]: the figure's spec
+/// and workloads over an evenly spaced `points`-rate grid, ready for the
+/// unified runner. The historical shared-seed policy is kept so published
+/// series stay reproducible.
+pub fn figure_scenario(cfg: &FigureConfig, sim: &cocnet_sim::SimConfig, points: usize) -> Scenario {
+    let mut scenario = Scenario::new(cfg.title.clone(), cfg.spec.clone())
+        .with_grid(cfg.max_rate, points)
+        .with_sim(*sim);
+    for (suffix, wl) in &cfg.workloads {
+        scenario = scenario.with_workload(suffix.clone(), *wl);
+    }
+    scenario
 }
 
 /// Produces the figure's `Analysis (…)` series from the analytical model.
 pub fn run_figure_model(cfg: &FigureConfig, opts: &ModelOptions, points: usize) -> Vec<Series> {
-    let rates = grid(cfg.max_rate, points);
-    cfg.workloads
-        .iter()
-        .map(|(suffix, wl)| sweep(&cfg.spec, wl, &rates, opts, format!("Analysis ({suffix})")))
-        .collect()
+    figure_scenario(cfg, &cocnet_sim::SimConfig::default(), points)
+        .with_opts(*opts)
+        .run_model()
 }
 
-/// Produces the figure's `Simulation (…)` series. Rate points run in
-/// parallel (rayon); points whose run fails to complete (saturation) are
-/// omitted, mirroring how the paper's simulation points stop at saturation.
+/// Produces the figure's `Simulation (…)` series via the unified
+/// [`Scenario`] runner: every rate point of every workload runs
+/// concurrently on the rayon pool. Points whose run fails to complete
+/// (saturation) are omitted, mirroring how the paper's simulation points
+/// stop at saturation.
 pub fn run_figure_sim(
     cfg: &FigureConfig,
     sim: &cocnet_sim::SimConfig,
     points: usize,
 ) -> Vec<Series> {
-    use rayon::prelude::*;
-    let rates = grid(cfg.max_rate, points);
-    cfg.workloads
-        .iter()
-        .map(|(suffix, wl)| {
-            let results: Vec<Option<(f64, f64)>> = rates
-                .par_iter()
-                .map(|&rate| {
-                    let r = cocnet_sim::run_simulation(
-                        &cfg.spec,
-                        &wl.with_rate(rate),
-                        Pattern::Uniform,
-                        sim,
-                    );
-                    if r.completed {
-                        Some((rate, r.latency.mean))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            let mut series = Series::new(format!("Simulation ({suffix})"));
-            for (rate, mean) in results.into_iter().flatten() {
-                series.push(rate, mean);
-            }
-            series
-        })
-        .collect()
+    figure_scenario(cfg, sim, points).run_sim()
 }
 
 /// Fig. 7: the ICN2 bandwidth design-space study. Returns four analysis
@@ -135,7 +118,7 @@ pub fn run_figure_sim(
 /// with the paper's `M=128`, `d_m=256` workload.
 pub fn run_fig7(opts: &ModelOptions, points: usize) -> Vec<Series> {
     let wl = presets::wl_m128_l256();
-    let rates = grid(presets::rates::FIG7_MAX, points);
+    let rates = rate_grid(presets::rates::FIG7_MAX, points);
     let mut out = Vec::with_capacity(4);
     for (label, spec) in [
         ("N=544, Base", presets::org_544()),

@@ -45,6 +45,7 @@
 pub mod compare;
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 pub use cocnet_model as model;
 pub use cocnet_sim as sim;
@@ -55,7 +56,10 @@ pub use cocnet_workloads::presets;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::compare::{compare_series, ValidationRow};
-    pub use crate::experiments::{figure_config, run_fig7, run_figure_model, run_figure_sim, Figure};
+    pub use crate::experiments::{
+        figure_config, run_fig7, run_figure_model, run_figure_sim, Figure,
+    };
+    pub use crate::runner::{PointSim, Scenario, Seeding};
     pub use cocnet_model::{
         evaluate, saturation_point, sweep, ModelOptions, SystemLatency, VarianceApprox, Workload,
     };

@@ -1,0 +1,446 @@
+//! The unified experiment runner: one [`Scenario`] abstraction executed
+//! over a rayon pool with deterministic seeding, shared by the figure
+//! harness, the CLI, and every bench binary that sweeps load.
+//!
+//! Before this module existed, each figure/table/ablation binary hand-rolled
+//! its own serial sweep loop; a full-methodology figure regeneration kept
+//! one core busy for minutes while the rest idled. A `Scenario` names the
+//! whole experiment — system spec, workloads, traffic pattern, sweep grid,
+//! replication count, model options, simulation config — and the runner
+//! fans every (workload × rate × replication) simulation out over the
+//! thread pool.
+//!
+//! # Determinism
+//!
+//! Parallel execution is bit-identical to serial execution: each job's
+//! seed is a pure function of the scenario ([`Seeding`]), and results are
+//! reassembled in job order regardless of completion order.
+//! [`Scenario::run_sim_serial`] is the same job list evaluated with a
+//! plain loop — the equality is pinned by `tests/scenario_smoke.rs`.
+
+use cocnet_model::{sweep, ModelOptions, Workload};
+use cocnet_sim::{
+    run_simulation_built, summarize, BuiltSystem, ReplicationSummary, SimConfig, SimResults,
+};
+use cocnet_stats::Series;
+use cocnet_topology::SystemSpec;
+use cocnet_workloads::Pattern;
+use rayon::prelude::*;
+
+/// How per-job seeds are derived from `sim.seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Seeding {
+    /// Every sweep point uses `sim.seed` as its base seed (replication `r`
+    /// adds `r`). This is the historical figure-harness behaviour — the
+    /// published series and the determinism tests assume it.
+    #[default]
+    Shared,
+    /// Each (workload, point) pair gets its own base seed, mixed from
+    /// `sim.seed` by a SplitMix64 step, so sweep points are statistically
+    /// independent even at equal rates. Preferred for new studies.
+    PerPoint,
+}
+
+/// One fully specified experiment: everything needed to regenerate a
+/// latency-vs-load figure (or any rate sweep) from both the analytical
+/// model and the simulator.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable title (used by reports; never by execution).
+    pub name: String,
+    /// The system organization under study.
+    pub spec: SystemSpec,
+    /// `(legend suffix, workload)` pairs; each produces one series.
+    pub workloads: Vec<(String, Workload)>,
+    /// Destination traffic pattern for the simulator.
+    pub pattern: Pattern,
+    /// The sweep grid: traffic generation rates, in plot order.
+    pub rates: Vec<f64>,
+    /// Independent replications per sweep point (≥ 1).
+    pub replications: usize,
+    /// Seed-derivation policy.
+    pub seeding: Seeding,
+    /// Analytical-model options.
+    pub opts: ModelOptions,
+    /// Simulation configuration (population sizes, base seed, coupling…).
+    pub sim: SimConfig,
+}
+
+/// One sweep point's simulation outcome: the raw per-replication results
+/// plus the rate they were run at. Detailed enough for binaries that
+/// report more than the mean (intra/inter splits, channel utilisation).
+#[derive(Debug, Clone)]
+pub struct PointSim {
+    /// Traffic generation rate of this point.
+    pub rate: f64,
+    /// Base seed the point's replications started from.
+    pub seed: u64,
+    /// Per-replication results, in seed order.
+    pub runs: Vec<SimResults>,
+}
+
+impl PointSim {
+    /// Whether every replication delivered its measured population.
+    pub fn completed(&self) -> bool {
+        self.runs.iter().all(|r| r.completed)
+    }
+
+    /// Cross-replication summary (mean of means, CI), identical to what
+    /// [`cocnet_sim::replicate`] would report.
+    pub fn summary(&self) -> ReplicationSummary {
+        summarize(&self.runs, self.runs.len())
+    }
+
+    /// The first replication's full results (convenient when
+    /// `replications == 1`).
+    pub fn first(&self) -> &SimResults {
+        &self.runs[0]
+    }
+}
+
+/// A single schedulable unit: one simulation run.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    workload: usize,
+    point: usize,
+    replication: usize,
+    rate: f64,
+    seed: u64,
+}
+
+/// SplitMix64 output function — the seed mixer behind [`Seeding::PerPoint`].
+fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_add(b.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Scenario {
+    /// A scenario with the given title and system, no workloads or rates
+    /// yet, uniform traffic, one replication, shared seeding, and default
+    /// model/sim options. Chain the `with_*` builders to fill it in.
+    pub fn new(name: impl Into<String>, spec: SystemSpec) -> Self {
+        Scenario {
+            name: name.into(),
+            spec,
+            workloads: Vec::new(),
+            pattern: Pattern::Uniform,
+            rates: Vec::new(),
+            replications: 1,
+            seeding: Seeding::default(),
+            opts: ModelOptions::default(),
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Adds one `(legend suffix, workload)` series.
+    pub fn with_workload(mut self, label: impl Into<String>, wl: Workload) -> Self {
+        self.workloads.push((label.into(), wl));
+        self
+    }
+
+    /// Sets the sweep grid explicitly.
+    pub fn with_rates(mut self, rates: Vec<f64>) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets an evenly spaced grid of `points` rates over `(0, max]`.
+    pub fn with_grid(self, max: f64, points: usize) -> Self {
+        self.with_rates(cocnet_model::rate_grid(max, points))
+    }
+
+    /// Sets the traffic pattern.
+    pub fn with_pattern(mut self, pattern: Pattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Sets the per-point replication count.
+    pub fn with_replications(mut self, replications: usize) -> Self {
+        assert!(replications > 0, "need at least one replication");
+        self.replications = replications;
+        self
+    }
+
+    /// Sets the seeding policy.
+    pub fn with_seeding(mut self, seeding: Seeding) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Sets the model options.
+    pub fn with_opts(mut self, opts: ModelOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the simulation configuration.
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The base seed of one (workload, point) pair under the scenario's
+    /// seeding policy. Replication `r` runs at `point_seed + r`.
+    pub fn point_seed(&self, workload: usize, point: usize) -> u64 {
+        match self.seeding {
+            Seeding::Shared => self.sim.seed,
+            Seeding::PerPoint => mix_seed(self.sim.seed, (workload as u64) << 32 | point as u64),
+        }
+    }
+
+    /// The analytical series: one per workload, produced by
+    /// [`cocnet_model::sweep`] over the scenario grid. Rates past the
+    /// stability boundary yield no point, as in the paper's figures.
+    pub fn run_model(&self) -> Vec<Series> {
+        self.workloads
+            .iter()
+            .map(|(suffix, wl)| {
+                sweep(
+                    &self.spec,
+                    wl,
+                    &self.rates,
+                    &self.opts,
+                    format!("Analysis ({suffix})"),
+                )
+            })
+            .collect()
+    }
+
+    /// The simulation series: one per workload, each point the mean over
+    /// the point's replications. Points whose replications fail to
+    /// complete (saturation) are omitted, mirroring how the paper's
+    /// simulation points stop at saturation. All (workload × rate ×
+    /// replication) runs execute concurrently on the rayon pool.
+    pub fn run_sim(&self) -> Vec<Series> {
+        self.series_from_points(self.run_sim_detailed())
+    }
+
+    /// Serial reference for [`run_sim`]: the identical job list evaluated
+    /// with a plain loop. Exists for determinism tests and for measuring
+    /// the parallel speedup; results are bit-identical to [`run_sim`].
+    pub fn run_sim_serial(&self) -> Vec<Series> {
+        self.series_from_points(self.run_sim_detailed_serial())
+    }
+
+    /// Full per-point results (per workload, in grid order), run in
+    /// parallel. Use this instead of [`run_sim`] when a binary needs more
+    /// than the latency mean.
+    pub fn run_sim_detailed(&self) -> Vec<Vec<PointSim>> {
+        let jobs = self.jobs();
+        let builts = self.build_all();
+        let results: Vec<SimResults> = jobs
+            .par_iter()
+            .map(|job| self.run_job(&builts, job))
+            .collect();
+        self.assemble(&jobs, results)
+    }
+
+    /// Serial reference for [`run_sim_detailed`]; bit-identical results.
+    pub fn run_sim_detailed_serial(&self) -> Vec<Vec<PointSim>> {
+        let jobs = self.jobs();
+        let builts = self.build_all();
+        let results: Vec<SimResults> = jobs.iter().map(|job| self.run_job(&builts, job)).collect();
+        self.assemble(&jobs, results)
+    }
+
+    /// The flattened job list, in (workload, point, replication) order.
+    fn jobs(&self) -> Vec<Job> {
+        let mut jobs =
+            Vec::with_capacity(self.workloads.len() * self.rates.len() * self.replications);
+        for w in 0..self.workloads.len() {
+            for (p, &rate) in self.rates.iter().enumerate() {
+                let base = self.point_seed(w, p);
+                for r in 0..self.replications {
+                    jobs.push(Job {
+                        workload: w,
+                        point: p,
+                        replication: r,
+                        rate,
+                        seed: base.wrapping_add(r as u64),
+                    });
+                }
+            }
+        }
+        jobs
+    }
+
+    /// One built system per workload (flit size differs per workload);
+    /// building once and sharing it across the pool avoids redundant
+    /// route-table construction per sweep point.
+    fn build_all(&self) -> Vec<BuiltSystem> {
+        self.workloads
+            .iter()
+            .map(|(_, wl)| BuiltSystem::build(&self.spec, wl.flit_bytes))
+            .collect()
+    }
+
+    /// Executes one job. Pure: output depends only on (scenario, job).
+    fn run_job(&self, builts: &[BuiltSystem], job: &Job) -> SimResults {
+        let (_, wl) = &self.workloads[job.workload];
+        let cfg = SimConfig {
+            seed: job.seed,
+            ..self.sim
+        };
+        run_simulation_built(
+            &builts[job.workload],
+            &wl.with_rate(job.rate),
+            self.pattern,
+            &cfg,
+        )
+    }
+
+    /// Groups flat job results back into per-workload, per-point buckets.
+    fn assemble(&self, jobs: &[Job], results: Vec<SimResults>) -> Vec<Vec<PointSim>> {
+        let mut out: Vec<Vec<PointSim>> = (0..self.workloads.len())
+            .map(|w| {
+                (0..self.rates.len())
+                    .map(|p| PointSim {
+                        rate: self.rates[p],
+                        seed: self.point_seed(w, p),
+                        runs: Vec::with_capacity(self.replications),
+                    })
+                    .collect()
+            })
+            .collect();
+        for (job, result) in jobs.iter().zip(results) {
+            debug_assert_eq!(out[job.workload][job.point].runs.len(), job.replication);
+            out[job.workload][job.point].runs.push(result);
+        }
+        out
+    }
+
+    /// Builds the `Simulation (…)` series from detailed results.
+    fn series_from_points(&self, detailed: Vec<Vec<PointSim>>) -> Vec<Series> {
+        self.workloads
+            .iter()
+            .zip(detailed)
+            .map(|((suffix, _), points)| {
+                let mut series = Series::new(format!("Simulation ({suffix})"));
+                for point in points {
+                    if point.completed() {
+                        series.push(point.rate, point.summary().mean);
+                    }
+                }
+                series
+            })
+            .collect()
+    }
+}
+
+/// Order-preserving parallel map over arbitrary experiment jobs — for
+/// binaries whose sweep axis is not a rate grid (locality, duty cycle,
+/// buffer depth…). Results arrive in input order; panics propagate.
+pub fn par_map<J: Sync, R: Send>(jobs: &[J], f: impl Fn(&J) -> R + Sync) -> Vec<R> {
+    jobs.par_iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocnet_topology::{ClusterSpec, NetworkCharacteristics};
+
+    fn small_spec() -> SystemSpec {
+        let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+        let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+        let c = |n| ClusterSpec {
+            n,
+            icn1: net1,
+            ecn1: net2,
+        };
+        SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap()
+    }
+
+    fn quick_sim(seed: u64) -> SimConfig {
+        SimConfig {
+            warmup: 200,
+            measured: 2_000,
+            drain: 200,
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    fn scenario() -> Scenario {
+        Scenario::new("test", small_spec())
+            .with_workload("Lm=256", Workload::new(0.0, 16, 256.0).unwrap())
+            .with_grid(6e-4, 4)
+            .with_sim(quick_sim(11))
+    }
+
+    #[test]
+    fn parallel_equals_serial_bitwise() {
+        for seeding in [Seeding::Shared, Seeding::PerPoint] {
+            let s = scenario().with_seeding(seeding).with_replications(2);
+            let par = s.run_sim_detailed();
+            let ser = s.run_sim_detailed_serial();
+            assert_eq!(par.len(), ser.len());
+            for (pw, sw) in par.iter().zip(&ser) {
+                for (pp, sp) in pw.iter().zip(sw) {
+                    assert_eq!(pp.seed, sp.seed);
+                    assert_eq!(pp.runs.len(), sp.runs.len());
+                    for (pr, sr) in pp.runs.iter().zip(&sp.runs) {
+                        assert_eq!(pr.latency, sr.latency);
+                        assert_eq!(pr.generated, sr.generated);
+                        assert_eq!(pr.sim_time, sr.sim_time);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_seeding_matches_plain_run_simulation() {
+        let s = scenario();
+        let series = s.run_sim();
+        assert_eq!(series.len(), 1);
+        for point in &series[0].points {
+            let r = cocnet_sim::run_simulation(
+                &s.spec,
+                &s.workloads[0].1.with_rate(point.x),
+                Pattern::Uniform,
+                &s.sim,
+            );
+            assert_eq!(r.latency.mean, point.y, "rate {}", point.x);
+        }
+    }
+
+    #[test]
+    fn per_point_seeds_are_distinct_and_stable() {
+        let s = scenario()
+            .with_seeding(Seeding::PerPoint)
+            .with_grid(6e-4, 8);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..8 {
+            let seed = s.point_seed(0, p);
+            assert!(seen.insert(seed), "seed collision at point {p}");
+            assert_eq!(seed, s.point_seed(0, p), "seed must be pure");
+        }
+    }
+
+    #[test]
+    fn replications_summarized_like_replicate() {
+        let s = scenario().with_replications(3);
+        let detailed = s.run_sim_detailed();
+        let wl = s.workloads[0].1.with_rate(s.rates[0]);
+        let cfg = SimConfig {
+            seed: s.point_seed(0, 0),
+            ..s.sim
+        };
+        let reference = cocnet_sim::replicate(&s.spec, &wl, Pattern::Uniform, &cfg, 3);
+        let got = detailed[0][0].summary();
+        assert_eq!(got.replication_means, reference.replication_means);
+        assert_eq!(got.mean, reference.mean);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let jobs: Vec<u64> = (0..40).collect();
+        let out = par_map(&jobs, |&j| j * j);
+        assert_eq!(out, jobs.iter().map(|j| j * j).collect::<Vec<_>>());
+    }
+}

@@ -183,8 +183,7 @@ mod tests {
         let s = spec(&[2, 2, 3, 3]);
         let wl = Workload::new(0.0, 32, 256.0).unwrap();
         let opts = ModelOptions::default();
-        let real_sat =
-            crate::sweep::saturation_point(&s, &wl, &opts, 1e-4).unwrap();
+        let real_sat = crate::sweep::saturation_point(&s, &wl, &opts, 1e-4).unwrap();
         // The baseline still evaluates fine at twice the real saturation.
         assert!(evaluate_baseline(&s, &wl.with_rate(2.0 * real_sat), &opts).is_ok());
     }

@@ -77,7 +77,11 @@ pub fn intra_latency_with_u(
         let k = (2 * h - 1) as usize;
         let mut stages = Vec::with_capacity(k);
         for s in 0..k {
-            let transfer = if s == k - 1 { m_flits * t_cn } else { m_flits * t_cs };
+            let transfer = if s == k - 1 {
+                m_flits * t_cn
+            } else {
+                m_flits * t_cs
+            };
             stages.push(Stage { transfer, eta });
         }
         t_in += probs[(h - 1) as usize] * journey_latency(&stages).t0;

@@ -48,5 +48,5 @@ pub use model::{
 };
 pub use profile::OutgoingProfile;
 pub use rates::{network_rates, NetworkRates};
-pub use sweep::{saturation_point, sweep};
+pub use sweep::{rate_grid, saturation_point, sweep};
 pub use workload::Workload;

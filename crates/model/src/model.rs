@@ -205,9 +205,7 @@ mod tests {
     fn small_clusters_send_more_outside() {
         let s = spec(4, &[1, 3, 3, 3]);
         let out = evaluate(&s, &wl(1e-5), &ModelOptions::default()).unwrap();
-        assert!(
-            out.per_cluster[0].outgoing_probability > out.per_cluster[1].outgoing_probability
-        );
+        assert!(out.per_cluster[0].outgoing_probability > out.per_cluster[1].outgoing_probability);
     }
 
     #[test]

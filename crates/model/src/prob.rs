@@ -85,7 +85,16 @@ mod tests {
     use super::*;
     use cocnet_topology::MPortNTree;
 
-    const CASES: &[(u32, u32)] = &[(4, 1), (4, 2), (4, 3), (4, 4), (8, 1), (8, 2), (8, 3), (16, 2)];
+    const CASES: &[(u32, u32)] = &[
+        (4, 1),
+        (4, 2),
+        (4, 3),
+        (4, 4),
+        (8, 1),
+        (8, 2),
+        (8, 3),
+        (16, 2),
+    ];
 
     #[test]
     fn distribution_sums_to_one() {

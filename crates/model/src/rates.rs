@@ -145,8 +145,7 @@ mod tests {
         let s = spec();
         let wl = Workload::new(0.0, 32, 256.0).unwrap();
         let sat =
-            crate::sweep::saturation_point(&s, &wl, &crate::ModelOptions::default(), 1e-4)
-                .unwrap();
+            crate::sweep::saturation_point(&s, &wl, &crate::ModelOptions::default(), 1e-4).unwrap();
         let r = network_rates(&s, &wl.with_rate(sat * 0.95));
         assert!(r.util_icn2 < 1.0);
         assert!(r.util_ecn1.iter().all(|&u| u < 1.0));

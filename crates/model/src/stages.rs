@@ -123,18 +123,9 @@ mod tests {
         let tau = 5.0;
         let eta = 0.02;
         let j = journey_latency(&[
-            Stage {
-                transfer: tau,
-                eta,
-            },
-            Stage {
-                transfer: tau,
-                eta,
-            },
-            Stage {
-                transfer: tau,
-                eta,
-            },
+            Stage { transfer: tau, eta },
+            Stage { transfer: tau, eta },
+            Stage { transfer: tau, eta },
         ]);
         let w2 = 0.5 * eta * tau * tau;
         let t1 = tau + w2;
@@ -146,18 +137,9 @@ mod tests {
     fn latency_monotone_in_rate() {
         let mk = |eta| {
             journey_latency(&[
-                Stage {
-                    transfer: 8.0,
-                    eta,
-                },
-                Stage {
-                    transfer: 8.0,
-                    eta,
-                },
-                Stage {
-                    transfer: 8.0,
-                    eta,
-                },
+                Stage { transfer: 8.0, eta },
+                Stage { transfer: 8.0, eta },
+                Stage { transfer: 8.0, eta },
             ])
             .t0
         };

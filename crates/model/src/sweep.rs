@@ -130,10 +130,10 @@ mod tests {
     fn longer_messages_halve_saturation() {
         let opts = ModelOptions::default();
         let s = spec();
-        let sat32 = saturation_point(&s, &Workload::new(0.0, 32, 256.0).unwrap(), &opts, 1e-5)
-            .unwrap();
-        let sat64 = saturation_point(&s, &Workload::new(0.0, 64, 256.0).unwrap(), &opts, 1e-5)
-            .unwrap();
+        let sat32 =
+            saturation_point(&s, &Workload::new(0.0, 32, 256.0).unwrap(), &opts, 1e-5).unwrap();
+        let sat64 =
+            saturation_point(&s, &Workload::new(0.0, 64, 256.0).unwrap(), &opts, 1e-5).unwrap();
         let ratio = sat32 / sat64;
         assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio} should be ~2");
     }

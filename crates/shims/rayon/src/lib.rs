@@ -1,0 +1,331 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses — `par_iter`
+//! on slices, `into_par_iter` on vectors and integer ranges, `map`,
+//! `collect`, `for_each`, `sum` — over `std::thread::scope` with a shared
+//! atomic work index (dynamic scheduling, so one slow sweep point near
+//! saturation does not serialize the whole batch behind a static chunking
+//! choice).
+//!
+//! Two guarantees the experiment harness leans on:
+//!
+//! * **Order preservation**: `collect` returns results in input order
+//!   regardless of completion order, so parallel sweeps are bit-identical
+//!   to their serial counterparts.
+//! * **Panic propagation**: a panicking task panics the caller, matching
+//!   rayon's behaviour under `cargo test`.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` when set (rayon's own
+//! environment knob), else `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `use rayon::prelude::*` — everything callers need.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads the pool will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The executor: applies `f` to every index in `0..n`, distributing
+/// indices dynamically over scoped threads, returning results in order.
+fn run_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = &AtomicUsize::new(0);
+    let f = &f;
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index produced a result"))
+        .collect()
+}
+
+/// A parallel pipeline: a random-access source plus mapped stages. The
+/// whole composed chain runs per index on the worker threads, so chained
+/// `map`s parallelize as one unit.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type produced for each index.
+    type Item: Send;
+
+    /// Number of items in the source.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `i`. Called at most once per index, possibly
+    /// from several threads concurrently (hence `&self`).
+    fn item_at(&self, i: usize) -> Self::Item;
+
+    /// Parallel map.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Parallel side-effecting loop.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        let this = &self;
+        let f = &f;
+        run_indexed(this.len(), move |i| f(this.item_at(i)));
+    }
+
+    /// Runs the pipeline and collects into any `FromIterator` container,
+    /// preserving input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let this = &self;
+        run_indexed(this.len(), move |i| this.item_at(i))
+            .into_iter()
+            .collect()
+    }
+
+    /// Parallel sum.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.collect::<Vec<_>>().into_iter().sum()
+    }
+
+    /// Hint accepted for rayon compatibility; the dynamic scheduler
+    /// ignores it.
+    fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item_at(&self, i: usize) -> &'a T {
+        &self.items[i]
+    }
+}
+
+/// Owning parallel iterator (vectors, ranges). Items are parked in
+/// per-slot mutexes so `item_at(&self)` can move each one out exactly once.
+pub struct IntoParIter<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn item_at(&self, i: usize) -> T {
+        self.slots[i]
+            .lock()
+            .expect("slot lock poisoned")
+            .take()
+            .expect("each index visited once")
+    }
+}
+
+/// A mapped pipeline stage.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I: ParallelIterator, R: Send, F: Fn(I::Item) -> R + Sync> ParallelIterator for Map<I, F> {
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn item_at(&self, i: usize) -> R {
+        (self.f)(self.inner.item_at(i))
+    }
+}
+
+/// `.par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Sync + 'a;
+
+    /// Returns a borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.into_par_iter()` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Consumes `self` into an owning parallel iterator.
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter {
+            slots: self.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+        }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> IntoParIter<$t> {
+                IntoParIter {
+                    slots: self.map(|x| Mutex::new(Some(x))).collect(),
+                }
+            }
+        }
+    )*};
+}
+range_into_par_iter!(usize, u64, u32);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<String> = (0..10usize)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .map(|i| format!("v{i}"))
+            .collect();
+        assert_eq!(out[3], "v9");
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn owning_iter_moves_items() {
+        let strings: Vec<String> = vec!["a".to_string(), "b".to_string()]
+            .into_par_iter()
+            .map(|s| s + "!")
+            .collect();
+        assert_eq!(strings, vec!["a!", "b!"]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        if super::current_num_threads() < 2 {
+            return; // single-core runner: nothing to assert
+        }
+        let ids: std::collections::HashSet<std::thread::ThreadId> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::current().id()
+            })
+            .collect();
+        assert!(ids.len() > 1, "work never left one thread");
+    }
+
+    #[test]
+    fn sum_and_for_each() {
+        let total: usize = (0..100usize).into_par_iter().sum();
+        assert_eq!(total, 4950);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        (0..25usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_panics() {
+        let _: Vec<()> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            })
+            .collect();
+    }
+}

@@ -1,0 +1,399 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment is offline, so `syn`/`quote` are unavailable; the
+//! derive input is parsed directly from `proc_macro::TokenStream`. Scope is
+//! exactly what this workspace derives on: non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple, struct variants), serialized in
+//! serde's default layout — objects keyed by field name, externally tagged
+//! enums, bare strings for unit variants, transparent newtypes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Skips one attribute (`#` already consumed callers pass the iterator at
+/// `#`): consumes the `#` and the following bracket group.
+fn skip_attr(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    it.next(); // '#'
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("malformed attribute near {other:?}"),
+    }
+}
+
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(it),
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // pub(crate) / pub(super) …
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes tokens up to (and including) the next comma that sits outside
+/// any `<…>` nesting. Returns false when the stream ended instead.
+fn skip_type_until_comma(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut angle: i32 = 0;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected ':' after field {id}, found {other:?}"),
+                }
+                if !skip_type_until_comma(&mut it) {
+                    break;
+                }
+            }
+            Some(other) => panic!("unexpected token in fields: {other}"),
+        }
+    }
+    names
+}
+
+fn parse_tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        arity += 1;
+        if !skip_type_until_comma(&mut it) {
+            break;
+        }
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("unexpected token in enum body: {other}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                it.next();
+                Fields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                it.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        match it.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                skip_type_until_comma(&mut it);
+            }
+            Some(other) => panic!("unexpected token after variant {name}: {other}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    let is_enum = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match it.next() {
+                Some(TokenTree::Group(_)) => {}
+                other => panic!("malformed attribute near {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                "struct" => break false,
+                "enum" => break true,
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("derive input has no struct or enum"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic type {name}");
+        }
+    }
+    let kind = if is_enum {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(parse_tuple_arity(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("expected struct body, found {other:?}"),
+        }
+    };
+    Input { name, kind }
+}
+
+// ---- Serialize -------------------------------------------------------------
+
+fn ser_named(path: &str, fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+                access(f)
+            )
+        })
+        .collect();
+    let _ = path;
+    format!("::serde::Value::Obj(vec![{}])", pairs.join(""))
+}
+
+/// `#[derive(Serialize)]`: emits a `serde::Serialize` impl converting the
+/// type into the shim's `Value` model (serde's default JSON layout).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => ser_named(name, fields, |f| format!("&self.{f}")),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(""))
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(","),
+                                items.join("")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(",");
+                            let inner = ser_named(vname, fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vname}\"), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(""))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize) generated invalid code")
+}
+
+// ---- Deserialize -----------------------------------------------------------
+
+fn de_named(ty: &str, ctor: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field({source}, \"{ty}\", \"{f}\")?,"))
+        .collect();
+    format!("{ctor} {{ {} }}", inits.join(""))
+}
+
+/// `#[derive(Deserialize)]`: emits a `serde::Deserialize` impl rebuilding
+/// the type from the shim's `Value` model, with path-labelled errors.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let build = de_named(name, name, fields, "v");
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Obj(_) => ::std::result::Result::Ok({build}),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\n\
+                 }}"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_element(items, \"{name}\", {i})?,"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Arr(items) => ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"array\", other)),\n\
+                 }}",
+                items.join("")
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let full = format!("{name}::{vname}");
+                    match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({full}(::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::de_element(items, \"{full}\", {i})?,"))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => match inner {{\n\
+                                     ::serde::Value::Arr(items) => ::std::result::Result::Ok({full}({})),\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::expected(\"array\", other)),\n\
+                                 }},",
+                                items.join("")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let build = de_named(&full, &full, fields, "inner");
+                            format!(
+                                "\"{vname}\" => match inner {{\n\
+                                     ::serde::Value::Obj(_) => ::std::result::Result::Ok({build}),\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\n\
+                                 }},"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Obj(tagged) if tagged.len() == 1 => {{\n\
+                         let (tag, inner) = &tagged[0];\n\
+                         match tag.as_str() {{\n\
+                             {data}\n\
+                             other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", other)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize) generated invalid code")
+}

@@ -197,8 +197,14 @@ impl BuiltSystem {
     /// Panics if `src == dst` (patterns never produce self-traffic).
     pub fn segments_for(&self, src: usize, dst: usize) -> Vec<Segment> {
         assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
-        let (ci, li) = (self.node_cluster[src] as usize, self.node_local[src] as usize);
-        let (cj, lj) = (self.node_cluster[dst] as usize, self.node_local[dst] as usize);
+        let (ci, li) = (
+            self.node_cluster[src] as usize,
+            self.node_local[src] as usize,
+        );
+        let (cj, lj) = (
+            self.node_cluster[dst] as usize,
+            self.node_local[dst] as usize,
+        );
         if ci == cj {
             let route = self.icn1[ci]
                 .route_with_policy(li, lj, self.policy)
@@ -247,11 +253,16 @@ impl BuiltSystem {
     ) -> Vec<Segment> {
         assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
         let k = self.spec.m / 2;
-        let mut digits = |len: u32| -> Vec<u32> {
-            (0..len).map(|_| rng.random_range(0..k)).collect()
-        };
-        let (ci, li) = (self.node_cluster[src] as usize, self.node_local[src] as usize);
-        let (cj, lj) = (self.node_cluster[dst] as usize, self.node_local[dst] as usize);
+        let mut digits =
+            |len: u32| -> Vec<u32> { (0..len).map(|_| rng.random_range(0..k)).collect() };
+        let (ci, li) = (
+            self.node_cluster[src] as usize,
+            self.node_local[src] as usize,
+        );
+        let (cj, lj) = (
+            self.node_cluster[dst] as usize,
+            self.node_local[dst] as usize,
+        );
         if ci == cj {
             let n = self.spec.clusters[ci].n;
             let route = self.icn1[ci]

@@ -28,13 +28,21 @@ use std::collections::{BinaryHeap, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    Generate { node: u32 },
-    Advance { msg: u32 },
-    Release { chan: u32 },
+    Generate {
+        node: u32,
+    },
+    Advance {
+        msg: u32,
+    },
+    Release {
+        chan: u32,
+    },
     /// Deferred channel request: the message becomes ready at the event's
     /// time (store-and-forward buffering completes) and then contends for
     /// the channel under its header cursor.
-    Request { msg: u32 },
+    Request {
+        msg: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -142,7 +150,9 @@ impl<'a> Simulator<'a> {
                 queue: VecDeque::new(),
             })
             .collect();
-        let histogram = cfg.histogram.map(|(hi, bins)| Histogram::new(0.0, hi, bins));
+        let histogram = cfg
+            .histogram
+            .map(|(hi, bins)| Histogram::new(0.0, hi, bins));
         Self {
             built,
             cfg,
@@ -231,9 +241,9 @@ impl<'a> Simulator<'a> {
             self.histogram,
             self.busy_total,
             self.traces,
-            self.percentiles.as_mut().and_then(|p| {
-                Some((p.quantile(0.5)?, p.quantile(0.95)?, p.quantile(0.99)?))
-            }),
+            self.percentiles
+                .as_mut()
+                .and_then(|p| Some((p.quantile(0.5)?, p.quantile(0.95)?, p.quantile(0.99)?))),
         )
     }
 
@@ -780,7 +790,12 @@ mod tests {
         );
         assert!(det.completed && ada.completed);
         let rel = (det.latency.mean - ada.latency.mean).abs() / det.latency.mean;
-        assert!(rel < 0.10, "det {} vs adaptive {}", det.latency.mean, ada.latency.mean);
+        assert!(
+            rel < 0.10,
+            "det {} vs adaptive {}",
+            det.latency.mean,
+            ada.latency.mean
+        );
     }
 
     #[test]

@@ -36,10 +36,16 @@ use std::collections::{BinaryHeap, VecDeque};
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
-    Generate { node: u32 },
+    Generate {
+        node: u32,
+    },
     /// Flit `flit` of `msg` finished crossing the channel at `pos` of the
     /// message's current segment.
-    CrossComplete { msg: u32, flit: u32, pos: u32 },
+    CrossComplete {
+        msg: u32,
+        flit: u32,
+        pos: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -137,7 +143,9 @@ impl<'a> FlitSimulator<'a> {
                 queue: VecDeque::new(),
             })
             .collect();
-        let histogram = cfg.histogram.map(|(hi, bins)| Histogram::new(0.0, hi, bins));
+        let histogram = cfg
+            .histogram
+            .map(|(hi, bins)| Histogram::new(0.0, hi, bins));
         assert!(cfg.flit_buffer_depth >= 1, "buffers need at least one slot");
         Self {
             built,

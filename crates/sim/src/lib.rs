@@ -40,6 +40,6 @@ pub use build::{BuiltSystem, Segment};
 pub use config::{Coupling, SimConfig};
 pub use engine::{run_simulation, run_simulation_arrivals, run_simulation_built};
 pub use flit::{run_simulation_flit, run_simulation_flit_built};
-pub use replicate::{replicate, ReplicationSummary};
+pub use replicate::{replicate, replicate_parallel, summarize, ReplicationSummary};
 pub use results::SimResults;
 pub use trace::{MessageTrace, TraceEvent, TraceEventKind};

@@ -62,9 +62,37 @@ pub fn replicate(
     summarize(&results, replications)
 }
 
-/// Parallel version of [`replicate`] (rayon is a dependency of the harness
-/// crates, not of `cocnet-sim`, so this takes a thread-spawning closure-free
-/// approach: the caller parallelises; this helper only merges).
+/// Parallel version of [`replicate`]: the replications run concurrently on
+/// the rayon pool, one independent seeded simulation each. Seeds and the
+/// order of `replication_means` are identical to [`replicate`]'s, so for
+/// the same `cfg` the two produce bit-identical summaries — only the
+/// wall-clock differs.
+pub fn replicate_parallel(
+    spec: &SystemSpec,
+    wl: &Workload,
+    pattern: Pattern,
+    cfg: &SimConfig,
+    replications: usize,
+) -> ReplicationSummary {
+    use rayon::prelude::*;
+    assert!(replications > 0, "need at least one replication");
+    let built = BuiltSystem::build(spec, wl.flit_bytes);
+    let results: Vec<SimResults> = (0..replications)
+        .into_par_iter()
+        .map(|r| {
+            let run_cfg = SimConfig {
+                seed: cfg.seed.wrapping_add(r as u64),
+                ..*cfg
+            };
+            run_simulation_built(&built, wl, pattern, &run_cfg)
+        })
+        .collect();
+    summarize(&results, replications)
+}
+
+/// Merges per-replication results into a [`ReplicationSummary`]. Kept
+/// public so harnesses that schedule their own runs (e.g. the `cocnet`
+/// scenario runner) can reuse the exact same summary arithmetic.
 pub fn summarize(results: &[SimResults], attempted: usize) -> ReplicationSummary {
     let mut stats = OnlineStats::new();
     let mut means = Vec::with_capacity(results.len());
@@ -123,6 +151,17 @@ mod tests {
         for &m in &s.replication_means {
             assert!((m - s.mean).abs() / s.mean < 0.2);
         }
+    }
+
+    #[test]
+    fn parallel_replications_bit_identical_to_serial() {
+        let wl = Workload::new(2e-4, 16, 256.0).unwrap();
+        let serial = replicate(&spec(), &wl, Pattern::Uniform, &cfg(), 6);
+        let parallel = replicate_parallel(&spec(), &wl, Pattern::Uniform, &cfg(), 6);
+        assert_eq!(serial.replication_means, parallel.replication_means);
+        assert_eq!(serial.mean, parallel.mean);
+        assert_eq!(serial.ci95, parallel.ci95);
+        assert_eq!(serial.completed, parallel.completed);
     }
 
     #[test]

@@ -89,21 +89,20 @@ mod tests {
     #[test]
     fn inter_fraction_handles_empty() {
         let empty = OnlineStats::new();
-        let r =
-            SimResults::collect(
-                &empty,
-                &empty,
-                &empty,
-                &[],
-                0,
-                0,
-                false,
-                0.0,
-                None,
-                Vec::new(),
-                Vec::new(),
-                None,
-            );
+        let r = SimResults::collect(
+            &empty,
+            &empty,
+            &empty,
+            &[],
+            0,
+            0,
+            false,
+            0.0,
+            None,
+            Vec::new(),
+            Vec::new(),
+            None,
+        );
         assert_eq!(r.inter_fraction(), 0.0);
     }
 
@@ -120,21 +119,20 @@ mod tests {
         let mut all = OnlineStats::new();
         all.merge(&intra);
         all.merge(&inter);
-        let r =
-            SimResults::collect(
-                &all,
-                &intra,
-                &inter,
-                &[],
-                100,
-                100,
-                true,
-                1.0,
-                None,
-                Vec::new(),
-                Vec::new(),
-                None,
-            );
+        let r = SimResults::collect(
+            &all,
+            &intra,
+            &inter,
+            &[],
+            100,
+            100,
+            true,
+            1.0,
+            None,
+            Vec::new(),
+            Vec::new(),
+            None,
+        );
         assert!((r.inter_fraction() - 0.75).abs() < 1e-12);
     }
 }

@@ -66,7 +66,9 @@ impl Percentiles {
             return self.samples.first().copied();
         }
         let rank = (q * self.samples.len() as f64).ceil() as usize;
-        self.samples.get(rank.saturating_sub(1).min(self.samples.len() - 1)).copied()
+        self.samples
+            .get(rank.saturating_sub(1).min(self.samples.len() - 1))
+            .copied()
     }
 
     /// Median (50th percentile, nearest rank).

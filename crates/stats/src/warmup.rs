@@ -85,7 +85,9 @@ mod tests {
     #[test]
     fn stationary_series_needs_no_truncation() {
         // Alternating around a constant mean: truncating cannot help much.
-        let xs: Vec<f64> = (0..200).map(|i| 5.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
+        let xs: Vec<f64> = (0..200)
+            .map(|i| 5.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
         let r = mser(&xs).unwrap();
         assert!(r.truncation <= 4, "truncation {}", r.truncation);
     }

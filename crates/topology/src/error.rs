@@ -58,7 +58,10 @@ impl fmt::Display for TopologyError {
             Self::BadTreeHeight { n } => write!(f, "tree height n={n} must be >= 1"),
             Self::TooLarge { what } => write!(f, "topology too large: {what} overflows"),
             Self::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range (tree has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (tree has {num_nodes} nodes)"
+                )
             }
             Self::ClusterCountNotTreeSized { c, m } => write!(
                 f,
@@ -69,7 +72,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "system needs at least 2 clusters, got {c}")
             }
             Self::BadNetworkCharacteristic { what } => {
-                write!(f, "network characteristic {what} must be positive and finite")
+                write!(
+                    f,
+                    "network characteristic {what} must be positive and finite"
+                )
             }
         }
     }

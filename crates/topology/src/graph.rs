@@ -141,22 +141,23 @@ impl Graph {
 
         let mut channels = Vec::new();
         let mut lookup = HashMap::new();
-        let mut add_link = |a: Endpoint, b: Endpoint, kind_ab: ChannelKind, kind_ba: ChannelKind| {
-            let id_ab = ChannelId(channels.len() as u32);
-            channels.push(ChannelDesc {
-                from: a,
-                to: b,
-                kind: kind_ab,
-            });
-            let id_ba = ChannelId(channels.len() as u32);
-            channels.push(ChannelDesc {
-                from: b,
-                to: a,
-                kind: kind_ba,
-            });
-            lookup.insert((a, b), id_ab);
-            lookup.insert((b, a), id_ba);
-        };
+        let mut add_link =
+            |a: Endpoint, b: Endpoint, kind_ab: ChannelKind, kind_ba: ChannelKind| {
+                let id_ab = ChannelId(channels.len() as u32);
+                channels.push(ChannelDesc {
+                    from: a,
+                    to: b,
+                    kind: kind_ab,
+                });
+                let id_ba = ChannelId(channels.len() as u32);
+                channels.push(ChannelDesc {
+                    from: b,
+                    to: a,
+                    kind: kind_ba,
+                });
+                lookup.insert((a, b), id_ab);
+                lookup.insert((b, a), id_ba);
+            };
 
         // Node <-> leaf-switch links.
         for node in 0..tree.num_nodes() {
@@ -388,9 +389,7 @@ impl Graph {
             let u = up_digits
                 .get((l - 1) as usize)
                 .map(|&d| d % self.tree.k())
-                .unwrap_or_else(|| {
-                    self.up_digit_with(&src_label, l, AscentPolicy::TrailingDigits)
-                });
+                .unwrap_or_else(|| self.up_digit_with(&src_label, l, AscentPolicy::TrailingDigits));
             let parent = sw.parent(u).expect("ascending below the root");
             let next = Endpoint::Switch(self.switch_index[&parent]);
             channels.push(self.lookup[&(cur, next)]);
@@ -410,12 +409,7 @@ impl Graph {
         policy: AscentPolicy,
     ) -> Result<Route, TopologyError> {
         let up = self.route_to_root_with_policy(dst, policy)?;
-        let channels = up
-            .channels
-            .iter()
-            .rev()
-            .map(|&c| self.reverse(c))
-            .collect();
+        let channels = up.channels.iter().rev().map(|&c| self.reverse(c)).collect();
         Ok(Route {
             channels,
             nca_level: up.nca_level,
@@ -455,9 +449,7 @@ impl Graph {
             let u = up_digits
                 .get((l - 1) as usize)
                 .map(|&d| d % self.tree.k())
-                .unwrap_or_else(|| {
-                    self.up_digit_with(&dst_label, l, AscentPolicy::TrailingDigits)
-                });
+                .unwrap_or_else(|| self.up_digit_with(&dst_label, l, AscentPolicy::TrailingDigits));
             let parent = sw.parent(u).expect("ascending below the root");
             let next = Endpoint::Switch(self.switch_index[&parent]);
             channels.push(self.lookup[&(cur, next)]);

@@ -156,7 +156,12 @@ pub fn mixed_radix_encode(digits: &[u32], first_radix: u32, rest_radix: u32) -> 
 }
 
 /// Inverse of [`mixed_radix_encode`].
-pub fn mixed_radix_decode(mut id: usize, len: usize, first_radix: u32, rest_radix: u32) -> Vec<u32> {
+pub fn mixed_radix_decode(
+    mut id: usize,
+    len: usize,
+    first_radix: u32,
+    rest_radix: u32,
+) -> Vec<u32> {
     let _ = first_radix;
     let mut digits = vec![0u32; len];
     for i in (1..len).rev() {

@@ -96,7 +96,9 @@ impl SystemSpec {
 
     /// Total nodes in the system, `N = Σ N_i`.
     pub fn total_nodes(&self) -> usize {
-        (0..self.num_clusters()).map(|i| self.cluster_nodes(i)).sum()
+        (0..self.num_clusters())
+            .map(|i| self.cluster_nodes(i))
+            .sum()
     }
 
     /// Tree height `n_c` of the ICN2 network: the solution of
@@ -245,7 +247,10 @@ mod tests {
         };
         // C=3 with m=4: 2*2^x never equals 3.
         let err = SystemSpec::new(4, vec![c; 3], netchar(1.0)).unwrap_err();
-        assert!(matches!(err, TopologyError::ClusterCountNotTreeSized { .. }));
+        assert!(matches!(
+            err,
+            TopologyError::ClusterCountNotTreeSized { .. }
+        ));
         // C=1 rejected outright.
         let err = SystemSpec::new(4, vec![c; 1], netchar(1.0)).unwrap_err();
         assert!(matches!(err, TopologyError::TooFewClusters { .. }));
@@ -254,7 +259,7 @@ mod tests {
     #[test]
     fn outgoing_probability_matches_eq2() {
         let s = toy(); // N = 24
-        // Cluster 0 has 4 nodes: U = 1 - 3/23.
+                       // Cluster 0 has 4 nodes: U = 1 - 3/23.
         assert!((s.outgoing_probability(0) - (1.0 - 3.0 / 23.0)).abs() < 1e-12);
         // Bigger clusters keep more traffic local.
         assert!(s.outgoing_probability(2) < s.outgoing_probability(0));

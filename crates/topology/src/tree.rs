@@ -33,9 +33,10 @@ impl MPortNTree {
         }
         let k = (m / 2) as u128;
         let nodes = 2u128
-            .checked_mul(k.checked_pow(n).ok_or(TopologyError::TooLarge {
-                what: "node count",
-            })?)
+            .checked_mul(
+                k.checked_pow(n)
+                    .ok_or(TopologyError::TooLarge { what: "node count" })?,
+            )
             .ok_or(TopologyError::TooLarge { what: "node count" })?;
         if nodes > usize::MAX as u128 / 4 {
             return Err(TopologyError::TooLarge { what: "node count" });
@@ -164,7 +165,15 @@ mod tests {
 
     #[test]
     fn switch_counts_match_formula() {
-        for (m, n) in [(4u32, 1u32), (4, 2), (4, 3), (8, 1), (8, 2), (8, 3), (16, 2)] {
+        for (m, n) in [
+            (4u32, 1u32),
+            (4, 2),
+            (4, 3),
+            (8, 1),
+            (8, 2),
+            (8, 3),
+            (16, 2),
+        ] {
             let t = MPortNTree::new(m, n).unwrap();
             let k = (m / 2) as usize;
             assert_eq!(

@@ -65,8 +65,14 @@ pub struct OnOffArrivals {
 impl OnOffArrivals {
     /// Creates a stream; all parameters must be positive and finite.
     pub fn new(rate_on: f64, mean_on: f64, mean_off: f64) -> Self {
-        assert!(rate_on.is_finite() && rate_on > 0.0, "rate_on must be positive");
-        assert!(mean_on.is_finite() && mean_on > 0.0, "mean_on must be positive");
+        assert!(
+            rate_on.is_finite() && rate_on > 0.0,
+            "rate_on must be positive"
+        );
+        assert!(
+            mean_on.is_finite() && mean_on > 0.0,
+            "mean_on must be positive"
+        );
         assert!(
             mean_off.is_finite() && mean_off > 0.0,
             "mean_off must be positive"

@@ -342,10 +342,7 @@ mod tests {
     fn empirical_outgoing_matches_prediction() {
         let s = spec();
         let mut rng = StdRng::seed_from_u64(13);
-        for pattern in [
-            Pattern::Uniform,
-            Pattern::ClusterLocal { locality: 0.7 },
-        ] {
+        for pattern in [Pattern::Uniform, Pattern::ClusterLocal { locality: 0.7 }] {
             let src = 9; // cluster 2
             let trials = 50_000;
             let out = (0..trials)

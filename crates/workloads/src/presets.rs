@@ -21,11 +21,14 @@ fn organization(m: u32, heights: &[(u32, usize)]) -> SystemSpec {
     let clusters: Vec<ClusterSpec> = heights
         .iter()
         .flat_map(|&(n, count)| {
-            std::iter::repeat_n(ClusterSpec {
-                n,
-                icn1: net1(),
-                ecn1: net2(),
-            }, count)
+            std::iter::repeat_n(
+                ClusterSpec {
+                    n,
+                    icn1: net1(),
+                    ecn1: net2(),
+                },
+                count,
+            )
         })
         .collect();
     SystemSpec::new(m, clusters, net1()).expect("paper organizations are valid")

@@ -40,7 +40,10 @@ fn main() {
     let opts = ModelOptions::default();
     let wl = presets::wl_m128_l256();
 
-    for (name, spec) in [("N=544", presets::org_544()), ("N=1120", presets::org_1120())] {
+    for (name, spec) in [
+        ("N=544", presets::org_544()),
+        ("N=1120", presets::org_1120()),
+    ] {
         println!("=== {name} (M=128 flits, 256-byte flits) ===");
         let base_sat = saturation_point(&spec, &wl, &opts, 1e-4).unwrap();
         println!("base saturation rate: {base_sat:.3e}");

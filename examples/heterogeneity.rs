@@ -40,8 +40,14 @@ fn main() {
     // (m=4 heights: n=1 → 4, n=2 → 8, n=3 → 16, n=4 → 32 nodes).
     let layouts: [(&str, Vec<u32>); 3] = [
         ("balanced  (4 x 16 + 4 x 8)", vec![3, 3, 3, 3, 2, 2, 2, 2]),
-        ("skewed    (1 x 32, mixed rest)", vec![4, 3, 3, 2, 2, 2, 1, 1]),
-        ("extreme   (2 x 32 + 2 x 8 + 4 x 4)", vec![4, 4, 2, 2, 1, 1, 1, 1]),
+        (
+            "skewed    (1 x 32, mixed rest)",
+            vec![4, 3, 3, 2, 2, 2, 1, 1],
+        ),
+        (
+            "extreme   (2 x 32 + 2 x 8 + 4 x 4)",
+            vec![4, 4, 2, 2, 1, 1, 1, 1],
+        ),
     ];
     println!(
         "{:<36} {:>6} {:>12} {:>14}",
@@ -76,7 +82,10 @@ fn main() {
 
     // --- Network heterogeneity: slowing the ECN1s at fixed topology. ---
     println!("\n=== network heterogeneity (balanced layout, ECN1 bandwidth sweep) ===");
-    println!("{:>10} {:>14} {:>14}", "ECN1 bw", "latency@1e-4", "saturation");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "ECN1 bw", "latency@1e-4", "saturation"
+    );
     for bw in [500.0, 375.0, 250.0, 125.0] {
         let spec = system(4, &layouts[0].1, bw);
         let lat = evaluate(&spec, &wl.with_rate(1e-4), &opts)

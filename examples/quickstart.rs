@@ -19,8 +19,12 @@ fn main() {
         icn1: net1,
         ecn1: net2,
     };
-    let spec = SystemSpec::new(4, vec![cluster(2), cluster(2), cluster(3), cluster(3)], net1)
-        .expect("valid system");
+    let spec = SystemSpec::new(
+        4,
+        vec![cluster(2), cluster(2), cluster(3), cluster(3)],
+        net1,
+    )
+    .expect("valid system");
 
     println!(
         "system: C={} clusters, N={} nodes, ICN2 height n_c={}",

@@ -190,7 +190,10 @@ fn littles_law_holds_approximately() {
     assert!(in_flight_sim < 50.0, "{in_flight_sim}");
     let model = evaluate(&spec, &wl, &ModelOptions::default()).unwrap();
     let in_flight_model = lambda_total * model.latency;
-    assert!(in_flight_model < in_flight_sim, "model is the optimistic side");
+    assert!(
+        in_flight_model < in_flight_sim,
+        "model is the optimistic side"
+    );
     assert!(in_flight_model > 0.5 * in_flight_sim);
 }
 

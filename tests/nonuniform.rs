@@ -97,12 +97,7 @@ fn model_tracks_simulation_under_cluster_local_traffic() {
     for locality in [0.3, 0.7] {
         let profile = OutgoingProfile::cluster_local(&s, locality).unwrap();
         let model = evaluate_with_profile(&s, &wl, &opts, &profile).unwrap();
-        let sim = run_simulation(
-            &s,
-            &wl,
-            Pattern::ClusterLocal { locality },
-            &sim_cfg(21),
-        );
+        let sim = run_simulation(&s, &wl, Pattern::ClusterLocal { locality }, &sim_cfg(21));
         assert!(sim.completed);
         let err = (model.latency - sim.latency.mean) / sim.latency.mean;
         // Same documented inter-cluster offset as the uniform case; at

@@ -73,7 +73,10 @@ fn first_saturating_queue_is_the_concentrator() {
     let err = evaluate(&spec(), &wl.with_rate(sat * 1.01), &opts).unwrap_err();
     match err {
         cocnet::model::ModelError::Saturated { site, rho } => {
-            assert!(matches!(site, SaturationSite::Concentrator(_, _)), "{site:?}");
+            assert!(
+                matches!(site, SaturationSite::Concentrator(_, _)),
+                "{site:?}"
+            );
             assert!(rho >= 1.0);
         }
         other => panic!("expected saturation, got {other}"),

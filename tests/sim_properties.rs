@@ -8,8 +8,14 @@ use proptest::prelude::*;
 /// Random small-but-valid system: m ∈ {4, 8}, tree-sized cluster count,
 /// heights ≤ 2, Table 2-ish networks with random bandwidth ratios.
 fn arb_system() -> impl Strategy<Value = SystemSpec> {
-    (0u32..2, 1u32..=2, 1u32..=2, 100.0f64..1000.0, 100.0f64..1000.0).prop_map(
-        |(mi, n_c, height, bw1, bw2)| {
+    (
+        0u32..2,
+        1u32..=2,
+        1u32..=2,
+        100.0f64..1000.0,
+        100.0f64..1000.0,
+    )
+        .prop_map(|(mi, n_c, height, bw1, bw2)| {
             let m = [4u32, 8][mi as usize];
             let count = 2 * (m as usize / 2).pow(n_c);
             let net1 = NetworkCharacteristics::new(bw1, 0.01, 0.02).unwrap();
@@ -20,8 +26,7 @@ fn arb_system() -> impl Strategy<Value = SystemSpec> {
                 ecn1: net2,
             };
             SystemSpec::new(m, vec![cluster; count], net1).unwrap()
-        },
-    )
+        })
 }
 
 fn quick_cfg(seed: u64) -> SimConfig {
