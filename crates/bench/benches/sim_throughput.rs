@@ -1,8 +1,12 @@
 //! Criterion benchmark: simulator throughput.
 //!
-//! Measures end-to-end runs on a small heterogeneous system (events are
-//! dominated by channel handoffs) and topology construction for the paper's
-//! big organization.
+//! Measures end-to-end runs on a small heterogeneous system across three
+//! contention regimes — message-dominated (light load), near-saturation
+//! (contention-dominated) and inter-cluster-heavy (every message crosses
+//! the ECN1/ICN2 boundary) — plus topology construction for the paper's
+//! big organizations. The load cases are the speedup yardstick for the
+//! zero-allocation hot path (see `bench_snapshot` for the committed
+//! events/sec trajectory).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -24,16 +28,20 @@ fn small_spec() -> SystemSpec {
     SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
 }
 
-fn bench_sim_run(c: &mut Criterion) {
-    let spec = small_spec();
-    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
-    let cfg = SimConfig {
+fn bench_cfg() -> SimConfig {
+    SimConfig {
         warmup: 500,
         measured: 5_000,
         drain: 500,
         seed: 1,
         ..SimConfig::default()
-    };
+    }
+}
+
+fn bench_sim_run(c: &mut Criterion) {
+    let spec = small_spec();
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+    let cfg = bench_cfg();
     let built = BuiltSystem::build(&spec, wl.flit_bytes);
     let mut group = c.benchmark_group("sim");
     group.sample_size(20);
@@ -42,6 +50,32 @@ fn bench_sim_run(c: &mut Criterion) {
     });
     group.bench_function("run_including_build", |b| {
         b.iter(|| run_simulation(black_box(&spec), &wl, Pattern::Uniform, &cfg))
+    });
+    group.finish();
+}
+
+/// Near-saturation load: chained blocking dominates, so most events are
+/// channel handoffs under contention rather than message generations. This
+/// is where the hot-path rework has to pay off.
+fn bench_sim_load(c: &mut Criterion) {
+    let spec = small_spec();
+    let cfg = bench_cfg();
+    let mut group = c.benchmark_group("sim_load");
+    group.sample_size(10);
+
+    let heavy = Workload::new(1e-3, 32, 256.0).unwrap();
+    let built = BuiltSystem::build(&spec, heavy.flit_bytes);
+    group.bench_function("high_load_near_saturation", |b| {
+        b.iter(|| run_simulation_built(black_box(&built), &heavy, Pattern::Uniform, &cfg))
+    });
+
+    // Every message leaves its cluster: three segments per message, all
+    // contending for the ECN1 ascent/descent and ICN2 crossing channels.
+    let inter = Workload::new(4e-4, 32, 256.0).unwrap();
+    let built_inter = BuiltSystem::build(&spec, inter.flit_bytes);
+    let pattern = Pattern::ClusterLocal { locality: 0.0 };
+    group.bench_function("inter_cluster_heavy", |b| {
+        b.iter(|| run_simulation_built(black_box(&built_inter), &inter, pattern, &cfg))
     });
     group.finish();
 }
@@ -60,5 +94,5 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim_run, bench_build);
+criterion_group!(benches, bench_sim_run, bench_sim_load, bench_build);
 criterion_main!(benches);

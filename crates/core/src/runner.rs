@@ -96,6 +96,27 @@ impl PointSim {
     pub fn first(&self) -> &SimResults {
         &self.runs[0]
     }
+
+    /// Total engine events across the point's replications — the
+    /// numerator of the events/sec throughput metric (`bench_snapshot`).
+    pub fn events_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.events_processed).sum()
+    }
+
+    /// Total messages generated across the point's replications.
+    pub fn messages_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.generated).sum()
+    }
+
+    /// Largest message-slab high-water mark across the replications: the
+    /// peak number of concurrently live messages any single run held.
+    pub fn peak_live_msgs(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|r| r.peak_live_msgs)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// A single schedulable unit: one simulation run.
@@ -435,6 +456,25 @@ mod tests {
         let got = detailed[0][0].summary();
         assert_eq!(got.replication_means, reference.replication_means);
         assert_eq!(got.mean, reference.mean);
+    }
+
+    #[test]
+    fn point_throughput_counters_aggregate_runs() {
+        let s = scenario().with_replications(2);
+        let detailed = s.run_sim_detailed();
+        let point = &detailed[0][0];
+        assert_eq!(
+            point.events_total(),
+            point.runs.iter().map(|r| r.events_processed).sum::<u64>()
+        );
+        assert!(point.events_total() > 0);
+        assert_eq!(
+            point.messages_total(),
+            point.runs.iter().map(|r| r.generated).sum::<u64>()
+        );
+        let peak = point.peak_live_msgs();
+        assert!(peak >= 1);
+        assert!(point.runs.iter().all(|r| r.peak_live_msgs <= peak));
     }
 
     #[test]

@@ -6,15 +6,337 @@
 //! each cluster's ECN1, then the ICN2 network. The ICN2 tree's "processing
 //! nodes" are the `C` concentrator/dispatcher devices, one per cluster.
 
-use cocnet_topology::{AscentPolicy, ChannelKind, Graph, MPortNTree, SystemSpec};
+use cocnet_topology::{AscentPolicy, ChannelId, ChannelKind, Graph, MPortNTree, SystemSpec};
 use rand::Rng;
 
 /// One wormhole segment: a maximal run of channels between rate-decoupling
 /// buffers (source, concentrator, dispatcher, sink).
+///
+/// This owned form is the *reference* representation, used by tests and
+/// diagnostics; the engines run off the interned [`RouteTable`] instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Segment {
     /// Global channel ids, in traversal order.
     pub chans: Vec<u32>,
+}
+
+/// Index of one deterministic (src, dst) route in the [`RouteTable`].
+///
+/// Encodes the pair arithmetically (`src · N + dst`), so the table needs no
+/// per-pair storage; [`RouteRef::DYNAMIC`] marks a per-message adaptive
+/// route that lives in the simulator's own arena instead of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteRef(u32);
+
+impl RouteRef {
+    /// Sentinel for routes that are not interned (adaptive routing); the
+    /// engine resolves these against its per-message route arena.
+    pub const DYNAMIC: RouteRef = RouteRef(u32::MAX);
+
+    /// Whether this reference points at a dynamic (non-interned) route.
+    #[inline]
+    pub fn is_dynamic(self) -> bool {
+        self == Self::DYNAMIC
+    }
+}
+
+/// Precomputed view of one interned segment: where its channels live in
+/// the route table's flat channel array, plus the two per-segment numbers
+/// the wormhole drain model needs on every segment completion.
+///
+/// `sum_t` and `bottleneck_t` are accumulated in traversal order over the
+/// exact same `f64` channel times the engine's channel table holds, so the
+/// closed-form finish times computed from them are bit-identical to the
+/// legacy per-event rescan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SegMeta {
+    /// Offset of the segment's first channel in [`RouteTable::chans`]
+    /// (or in the owning dynamic-route arena).
+    pub start: u32,
+    /// Number of channels in the segment.
+    pub len: u32,
+    /// Σ of the per-flit channel times, in traversal order.
+    pub sum_t: f64,
+    /// Max of the per-flit channel times (the segment's drain bottleneck).
+    pub bottleneck_t: f64,
+}
+
+/// All deterministic (src, dst) wormhole routes of a built system, interned
+/// once at build time into a flat CSR-style layout.
+///
+/// Routes share structure aggressively: an inter-cluster route is always
+/// `up(src) → cross(cluster(src), cluster(dst)) → down(dst)`, so the table
+/// stores one ascent and one descent segment per node, one crossing segment
+/// per cluster pair and one segment per intra-cluster pair — never one
+/// route per (src, dst) pair. Resolving a [`RouteRef`] to its segments is
+/// pure arithmetic plus a handful of array reads, and yields [`SegMeta`]
+/// entries whose `sum_t`/`bottleneck_t` are precomputed, which is what
+/// keeps the engines' event loops allocation- and rescan-free.
+#[derive(Debug)]
+pub struct RouteTable {
+    /// Flat channel-id storage of every interned segment.
+    chans: Vec<u32>,
+    /// Segment `s` occupies `chans[seg_off[s]..seg_off[s + 1]]`.
+    seg_off: Vec<u32>,
+    /// Per-segment Σ of channel times (traversal order).
+    seg_sum: Vec<f64>,
+    /// Per-segment max channel time.
+    seg_bot: Vec<f64>,
+    /// Per flat node: ECN1 ascent segment (source → exit root).
+    up_seg: Vec<u32>,
+    /// Per flat node: ECN1 descent segment (entry root → destination).
+    down_seg: Vec<u32>,
+    /// Per (ci, cj) cluster pair, row-major: ICN2 crossing segment
+    /// (`u32::MAX` on the unused diagonal).
+    cross_seg: Vec<u32>,
+    /// Per cluster: first segment id of its `N_i × N_i` intra block.
+    intra_base: Vec<u32>,
+    /// Flat-node → cluster / local lookups (copies, so the table resolves
+    /// routes without touching the rest of [`BuiltSystem`]).
+    node_cluster: Vec<u32>,
+    node_local: Vec<u32>,
+    cluster_nodes: Vec<u32>,
+    total_nodes: u32,
+    num_clusters: u32,
+}
+
+/// Builder half of [`RouteTable`]: accumulates segments into the CSR arrays.
+#[derive(Default)]
+struct TableBuilder {
+    chans: Vec<u32>,
+    seg_off: Vec<u32>,
+    seg_sum: Vec<f64>,
+    seg_bot: Vec<f64>,
+}
+
+impl TableBuilder {
+    fn new() -> Self {
+        TableBuilder {
+            seg_off: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// The id the next interned segment will get, guarding the u32 offset
+    /// space: intra blocks are quadratic in cluster size, so a legal node
+    /// count can still overflow the CSR offsets — fail loudly, never wrap.
+    fn next_id(&self) -> u32 {
+        let id = self.seg_off.len() - 1;
+        assert!(
+            id <= u32::MAX as usize && self.chans.len() <= u32::MAX as usize,
+            "route table exceeds u32 offset space (clusters too large to intern)"
+        );
+        id as u32
+    }
+
+    /// Interns one segment: local channel ids shifted by the network's
+    /// global offset, with `sum`/`bottleneck` accumulated in traversal
+    /// order over the same values the engine's channel table will hold.
+    fn push_seg(&mut self, route: &[ChannelId], off: u32, chan_time: &[f64]) -> u32 {
+        let id = self.next_id();
+        let mut sum = 0.0;
+        let mut bot = 0.0f64;
+        for c in route {
+            let g = off + c.0;
+            let t = chan_time[g as usize];
+            sum += t;
+            bot = bot.max(t);
+            self.chans.push(g);
+        }
+        assert!(
+            self.chans.len() <= u32::MAX as usize,
+            "route table exceeds u32 offset space (clusters too large to intern)"
+        );
+        self.seg_off.push(self.chans.len() as u32);
+        self.seg_sum.push(sum);
+        self.seg_bot.push(bot);
+        id
+    }
+
+    /// Interns an empty placeholder (the unreachable `li == lj` diagonal of
+    /// an intra block, kept so block indexing stays a multiplication).
+    fn push_empty(&mut self) -> u32 {
+        let id = self.next_id();
+        self.seg_off.push(self.chans.len() as u32);
+        self.seg_sum.push(0.0);
+        self.seg_bot.push(0.0);
+        id
+    }
+}
+
+impl RouteTable {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        icn1: &[Graph],
+        ecn1: &[Graph],
+        icn2: &Graph,
+        icn1_off: &[u32],
+        ecn1_off: &[u32],
+        icn2_off: u32,
+        chan_time: &[f64],
+        node_cluster: &[u32],
+        node_local: &[u32],
+        cluster_nodes: &[u32],
+        policy: AscentPolicy,
+    ) -> Self {
+        let total_nodes = node_cluster.len();
+        assert!(
+            total_nodes <= u16::MAX as usize,
+            "route interning encodes (src, dst) pairs in a u32: ≤ 65535 nodes"
+        );
+        let c = cluster_nodes.len();
+        let mut b = TableBuilder::new();
+        let mut scratch: Vec<ChannelId> = Vec::new();
+
+        let mut up_seg = Vec::with_capacity(total_nodes);
+        let mut down_seg = Vec::with_capacity(total_nodes);
+        for f in 0..total_nodes {
+            let ci = node_cluster[f] as usize;
+            let li = node_local[f] as usize;
+            ecn1[ci]
+                .route_to_root_into(li, policy, &mut scratch)
+                .expect("valid local id");
+            up_seg.push(b.push_seg(&scratch, ecn1_off[ci], chan_time));
+            ecn1[ci]
+                .route_from_root_into(li, policy, &mut scratch)
+                .expect("valid local id");
+            down_seg.push(b.push_seg(&scratch, ecn1_off[ci], chan_time));
+        }
+
+        let mut cross_seg = Vec::with_capacity(c * c);
+        for ci in 0..c {
+            for cj in 0..c {
+                if ci == cj {
+                    cross_seg.push(u32::MAX);
+                    continue;
+                }
+                icn2.route_into(ci, cj, policy, &mut scratch)
+                    .expect("valid cluster ids");
+                cross_seg.push(b.push_seg(&scratch, icn2_off, chan_time));
+            }
+        }
+
+        let mut intra_base = Vec::with_capacity(c);
+        for ci in 0..c {
+            intra_base.push((b.seg_off.len() - 1) as u32);
+            let ni = cluster_nodes[ci] as usize;
+            for li in 0..ni {
+                for lj in 0..ni {
+                    if li == lj {
+                        b.push_empty();
+                        continue;
+                    }
+                    icn1[ci]
+                        .route_into(li, lj, policy, &mut scratch)
+                        .expect("valid local ids");
+                    b.push_seg(&scratch, icn1_off[ci], chan_time);
+                }
+            }
+        }
+
+        RouteTable {
+            chans: b.chans,
+            seg_off: b.seg_off,
+            seg_sum: b.seg_sum,
+            seg_bot: b.seg_bot,
+            up_seg,
+            down_seg,
+            cross_seg,
+            intra_base,
+            node_cluster: node_cluster.to_vec(),
+            node_local: node_local.to_vec(),
+            cluster_nodes: cluster_nodes.to_vec(),
+            total_nodes: total_nodes as u32,
+            num_clusters: c as u32,
+        }
+    }
+
+    #[inline]
+    fn decode(&self, r: RouteRef) -> (usize, usize) {
+        (
+            (r.0 / self.total_nodes) as usize,
+            (r.0 % self.total_nodes) as usize,
+        )
+    }
+
+    /// The interned route of a (src, dst) pair (flat node indexing).
+    ///
+    /// # Panics
+    /// Debug-panics on `src == dst` (patterns never produce self-traffic).
+    #[inline]
+    pub fn route_ref(&self, src: usize, dst: usize) -> RouteRef {
+        debug_assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
+        debug_assert!(src < self.total_nodes as usize && dst < self.total_nodes as usize);
+        RouteRef(src as u32 * self.total_nodes + dst as u32)
+    }
+
+    /// How many wormhole segments the route crosses (1 intra, 3 inter).
+    #[inline]
+    pub fn num_segments(&self, r: RouteRef) -> u32 {
+        let (src, dst) = self.decode(r);
+        if self.node_cluster[src] == self.node_cluster[dst] {
+            1
+        } else {
+            3
+        }
+    }
+
+    #[inline]
+    fn seg_id(&self, r: RouteRef, k: u32) -> u32 {
+        let (src, dst) = self.decode(r);
+        let ci = self.node_cluster[src] as usize;
+        let cj = self.node_cluster[dst] as usize;
+        if ci == cj {
+            let ni = self.cluster_nodes[ci];
+            self.intra_base[ci] + self.node_local[src] * ni + self.node_local[dst]
+        } else {
+            match k {
+                0 => self.up_seg[src],
+                1 => self.cross_seg[ci * self.num_clusters as usize + cj],
+                _ => self.down_seg[dst],
+            }
+        }
+    }
+
+    /// Metadata of segment `k` (0-based) of route `r`.
+    #[inline]
+    pub fn seg_meta(&self, r: RouteRef, k: u32) -> SegMeta {
+        let s = self.seg_id(r, k) as usize;
+        let start = self.seg_off[s];
+        SegMeta {
+            start,
+            len: self.seg_off[s + 1] - start,
+            sum_t: self.seg_sum[s],
+            bottleneck_t: self.seg_bot[s],
+        }
+    }
+
+    /// The flat channel-id storage backing every interned segment; index
+    /// with `SegMeta::start .. start + len`.
+    #[inline]
+    pub fn chans(&self) -> &[u32] {
+        &self.chans
+    }
+
+    /// The channels of one interned segment, in traversal order.
+    #[inline]
+    pub fn segment_channels(&self, m: SegMeta) -> &[u32] {
+        &self.chans[m.start as usize..(m.start + m.len) as usize]
+    }
+
+    /// Number of interned segments (including empty diagonal placeholders).
+    pub fn num_interned_segments(&self) -> usize {
+        self.seg_sum.len()
+    }
+}
+
+/// Reusable buffers for building one message's adaptive route without
+/// allocating: the worm engine owns one per simulator and the capacity is
+/// retained across messages.
+#[derive(Debug, Default)]
+pub struct AdaptiveScratch {
+    digits: Vec<u32>,
+    route: Vec<ChannelId>,
 }
 
 /// A [`SystemSpec`] materialised for simulation.
@@ -34,6 +356,8 @@ pub struct BuiltSystem {
     node_local: Vec<u32>,
     /// Up*/Down* ascent policy used for every route.
     policy: AscentPolicy,
+    /// Every deterministic route, interned once (see [`RouteTable`]).
+    routes: RouteTable,
 }
 
 impl BuiltSystem {
@@ -109,6 +433,21 @@ impl BuiltSystem {
             }
         }
 
+        let cluster_nodes: Vec<u32> = (0..c).map(|i| spec.cluster_nodes(i) as u32).collect();
+        let routes = RouteTable::build(
+            &icn1,
+            &ecn1,
+            &icn2,
+            &icn1_off,
+            &ecn1_off,
+            icn2_off,
+            &chan_time,
+            &node_cluster,
+            &node_local,
+            &cluster_nodes,
+            policy,
+        );
+
         Self {
             spec: spec.clone(),
             icn1,
@@ -121,12 +460,19 @@ impl BuiltSystem {
             node_cluster,
             node_local,
             policy,
+            routes,
         }
     }
 
     /// The underlying system specification.
     pub fn spec(&self) -> &SystemSpec {
         &self.spec
+    }
+
+    /// The interned deterministic route table (built once per system).
+    #[inline]
+    pub fn route_table(&self) -> &RouteTable {
+        &self.routes
     }
 
     /// Total number of global channels.
@@ -241,6 +587,89 @@ impl BuiltSystem {
 }
 
 impl BuiltSystem {
+    /// Builds one message's adaptive route directly into the caller's
+    /// arena — the allocation-free form of
+    /// [`BuiltSystem::segments_for_adaptive`], used by the worm engine's
+    /// hot path. `out` is cleared and filled with global channel ids; the
+    /// returned metas index into `out` and carry the same precomputed
+    /// `sum_t`/`bottleneck_t` the interned table provides for
+    /// deterministic routes.
+    ///
+    /// Draws exactly the same random digits, in the same order, as
+    /// [`BuiltSystem::segments_for_adaptive`], so simulations are
+    /// bit-identical whichever form builds the route.
+    pub fn adaptive_route_into<R: Rng + ?Sized>(
+        &self,
+        src: usize,
+        dst: usize,
+        rng: &mut R,
+        scratch: &mut AdaptiveScratch,
+        out: &mut Vec<u32>,
+    ) -> ([SegMeta; 3], u8) {
+        assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
+        out.clear();
+        let k = self.spec.m / 2;
+        let (ci, li) = (
+            self.node_cluster[src] as usize,
+            self.node_local[src] as usize,
+        );
+        let (cj, lj) = (
+            self.node_cluster[dst] as usize,
+            self.node_local[dst] as usize,
+        );
+        let mut metas = [SegMeta::default(); 3];
+        let append = |route: &[ChannelId], off: u32, out: &mut Vec<u32>| -> SegMeta {
+            let start = out.len() as u32;
+            let mut sum = 0.0;
+            let mut bot = 0.0f64;
+            for c in route {
+                let g = off + c.0;
+                let t = self.chan_time[g as usize];
+                sum += t;
+                bot = bot.max(t);
+                out.push(g);
+            }
+            SegMeta {
+                start,
+                len: out.len() as u32 - start,
+                sum_t: sum,
+                bottleneck_t: bot,
+            }
+        };
+        let sample_digits = |len: u32, rng: &mut R, digits: &mut Vec<u32>| {
+            digits.clear();
+            for _ in 0..len {
+                digits.push(rng.random_range(0..k));
+            }
+        };
+        if ci == cj {
+            let n = self.spec.clusters[ci].n;
+            sample_digits(n.saturating_sub(1), rng, &mut scratch.digits);
+            self.icn1[ci]
+                .route_adaptive_into(li, lj, &scratch.digits, &mut scratch.route)
+                .expect("valid local ids");
+            metas[0] = append(&scratch.route, self.icn1_off[ci], out);
+            return (metas, 1);
+        }
+        let n_i = self.spec.clusters[ci].n;
+        let n_c = self.spec.icn2_height().expect("validated");
+        sample_digits(n_i.saturating_sub(1), rng, &mut scratch.digits);
+        self.ecn1[ci]
+            .route_to_root_adaptive_into(li, &scratch.digits, &mut scratch.route)
+            .expect("valid local id");
+        metas[0] = append(&scratch.route, self.ecn1_off[ci], out);
+        sample_digits(n_c.saturating_sub(1), rng, &mut scratch.digits);
+        self.icn2
+            .route_adaptive_into(ci, cj, &scratch.digits, &mut scratch.route)
+            .expect("valid cluster ids");
+        metas[1] = append(&scratch.route, self.icn2_off, out);
+        self.ecn1[cj]
+            .route_from_root_into(lj, self.policy, &mut scratch.route)
+            .expect("valid local id");
+        metas[2] = append(&scratch.route, self.ecn1_off[cj], out);
+        (metas, 3)
+    }
+
     /// Like [`BuiltSystem::segments_for`], but with per-message random
     /// ascent digits — the oblivious-adaptive routing variant (paper ref
     /// \[7\] contrasts adaptive wormhole routing with the deterministic
@@ -396,6 +825,75 @@ mod tests {
     fn self_traffic_rejected() {
         let b = BuiltSystem::build(&spec(), 256.0);
         b.segments_for(3, 3);
+    }
+
+    #[test]
+    fn route_table_matches_segments_for_exhaustively() {
+        // The interned table must reproduce the legacy per-message route
+        // construction exactly — ids, order, and bitwise sum/bottleneck —
+        // for every (src, dst) pair of a heterogeneous system.
+        let b = BuiltSystem::build(&spec(), 256.0);
+        let rt = b.route_table();
+        for src in 0..b.total_nodes() {
+            for dst in 0..b.total_nodes() {
+                if src == dst {
+                    continue;
+                }
+                let legacy = b.segments_for(src, dst);
+                let r = rt.route_ref(src, dst);
+                assert_eq!(rt.num_segments(r) as usize, legacy.len(), "{src}->{dst}");
+                for (k, seg) in legacy.iter().enumerate() {
+                    let m = rt.seg_meta(r, k as u32);
+                    assert_eq!(
+                        rt.segment_channels(m),
+                        seg.chans.as_slice(),
+                        "{src}->{dst} segment {k}"
+                    );
+                    let mut sum = 0.0;
+                    let mut bot = 0.0f64;
+                    for &c in &seg.chans {
+                        let t = b.chan_time(c);
+                        sum += t;
+                        bot = bot.max(t);
+                    }
+                    assert_eq!(sum.to_bits(), m.sum_t.to_bits(), "{src}->{dst} sum");
+                    assert_eq!(bot.to_bits(), m.bottleneck_t.to_bits(), "{src}->{dst} bot");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_arena_route_matches_legacy_draws() {
+        // Same seed → the arena builder must consume the RNG identically
+        // and produce the same channels and bitwise segment metrics as the
+        // allocating reference.
+        use rand::SeedableRng;
+        let b = BuiltSystem::build(&spec(), 256.0);
+        let mut rng_legacy = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng_arena = rand::rngs::StdRng::seed_from_u64(42);
+        let mut scratch = AdaptiveScratch::default();
+        let mut arena = Vec::new();
+        for (src, dst) in [(0usize, 23usize), (8, 9), (4, 12), (23, 0), (10, 11)] {
+            let legacy = b.segments_for_adaptive(src, dst, &mut rng_legacy);
+            let (metas, n) =
+                b.adaptive_route_into(src, dst, &mut rng_arena, &mut scratch, &mut arena);
+            assert_eq!(n as usize, legacy.len(), "{src}->{dst}");
+            for (k, seg) in legacy.iter().enumerate() {
+                let m = metas[k];
+                let got = &arena[m.start as usize..(m.start + m.len) as usize];
+                assert_eq!(got, seg.chans.as_slice(), "{src}->{dst} segment {k}");
+                let mut sum = 0.0;
+                let mut bot = 0.0f64;
+                for &c in &seg.chans {
+                    let t = b.chan_time(c);
+                    sum += t;
+                    bot = bot.max(t);
+                }
+                assert_eq!(sum.to_bits(), m.sum_t.to_bits());
+                assert_eq!(bot.to_bits(), m.bottleneck_t.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -12,9 +12,34 @@
 //!
 //! Events are processed in `(time, sequence)` order, so runs are exactly
 //! reproducible for a given seed.
+//!
+//! # No-allocation invariant
+//!
+//! The event loop is **allocation-free in steady state**, and every change
+//! to it must keep it that way:
+//!
+//! * routes are never built per message — deterministic messages carry a
+//!   [`RouteRef`] into the [`BuiltSystem`]'s interned [`RouteTable`]
+//!   (channel ids in one flat array, per-segment `sum_t`/`bottleneck_t`
+//!   precomputed at build time), and adaptive messages write their route
+//!   into a per-slot arena whose buffers are reused when the slot is;
+//! * [`Msg`] is a small `Copy` record; delivered messages push their slab
+//!   slot onto a free list, so the live-message footprint is bounded by
+//!   the peak in-flight population (reported as
+//!   [`SimResults::peak_live_msgs`]), not by the run length;
+//! * the event heap, per-channel FIFOs and arena buffers all retain their
+//!   capacity, so a warmed-up loop performs no allocator calls at all;
+//! * tracing is compiled out of the hot path via the `TRACE` const
+//!   generic — with `trace_messages == 0` the per-event trace branches
+//!   do not exist in the monomorphised engine.
+//!
+//! [`RouteRef`]: crate::build::RouteRef
+//! [`RouteTable`]: crate::build::RouteTable
+//! [`SimResults::peak_live_msgs`]: crate::results::SimResults::peak_live_msgs
 
-use crate::build::{BuiltSystem, Segment};
+use crate::build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta};
 use crate::config::{Coupling, SimConfig};
+use crate::events::EventQueue;
 use crate::results::SimResults;
 use crate::trace::{MessageTrace, TraceEvent, TraceEventKind};
 use cocnet_model::Workload;
@@ -23,8 +48,7 @@ use cocnet_topology::SystemSpec;
 use cocnet_workloads::{ArrivalProcess, ArrivalSpec, Pattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
@@ -45,34 +69,6 @@ enum EventKind {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 #[derive(Debug)]
 struct Chan {
     /// Per-flit transfer time.
@@ -83,16 +79,28 @@ struct Chan {
     queue: VecDeque<u32>,
 }
 
-#[derive(Debug)]
+/// One in-flight message: a slab slot's worth of `Copy` state. The route
+/// itself lives in the interned table (or the adaptive arena); the current
+/// segment's metadata is cached inline so the per-event path needs no
+/// route resolution at all.
+#[derive(Debug, Clone, Copy)]
 struct Msg {
     gen_time: f64,
-    segments: Vec<Segment>,
-    /// Current segment / channel indices of the header.
-    seg: u16,
-    idx: u16,
     /// Tail availability at the current segment's entrance (generation time
     /// for segment 0, previous segment's finish afterwards).
     prev_finish: f64,
+    /// Cached metadata of the segment under the header.
+    cur: SegMeta,
+    /// Interned route, or [`RouteRef::DYNAMIC`] for adaptive messages.
+    route: RouteRef,
+    /// Generation index for tracing (`u32::MAX` when untraced).
+    trace_id: u32,
+    /// Current segment index of the header.
+    seg: u8,
+    /// Total segments on the route (1 intra, 3 inter).
+    nsegs: u8,
+    /// Channel index of the header within the current segment.
+    idx: u16,
     /// Whether this message's latency is recorded (not warm-up/drain).
     recorded: bool,
     /// Whether source and destination share a cluster.
@@ -100,18 +108,56 @@ struct Msg {
     src_cluster: u32,
 }
 
-struct Simulator<'a> {
+const UNTRACED: u32 = u32::MAX;
+
+impl Msg {
+    /// Placeholder for freshly grown slab slots (overwritten before use).
+    const VACANT: Msg = Msg {
+        gen_time: 0.0,
+        prev_finish: 0.0,
+        cur: SegMeta {
+            start: 0,
+            len: 0,
+            sum_t: 0.0,
+            bottleneck_t: 0.0,
+        },
+        route: RouteRef::DYNAMIC,
+        trace_id: UNTRACED,
+        seg: 0,
+        nsegs: 0,
+        idx: 0,
+        recorded: false,
+        intra: false,
+        src_cluster: 0,
+    };
+}
+
+/// Per-slot adaptive route storage: channel ids plus the same precomputed
+/// segment metadata the interned table carries. Buffers are reused when
+/// the slab slot is, so steady-state adaptive routing allocates nothing.
+#[derive(Debug, Default)]
+struct DynRoute {
+    chans: Vec<u32>,
+    segs: [SegMeta; 3],
+}
+
+struct Simulator<'a, const TRACE: bool> {
     built: &'a BuiltSystem,
+    routes: &'a RouteTable,
     cfg: SimConfig,
     m_flits: f64,
     /// Per-node arrival streams (independent state per node).
     arrivals: Vec<ArrivalProcess>,
     pattern: Pattern,
     rng: StdRng,
-    heap: BinaryHeap<Event>,
-    seq: u64,
+    queue: EventQueue<EventKind>,
     chans: Vec<Chan>,
+    /// Message slab; `free` holds the slots of delivered messages.
     msgs: Vec<Msg>,
+    free: Vec<u32>,
+    /// Adaptive route arena, parallel to `msgs`.
+    dyn_routes: Vec<DynRoute>,
+    scratch: AdaptiveScratch,
     generated: u64,
     recorded_done: u64,
     events_processed: u64,
@@ -131,7 +177,12 @@ struct Simulator<'a> {
     percentiles: Option<Percentiles>,
 }
 
-impl<'a> Simulator<'a> {
+/// Exact latency percentiles once at least one sample is recorded.
+fn exact_percentiles(p: &mut Percentiles) -> Option<(f64, f64, f64)> {
+    Some((p.quantile(0.5)?, p.quantile(0.95)?, p.quantile(0.99)?))
+}
+
+impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
     fn new(
         built: &'a BuiltSystem,
         wl: &Workload,
@@ -155,15 +206,18 @@ impl<'a> Simulator<'a> {
             .map(|(hi, bins)| Histogram::new(0.0, hi, bins));
         Self {
             built,
+            routes: built.route_table(),
             cfg,
             m_flits: wl.msg_flits as f64,
             arrivals: vec![arrival.build(); built.total_nodes()],
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             chans,
-            msgs: Vec::with_capacity(cfg.total_messages() as usize),
+            msgs: Vec::new(),
+            free: Vec::new(),
+            dyn_routes: Vec::new(),
+            scratch: AdaptiveScratch::default(),
             generated: 0,
             recorded_done: 0,
             events_processed: 0,
@@ -184,34 +238,54 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn trace(&mut self, msg_id: u32, time: f64, kind: TraceEventKind) {
-        if (msg_id as u64) < self.cfg.trace_messages {
-            let idx = msg_id as usize;
-            while self.traces.len() <= idx {
-                self.traces.push(MessageTrace::default());
-            }
-            self.traces[idx].events.push(TraceEvent { time, kind });
+    #[inline]
+    fn trace(&mut self, trace_id: u32, time: f64, kind: TraceEventKind) {
+        if !TRACE || trace_id == UNTRACED {
+            return;
+        }
+        let idx = trace_id as usize;
+        while self.traces.len() <= idx {
+            self.traces.push(MessageTrace::default());
+        }
+        self.traces[idx].events.push(TraceEvent { time, kind });
+    }
+
+    /// Channel id at position `k` of the message's current segment.
+    #[inline]
+    fn seg_chan(&self, msg_id: u32, k: u32) -> u32 {
+        let m = &self.msgs[msg_id as usize];
+        let i = (m.cur.start + k) as usize;
+        if m.route.is_dynamic() {
+            self.dyn_routes[msg_id as usize].chans[i]
+        } else {
+            self.routes.chans()[i]
         }
     }
 
-    fn schedule(&mut self, time: f64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Event { time, seq, kind });
+    /// Metadata of segment `seg` of the message's route.
+    #[inline]
+    fn seg_meta(&self, msg_id: u32, seg: u8) -> SegMeta {
+        let m = &self.msgs[msg_id as usize];
+        if m.route.is_dynamic() {
+            self.dyn_routes[msg_id as usize].segs[seg as usize]
+        } else {
+            self.routes.seg_meta(m.route, seg as u32)
+        }
     }
 
     /// Seeds the initial Generate event of every node.
     fn prime(&mut self) {
         for node in 0..self.built.total_nodes() {
             let t = self.arrivals[node].next_arrival(&mut self.rng);
-            self.schedule(t, EventKind::Generate { node: node as u32 });
+            self.queue
+                .schedule(t, EventKind::Generate { node: node as u32 });
         }
     }
 
     fn run(mut self) -> SimResults {
         self.prime();
         let mut completed = false;
-        while let Some(ev) = self.heap.pop() {
+        while let Some(ev) = self.queue.pop() {
             self.events_processed += 1;
             if self.events_processed > self.cfg.max_events {
                 break;
@@ -229,6 +303,14 @@ impl<'a> Simulator<'a> {
                 break;
             }
         }
+        // Channels still holding a message when the run ends (event cap or
+        // measured-complete break) have an open busy interval; flush it so
+        // utilisation is not undercounted.
+        for chan in 0..self.chans.len() {
+            if self.chans[chan].busy {
+                self.busy_total[chan] += self.now - self.busy_since[chan];
+            }
+        }
         SimResults::collect(
             &self.latency,
             &self.intra_lat,
@@ -241,142 +323,167 @@ impl<'a> Simulator<'a> {
             self.histogram,
             self.busy_total,
             self.traces,
-            self.percentiles
-                .as_mut()
-                .and_then(|p| Some((p.quantile(0.5)?, p.quantile(0.95)?, p.quantile(0.99)?))),
+            self.percentiles.as_mut().and_then(exact_percentiles),
+            crate::results::EngineCounters {
+                events_processed: self.events_processed,
+                peak_live_msgs: self.msgs.len() as u64,
+            },
         )
     }
 
     fn on_generate(&mut self, node: u32, t: f64) {
-        if self.generated < self.cfg.total_messages() {
-            let src = node as usize;
-            let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
-            let segments = if self.cfg.adaptive_routing {
-                self.built.segments_for_adaptive(src, dst, &mut self.rng)
-            } else {
-                self.built.segments_for(src, dst)
-            };
-            let recorded = self.generated >= self.cfg.warmup
-                && self.generated < self.cfg.warmup + self.cfg.measured;
-            self.generated += 1;
-            let msg_id = self.msgs.len() as u32;
-            self.msgs.push(Msg {
-                gen_time: t,
-                segments,
-                seg: 0,
-                idx: 0,
-                prev_finish: t,
-                recorded,
-                intra: self.built.cluster_of(src) == self.built.cluster_of(dst),
-                src_cluster: self.built.cluster_of(src) as u32,
-            });
-            self.trace(
-                msg_id,
-                t,
-                TraceEventKind::Generated {
-                    src: src as u32,
-                    dst: dst as u32,
-                },
-            );
-            self.request_current(msg_id, t);
-            // Keep generating until the population is complete.
-            if self.generated < self.cfg.total_messages() {
-                let next = self.arrivals[node as usize].next_arrival(&mut self.rng);
-                debug_assert!(next >= t, "arrival streams move forward");
-                self.schedule(next, EventKind::Generate { node });
+        if self.generated >= self.cfg.total_messages() {
+            return;
+        }
+        let src = node as usize;
+        let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
+        let recorded = self.generated >= self.cfg.warmup
+            && self.generated < self.cfg.warmup + self.cfg.measured;
+        let trace_id = if TRACE && self.generated < self.cfg.trace_messages.min(UNTRACED as u64) {
+            self.generated as u32
+        } else {
+            UNTRACED
+        };
+        self.generated += 1;
+
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.msgs.len() as u32;
+                self.msgs.push(Msg::VACANT);
+                self.dyn_routes.push(DynRoute::default());
+                s
             }
+        };
+        let built = self.built;
+        let (route, cur, nsegs) = if self.cfg.adaptive_routing {
+            let dr = &mut self.dyn_routes[slot as usize];
+            let (segs, n) = built.adaptive_route_into(
+                src,
+                dst,
+                &mut self.rng,
+                &mut self.scratch,
+                &mut dr.chans,
+            );
+            dr.segs = segs;
+            (RouteRef::DYNAMIC, segs[0], n)
+        } else {
+            let r = self.routes.route_ref(src, dst);
+            (
+                r,
+                self.routes.seg_meta(r, 0),
+                self.routes.num_segments(r) as u8,
+            )
+        };
+        self.msgs[slot as usize] = Msg {
+            gen_time: t,
+            prev_finish: t,
+            cur,
+            route,
+            trace_id,
+            seg: 0,
+            nsegs,
+            idx: 0,
+            recorded,
+            intra: built.cluster_of(src) == built.cluster_of(dst),
+            src_cluster: built.cluster_of(src) as u32,
+        };
+        self.trace(
+            trace_id,
+            t,
+            TraceEventKind::Generated {
+                src: src as u32,
+                dst: dst as u32,
+            },
+        );
+        self.request_current(slot, t);
+        // Keep generating until the population is complete.
+        if self.generated < self.cfg.total_messages() {
+            let next = self.arrivals[node as usize].next_arrival(&mut self.rng);
+            debug_assert!(next >= t, "arrival streams move forward");
+            self.queue.schedule(next, EventKind::Generate { node });
         }
     }
 
     /// Requests the channel under the message's header cursor; either
     /// acquires it immediately or joins its FIFO.
     fn request_current(&mut self, msg_id: u32, t: f64) {
-        let msg = &self.msgs[msg_id as usize];
-        let chan = msg.segments[msg.seg as usize].chans[msg.idx as usize];
+        let idx = self.msgs[msg_id as usize].idx;
+        let chan = self.seg_chan(msg_id, idx as u32);
         let c = &mut self.chans[chan as usize];
         if c.busy {
             c.queue.push_back(msg_id);
-            self.trace(msg_id, t, TraceEventKind::Blocked { chan });
+            if TRACE {
+                let trace_id = self.msgs[msg_id as usize].trace_id;
+                self.trace(trace_id, t, TraceEventKind::Blocked { chan });
+            }
         } else {
             c.busy = true;
             let cross = c.t;
             self.busy_since[chan as usize] = t;
-            self.schedule(t + cross, EventKind::Advance { msg: msg_id });
-            self.trace(msg_id, t, TraceEventKind::Acquired { chan });
+            self.queue
+                .schedule(t + cross, EventKind::Advance { msg: msg_id });
+            if TRACE {
+                let trace_id = self.msgs[msg_id as usize].trace_id;
+                self.trace(trace_id, t, TraceEventKind::Acquired { chan });
+            }
         }
     }
 
     fn on_advance(&mut self, msg_id: u32, t: f64) {
-        let msg = &self.msgs[msg_id as usize];
-        let seg = &msg.segments[msg.seg as usize];
-        let at_seg_end = (msg.idx as usize) + 1 == seg.chans.len();
+        let m = self.msgs[msg_id as usize];
+        let at_seg_end = (m.idx as u32) + 1 == m.cur.len;
         if !at_seg_end {
             self.msgs[msg_id as usize].idx += 1;
             self.request_current(msg_id, t);
             return;
         }
 
-        // Header finished its segment: compute the segment finish time and
-        // schedule channel releases. Under store-and-forward the whole
-        // message is already buffered at the segment entrance, so the worm
-        // streams at the segment's bottleneck rate; under cut-through the
-        // tail may additionally be limited by its arrival from the previous
-        // buffer.
-        let (finish, chans) = {
-            let msg = &self.msgs[msg_id as usize];
-            let seg = &msg.segments[msg.seg as usize];
-            let mut sum_t = 0.0;
-            let mut bot = 0.0f64;
-            for &c in &seg.chans {
-                let ct = self.chans[c as usize].t;
-                sum_t += ct;
-                bot = bot.max(ct);
-            }
-            let header_limited = t + (self.m_flits - 1.0) * bot;
-            let finish = match self.cfg.coupling {
-                // Full buffering / no-starve start: the worm streams at this
-                // segment's own bottleneck rate.
-                Coupling::StoreAndForward | Coupling::VirtualCutThrough => header_limited,
-                // Tightly coupled pipeline: the tail may still be limited by
-                // its arrival from the previous buffer.
-                Coupling::CutThrough => header_limited.max(msg.prev_finish + sum_t),
-            };
-            (finish, seg.chans.clone())
+        // Header finished its segment: compute the segment finish time from
+        // the precomputed segment metrics and schedule channel releases.
+        // Under store-and-forward the whole message is already buffered at
+        // the segment entrance, so the worm streams at the segment's
+        // bottleneck rate; under cut-through the tail may additionally be
+        // limited by its arrival from the previous buffer.
+        let header_limited = t + (self.m_flits - 1.0) * m.cur.bottleneck_t;
+        let finish = match self.cfg.coupling {
+            // Full buffering / no-starve start: the worm streams at this
+            // segment's own bottleneck rate.
+            Coupling::StoreAndForward | Coupling::VirtualCutThrough => header_limited,
+            // Tightly coupled pipeline: the tail may still be limited by
+            // its arrival from the previous buffer.
+            Coupling::CutThrough => header_limited.max(m.prev_finish + m.cur.sum_t),
         };
         // Release channel k once the tail has crossed it: the tail still has
         // to cross the suffix after leaving k, so release_k = finish − Σ_{s>k} t_s.
         let mut suffix = 0.0;
-        for k in (0..chans.len()).rev() {
+        for k in (0..m.cur.len).rev() {
+            let chan = self.seg_chan(msg_id, k);
             let release = (finish - suffix).max(t);
-            self.schedule(release, EventKind::Release { chan: chans[k] });
-            suffix += self.chans[chans[k] as usize].t;
+            self.queue.schedule(release, EventKind::Release { chan });
+            suffix += self.chans[chan as usize].t;
         }
 
-        let cur_seg = self.msgs[msg_id as usize].seg;
         self.trace(
-            msg_id,
+            m.trace_id,
             t,
             TraceEventKind::SegmentDone {
-                seg: cur_seg,
+                seg: m.seg as u16,
                 finish,
             },
         );
-        let last_segment = (self.msgs[msg_id as usize].seg as usize) + 1
-            == self.msgs[msg_id as usize].segments.len();
+        let last_segment = m.seg + 1 == m.nsegs;
         if last_segment {
-            let msg = &mut self.msgs[msg_id as usize];
-            let latency = finish - msg.gen_time;
-            let (recorded, intra, cluster) = (msg.recorded, msg.intra, msg.src_cluster);
-            msg.segments = Vec::new(); // drop path memory
-            self.trace(msg_id, finish, TraceEventKind::Delivered { latency });
-            if recorded {
+            let latency = finish - m.gen_time;
+            self.trace(m.trace_id, finish, TraceEventKind::Delivered { latency });
+            if m.recorded {
                 self.latency.push(latency);
-                if intra {
+                if m.intra {
                     self.intra_lat.push(latency);
                 } else {
                     self.inter_lat.push(latency);
                 }
-                self.per_cluster[cluster as usize].push(latency);
+                self.per_cluster[m.src_cluster as usize].push(latency);
                 if let Some(h) = &mut self.histogram {
                     h.record(latency);
                 }
@@ -385,37 +492,36 @@ impl<'a> Simulator<'a> {
                 }
                 self.recorded_done += 1;
             }
+            // Delivery releases the slab slot (and its arena buffers) for
+            // the next generated message.
+            self.free.push(msg_id);
         } else {
-            let coupling = self.cfg.coupling;
-            let msg = &mut self.msgs[msg_id as usize];
-            msg.seg += 1;
-            msg.idx = 0;
-            msg.prev_finish = finish;
+            let next = self.seg_meta(msg_id, m.seg + 1);
+            let mm = &mut self.msgs[msg_id as usize];
+            mm.seg += 1;
+            mm.idx = 0;
+            mm.prev_finish = finish;
+            mm.cur = next;
             // Store-and-forward: the next network sees the message only
             // once it is fully buffered; cut-through forwards the header
             // immediately.
-            match coupling {
+            match self.cfg.coupling {
                 // The channel must not be contended for before the message
                 // is ready, so future requests go through the heap.
-                Coupling::StoreAndForward => {
-                    self.schedule(finish, EventKind::Request { msg: msg_id })
-                }
+                Coupling::StoreAndForward => self
+                    .queue
+                    .schedule(finish, EventKind::Request { msg: msg_id }),
                 Coupling::VirtualCutThrough => {
                     // Latest header start such that the next segment's
                     // output never starves: its (M−1) payload flits stream
                     // at its bottleneck pace only after the tail (arriving
                     // at `finish`) can feed them.
-                    let next = &self.msgs[msg_id as usize].segments
-                        [self.msgs[msg_id as usize].seg as usize];
-                    let mut bot_next = 0.0f64;
-                    for &c in &next.chans {
-                        bot_next = bot_next.max(self.chans[c as usize].t);
-                    }
-                    let start = (finish - (self.m_flits - 1.0) * bot_next).max(t);
+                    let start = (finish - (self.m_flits - 1.0) * next.bottleneck_t).max(t);
                     if start <= t {
                         self.request_current(msg_id, t);
                     } else {
-                        self.schedule(start, EventKind::Request { msg: msg_id });
+                        self.queue
+                            .schedule(start, EventKind::Request { msg: msg_id });
                     }
                 }
                 Coupling::CutThrough => self.request_current(msg_id, t),
@@ -431,8 +537,12 @@ impl<'a> Simulator<'a> {
             // Grant to the next waiting header; channel stays busy.
             let cross = c.t;
             self.busy_since[chan as usize] = t;
-            self.schedule(t + cross, EventKind::Advance { msg: next });
-            self.trace(next, t, TraceEventKind::Acquired { chan });
+            self.queue
+                .schedule(t + cross, EventKind::Advance { msg: next });
+            if TRACE {
+                let trace_id = self.msgs[next as usize].trace_id;
+                self.trace(trace_id, t, TraceEventKind::Acquired { chan });
+            }
         } else {
             c.busy = false;
         }
@@ -470,6 +580,22 @@ pub fn run_simulation(
     run_simulation_built(&built, wl, pattern, cfg)
 }
 
+/// Dispatches over the `TRACE` monomorphisation: runs with tracing code
+/// compiled in only when the configuration asks for traces.
+fn dispatch(
+    built: &BuiltSystem,
+    wl: &Workload,
+    pattern: Pattern,
+    cfg: SimConfig,
+    arrival: ArrivalSpec,
+) -> SimResults {
+    if cfg.trace_messages > 0 {
+        Simulator::<true>::new(built, wl, pattern, cfg, arrival).run()
+    } else {
+        Simulator::<false>::new(built, wl, pattern, cfg, arrival).run()
+    }
+}
+
 /// Like [`run_simulation`], but reuses a pre-built system (sweeps over λ
 /// share the same topology; only channel times depend on the flit size, so
 /// the caller must have built with the same `flit_bytes`).
@@ -479,14 +605,13 @@ pub fn run_simulation_built(
     pattern: Pattern,
     cfg: &SimConfig,
 ) -> SimResults {
-    Simulator::new(
+    dispatch(
         built,
         wl,
         pattern,
         *cfg,
         ArrivalSpec::Poisson { rate: wl.lambda_g },
     )
-    .run()
 }
 
 /// Like [`run_simulation_built`], but with an explicit per-node arrival
@@ -500,7 +625,7 @@ pub fn run_simulation_arrivals(
     cfg: &SimConfig,
     arrival: ArrivalSpec,
 ) -> SimResults {
-    Simulator::new(built, wl, pattern, *cfg, arrival).run()
+    dispatch(built, wl, pattern, *cfg, arrival)
 }
 
 #[cfg(test)]
@@ -859,5 +984,43 @@ mod tests {
         for s in &r.per_cluster {
             assert!(s.count > 0, "every cluster generates traffic");
         }
+    }
+
+    #[test]
+    fn slab_keeps_live_messages_bounded() {
+        // The message slab recycles delivered slots: at light load the
+        // high-water mark must sit far below the generated population, and
+        // the engine must report its event count.
+        let r = run_simulation(&spec(), &wl(1e-4), Pattern::Uniform, &tiny_cfg(21));
+        assert!(r.completed);
+        assert!(r.events_processed > 0);
+        assert!(r.peak_live_msgs >= 1);
+        assert!(
+            r.peak_live_msgs < r.generated / 4,
+            "peak {} should be far below generated {}",
+            r.peak_live_msgs,
+            r.generated
+        );
+    }
+
+    #[test]
+    fn busy_time_flushed_for_channels_still_busy_at_end() {
+        // A run that stops at its measured count (or event cap) leaves
+        // channels mid-crossing; their open busy interval must be counted.
+        // With drain = 0 the run breaks exactly at the measured count while
+        // traffic is still flowing, so some channel is busy at the break.
+        let cfg = SimConfig {
+            warmup: 0,
+            drain: 0,
+            ..tiny_cfg(22)
+        };
+        let r = run_simulation(&spec(), &wl(8e-4), Pattern::Uniform, &cfg);
+        assert!(r.completed);
+        for &b in &r.channel_busy {
+            assert!(b >= 0.0);
+            assert!(b <= r.sim_time * (1.0 + 1e-9));
+        }
+        let total: f64 = r.channel_busy.iter().sum();
+        assert!(total > 0.0);
     }
 }

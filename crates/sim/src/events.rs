@@ -1,0 +1,105 @@
+//! Shared discrete-event plumbing: the `(time, sequence)`-ordered event
+//! queue both engines run on.
+//!
+//! Events are processed earliest-first; ties break on insertion sequence,
+//! so a run's event order is a pure function of the simulation — the
+//! backbone of the bit-identical-per-seed guarantee. The queue's backing
+//! `BinaryHeap` retains its capacity across pushes, so a warmed-up event
+//! loop never touches the allocator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: an engine-specific payload at a point in time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Timed<K> {
+    /// Simulation time the event fires at.
+    pub time: f64,
+    /// Insertion sequence number (tie-breaker; unique per queue).
+    pub seq: u64,
+    /// Engine-specific payload.
+    pub kind: K,
+}
+
+impl<K> PartialEq for Timed<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<K> Eq for Timed<K> {}
+impl<K> PartialOrd for Timed<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K> Ord for Timed<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list with automatic sequence numbering.
+#[derive(Debug)]
+pub(crate) struct EventQueue<K> {
+    heap: BinaryHeap<Timed<K>>,
+    seq: u64,
+}
+
+impl<K> EventQueue<K> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at `time`, after every event already scheduled for
+    /// the same instant.
+    #[inline]
+    pub fn schedule(&mut self, time: f64, kind: K) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Timed { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Timed<K>> {
+        self.heap.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_sequence_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "b");
+        q.schedule(1.0, "a1");
+        q.schedule(1.0, "a2");
+        q.schedule(0.5, "first");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.kind)).collect();
+        assert_eq!(order, ["first", "a1", "a2", "b"]);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotone() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let mut last = None;
+        while let Some(e) = q.pop() {
+            if let Some(prev) = last {
+                assert!(e.seq > prev);
+            }
+            last = Some(e.seq);
+        }
+    }
+}

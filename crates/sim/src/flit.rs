@@ -21,9 +21,16 @@
 //! the worm engine's virtual cut-through avoids. Cross-validation against
 //! the worm engine therefore uses `Coupling::StoreAndForward`
 //! (see `tests/engine_agreement.rs` and the `engine_agreement` bench bin).
+//!
+//! Like the worm engine, the event loop is allocation-free in steady
+//! state: messages are small `Copy` slab entries referencing the interned
+//! [`RouteTable`](crate::build::RouteTable) (this engine is always
+//! deterministic, so every route is interned), delivered slots are
+//! recycled through a free list, and the heap/FIFOs retain capacity.
 
-use crate::build::BuiltSystem;
+use crate::build::{BuiltSystem, RouteRef, RouteTable, SegMeta};
 use crate::config::SimConfig;
+use crate::events::EventQueue;
 use crate::results::SimResults;
 use cocnet_model::Workload;
 use cocnet_stats::{Histogram, OnlineStats};
@@ -31,8 +38,7 @@ use cocnet_topology::SystemSpec;
 use cocnet_workloads::{exponential_sample, Pattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
@@ -46,33 +52,6 @@ enum EventKind {
         flit: u32,
         pos: u32,
     },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// Per-channel flit-level state.
@@ -92,13 +71,19 @@ struct ChanF {
     queue: VecDeque<(u32, i32)>,
 }
 
-#[derive(Debug)]
+/// One in-flight message (slab slot). The route lives in the interned
+/// table; the current segment's channel range is cached inline.
+#[derive(Debug, Clone, Copy)]
 struct MsgF {
     gen_time: f64,
-    /// Segments of global channel ids (same construction as the worm engine).
-    segments: Vec<Vec<u32>>,
+    /// Interned route (this engine has no adaptive mode).
+    route: RouteRef,
+    /// Cached metadata of the current segment (only `start`/`len` used).
+    cur: SegMeta,
     /// Current segment index.
-    seg: u16,
+    seg: u8,
+    /// Total segments on the route.
+    nsegs: u8,
     /// Flits already injected into the current segment.
     injected: u32,
     recorded: bool,
@@ -106,18 +91,39 @@ struct MsgF {
     src_cluster: u32,
 }
 
+impl MsgF {
+    /// Placeholder for freshly grown slab slots (overwritten before use).
+    const VACANT: MsgF = MsgF {
+        gen_time: 0.0,
+        route: RouteRef::DYNAMIC,
+        cur: SegMeta {
+            start: 0,
+            len: 0,
+            sum_t: 0.0,
+            bottleneck_t: 0.0,
+        },
+        seg: 0,
+        nsegs: 0,
+        injected: 0,
+        recorded: false,
+        intra: false,
+        src_cluster: 0,
+    };
+}
+
 struct FlitSimulator<'a> {
     built: &'a BuiltSystem,
+    routes: &'a RouteTable,
     cfg: SimConfig,
     depth: usize,
     m_flits: u32,
     lambda: f64,
     pattern: Pattern,
     rng: StdRng,
-    heap: BinaryHeap<Event>,
-    seq: u64,
+    queue: EventQueue<EventKind>,
     chans: Vec<ChanF>,
     msgs: Vec<MsgF>,
+    free: Vec<u32>,
     generated: u64,
     recorded_done: u64,
     events_processed: u64,
@@ -149,16 +155,17 @@ impl<'a> FlitSimulator<'a> {
         assert!(cfg.flit_buffer_depth >= 1, "buffers need at least one slot");
         Self {
             built,
+            routes: built.route_table(),
             depth: cfg.flit_buffer_depth as usize,
             cfg,
             m_flits: wl.msg_flits,
             lambda: wl.lambda_g,
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             chans,
-            msgs: Vec::with_capacity(cfg.total_messages() as usize),
+            msgs: Vec::new(),
+            free: Vec::new(),
             generated: 0,
             recorded_done: 0,
             events_processed: 0,
@@ -173,19 +180,14 @@ impl<'a> FlitSimulator<'a> {
         }
     }
 
-    fn schedule(&mut self, time: f64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Event { time, seq, kind });
-    }
-
     fn run(mut self) -> SimResults {
         for node in 0..self.built.total_nodes() {
             let gap = exponential_sample(&mut self.rng, self.lambda);
-            self.schedule(gap, EventKind::Generate { node: node as u32 });
+            self.queue
+                .schedule(gap, EventKind::Generate { node: node as u32 });
         }
         let mut completed = false;
-        while let Some(ev) = self.heap.pop() {
+        while let Some(ev) = self.queue.pop() {
             self.events_processed += 1;
             if self.events_processed > self.cfg.max_events {
                 break;
@@ -202,6 +204,13 @@ impl<'a> FlitSimulator<'a> {
                 break;
             }
         }
+        // Flush the open busy interval of channels still allocated when
+        // the run ends, as in the worm engine.
+        for chan in 0..self.chans.len() {
+            if self.chans[chan].owner.is_some() {
+                self.busy_total[chan] += self.now - self.busy_since[chan];
+            }
+        }
         SimResults::collect(
             &self.latency,
             &self.intra_lat,
@@ -215,6 +224,10 @@ impl<'a> FlitSimulator<'a> {
             self.busy_total,
             Vec::new(),
             None,
+            crate::results::EngineCounters {
+                events_processed: self.events_processed,
+                peak_live_msgs: self.msgs.len() as u64,
+            },
         )
     }
 
@@ -224,36 +237,40 @@ impl<'a> FlitSimulator<'a> {
         }
         let src = node as usize;
         let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
-        let segments: Vec<Vec<u32>> = self
-            .built
-            .segments_for(src, dst)
-            .into_iter()
-            .map(|s| s.chans)
-            .collect();
         let recorded = self.generated >= self.cfg.warmup
             && self.generated < self.cfg.warmup + self.cfg.measured;
         self.generated += 1;
-        let msg_id = self.msgs.len() as u32;
-        self.msgs.push(MsgF {
+        let route = self.routes.route_ref(src, dst);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.msgs.len() as u32;
+                self.msgs.push(MsgF::VACANT);
+                s
+            }
+        };
+        self.msgs[slot as usize] = MsgF {
             gen_time: t,
-            segments,
+            route,
+            cur: self.routes.seg_meta(route, 0),
             seg: 0,
+            nsegs: self.routes.num_segments(route) as u8,
             injected: 0,
             recorded,
             intra: self.built.cluster_of(src) == self.built.cluster_of(dst),
             src_cluster: self.built.cluster_of(src) as u32,
-        });
-        self.inject_segment(msg_id, t);
+        };
+        self.inject_segment(slot, t);
         if self.generated < self.cfg.total_messages() {
             let gap = exponential_sample(&mut self.rng, self.lambda);
-            self.schedule(t + gap, EventKind::Generate { node });
+            self.queue.schedule(t + gap, EventKind::Generate { node });
         }
     }
 
     /// The message (fully buffered) requests its current segment's first
     /// channel; the header sits at source position −1.
     fn inject_segment(&mut self, msg_id: u32, t: f64) {
-        let chan = self.msgs[msg_id as usize].segments[self.msgs[msg_id as usize].seg as usize][0];
+        let chan = self.chan_at(msg_id, 0);
         let c = &mut self.chans[chan as usize];
         if c.owner.is_none() {
             c.owner = Some(msg_id);
@@ -265,14 +282,15 @@ impl<'a> FlitSimulator<'a> {
     }
 
     /// Channel id at `pos` of the message's current segment.
+    #[inline]
     fn chan_at(&self, msg_id: u32, pos: u32) -> u32 {
         let m = &self.msgs[msg_id as usize];
-        m.segments[m.seg as usize][pos as usize]
+        self.routes.chans()[(m.cur.start + pos) as usize]
     }
 
+    #[inline]
     fn seg_len(&self, msg_id: u32) -> u32 {
-        let m = &self.msgs[msg_id as usize];
-        m.segments[m.seg as usize].len() as u32
+        self.msgs[msg_id as usize].cur.len
     }
 
     /// Attempts to move the flit at `from_pos` (−1 = source buffer) one
@@ -326,7 +344,7 @@ impl<'a> FlitSimulator<'a> {
             let freed = self.chan_at(msg_id, from_pos as u32);
             self.release(freed, t);
         }
-        self.schedule(
+        self.queue.schedule(
             t + crossing_time,
             EventKind::CrossComplete {
                 msg: msg_id,
@@ -393,29 +411,31 @@ impl<'a> FlitSimulator<'a> {
     /// The tail of the current segment arrived: store-and-forward into the
     /// next segment, or deliver.
     fn segment_done(&mut self, msg_id: u32, t: f64) {
-        let m = &mut self.msgs[msg_id as usize];
-        if (m.seg as usize) + 1 < m.segments.len() {
-            m.seg += 1;
-            m.injected = 0;
+        let m = self.msgs[msg_id as usize];
+        if m.seg + 1 < m.nsegs {
+            let next = self.routes.seg_meta(m.route, m.seg as u32 + 1);
+            let mm = &mut self.msgs[msg_id as usize];
+            mm.seg += 1;
+            mm.injected = 0;
+            mm.cur = next;
             self.inject_segment(msg_id, t);
             return;
         }
         let latency = t - m.gen_time;
-        let (recorded, intra, cluster) = (m.recorded, m.intra, m.src_cluster);
-        m.segments = Vec::new();
-        if recorded {
+        if m.recorded {
             self.latency.push(latency);
-            if intra {
+            if m.intra {
                 self.intra_lat.push(latency);
             } else {
                 self.inter_lat.push(latency);
             }
-            self.per_cluster[cluster as usize].push(latency);
+            self.per_cluster[m.src_cluster as usize].push(latency);
             if let Some(h) = &mut self.histogram {
                 h.record(latency);
             }
             self.recorded_done += 1;
         }
+        self.free.push(msg_id);
     }
 }
 
@@ -442,7 +462,6 @@ pub fn run_simulation_flit_built(
 ) -> SimResults {
     FlitSimulator::new(built, wl, pattern, *cfg).run()
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

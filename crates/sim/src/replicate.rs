@@ -192,6 +192,10 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            crate::results::EngineCounters {
+                events_processed: 2,
+                peak_live_msgs: 1,
+            },
         );
         let mut r_bad = r_ok.clone();
         r_bad.completed = false;

@@ -36,6 +36,24 @@ pub struct SimResults {
     /// Exact latency percentiles `(p50, p95, p99)` when
     /// `collect_percentiles` was set (worm engine only).
     pub percentiles: Option<(f64, f64, f64)>,
+    /// Total events the engine processed (one heap pop each) — the
+    /// numerator of the events/sec throughput metric.
+    pub events_processed: u64,
+    /// High-water mark of the message slab: the peak number of
+    /// concurrently live messages. Delivered slots are recycled, so this —
+    /// not the generated population — bounds the engine's memory.
+    pub peak_live_msgs: u64,
+}
+
+/// The engine-loop throughput counters threaded into
+/// [`SimResults::collect`] — a named pair so the two `u64`s cannot be
+/// swapped silently at a call site.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EngineCounters {
+    /// Events processed (one heap pop each).
+    pub events_processed: u64,
+    /// Message-slab high-water mark.
+    pub peak_live_msgs: u64,
 }
 
 impl SimResults {
@@ -54,6 +72,7 @@ impl SimResults {
         channel_busy: Vec<f64>,
         traces: Vec<MessageTrace>,
         percentiles: Option<(f64, f64, f64)>,
+        counters: EngineCounters,
     ) -> Self {
         Self {
             latency: Summary::from_stats(latency),
@@ -68,6 +87,8 @@ impl SimResults {
             channel_busy,
             traces,
             percentiles,
+            events_processed: counters.events_processed,
+            peak_live_msgs: counters.peak_live_msgs,
         }
     }
 
@@ -102,6 +123,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            EngineCounters::default(),
         );
         assert_eq!(r.inter_fraction(), 0.0);
     }
@@ -132,6 +154,10 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            EngineCounters {
+                events_processed: 100,
+                peak_live_msgs: 4,
+            },
         );
         assert!((r.inter_fraction() - 0.75).abs() < 1e-12);
     }

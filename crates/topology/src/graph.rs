@@ -288,27 +288,44 @@ impl Graph {
         dst: usize,
         policy: AscentPolicy,
     ) -> Result<Route, TopologyError> {
+        let mut channels = Vec::new();
+        let nca_level = self.route_into(src, dst, policy, &mut channels)?;
+        Ok(Route {
+            channels,
+            nca_level,
+        })
+    }
+
+    /// Allocation-free form of [`Graph::route_with_policy`]: clears `out`
+    /// and writes the route's channels into it, returning the NCA level.
+    /// The buffer's capacity is reused across calls, which is what keeps
+    /// route-table interning and per-message adaptive routing off the
+    /// allocator.
+    pub fn route_into(
+        &self,
+        src: usize,
+        dst: usize,
+        policy: AscentPolicy,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        out.clear();
         let n = self.tree.n();
         let h = self.tree.nca_level(src, dst)?;
         if h == 0 {
-            return Ok(Route {
-                channels: Vec::new(),
-                nca_level: 0,
-            });
+            return Ok(0);
         }
         let src_label = self.tree.node_label(src)?;
         let dst_label = self.tree.node_label(dst)?;
 
-        let mut channels = Vec::with_capacity(2 * h as usize);
         // Ascend: node -> leaf -> ... -> NCA at level h.
         let mut sw = SwitchLabel::leaf_of(&src_label);
         let mut cur = Endpoint::Switch(self.switch_index[&sw]);
-        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        out.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
         for l in 1..h {
             let u = self.up_digit_with(&dst_label, l, policy);
             let parent = sw.parent(u).expect("ascending below the root");
             let next = Endpoint::Switch(self.switch_index[&parent]);
-            channels.push(self.lookup[&(cur, next)]);
+            out.push(self.lookup[&(cur, next)]);
             sw = parent;
             cur = next;
         }
@@ -318,16 +335,13 @@ impl Graph {
             let d = dst_label.digits[(n - l - 1) as usize];
             let child = sw.child(d).expect("descending above the leaves");
             let next = Endpoint::Switch(self.switch_index[&child]);
-            channels.push(self.lookup[&(cur, next)]);
+            out.push(self.lookup[&(cur, next)]);
             sw = child;
             cur = next;
         }
-        channels.push(self.lookup[&(cur, Endpoint::Node(dst as u32))]);
-        debug_assert_eq!(channels.len(), 2 * h as usize);
-        Ok(Route {
-            channels,
-            nca_level: h,
-        })
+        out.push(self.lookup[&(cur, Endpoint::Node(dst as u32))]);
+        debug_assert_eq!(out.len(), 2 * h as usize);
+        Ok(h)
     }
 
     /// Route from a node up to its deterministic exit root (used by
@@ -345,24 +359,37 @@ impl Graph {
         src: usize,
         policy: AscentPolicy,
     ) -> Result<Route, TopologyError> {
+        let mut channels = Vec::new();
+        let nca_level = self.route_to_root_into(src, policy, &mut channels)?;
+        Ok(Route {
+            channels,
+            nca_level,
+        })
+    }
+
+    /// Allocation-free form of [`Graph::route_to_root_with_policy`]:
+    /// clears `out`, writes the ascent channels, returns the root level.
+    pub fn route_to_root_into(
+        &self,
+        src: usize,
+        policy: AscentPolicy,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        out.clear();
         let n = self.tree.n();
         let src_label = self.tree.node_label(src)?;
-        let mut channels = Vec::with_capacity(n as usize);
         let mut sw = SwitchLabel::leaf_of(&src_label);
         let mut cur = Endpoint::Switch(self.switch_index[&sw]);
-        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        out.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
         for l in 1..n {
             let u = self.up_digit_with(&src_label, l, policy);
             let parent = sw.parent(u).expect("ascending below the root");
             let next = Endpoint::Switch(self.switch_index[&parent]);
-            channels.push(self.lookup[&(cur, next)]);
+            out.push(self.lookup[&(cur, next)]);
             sw = parent;
             cur = next;
         }
-        Ok(Route {
-            channels,
-            nca_level: n,
-        })
+        Ok(n)
     }
 
     /// Route from the deterministic entry root down to a node (used by
@@ -379,12 +406,27 @@ impl Graph {
         src: usize,
         up_digits: &[u32],
     ) -> Result<Route, TopologyError> {
+        let mut channels = Vec::new();
+        let nca_level = self.route_to_root_adaptive_into(src, up_digits, &mut channels)?;
+        Ok(Route {
+            channels,
+            nca_level,
+        })
+    }
+
+    /// Allocation-free form of [`Graph::route_to_root_adaptive`].
+    pub fn route_to_root_adaptive_into(
+        &self,
+        src: usize,
+        up_digits: &[u32],
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        out.clear();
         let n = self.tree.n();
         let src_label = self.tree.node_label(src)?;
-        let mut channels = Vec::with_capacity(n as usize);
         let mut sw = SwitchLabel::leaf_of(&src_label);
         let mut cur = Endpoint::Switch(self.switch_index[&sw]);
-        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        out.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
         for l in 1..n {
             let u = up_digits
                 .get((l - 1) as usize)
@@ -392,14 +434,11 @@ impl Graph {
                 .unwrap_or_else(|| self.up_digit_with(&src_label, l, AscentPolicy::TrailingDigits));
             let parent = sw.parent(u).expect("ascending below the root");
             let next = Endpoint::Switch(self.switch_index[&parent]);
-            channels.push(self.lookup[&(cur, next)]);
+            out.push(self.lookup[&(cur, next)]);
             sw = parent;
             cur = next;
         }
-        Ok(Route {
-            channels,
-            nca_level: n,
-        })
+        Ok(n)
     }
 
     /// [`Graph::route_from_root`] with an explicit ascent policy.
@@ -408,12 +447,28 @@ impl Graph {
         dst: usize,
         policy: AscentPolicy,
     ) -> Result<Route, TopologyError> {
-        let up = self.route_to_root_with_policy(dst, policy)?;
-        let channels = up.channels.iter().rev().map(|&c| self.reverse(c)).collect();
+        let mut channels = Vec::new();
+        let nca_level = self.route_from_root_into(dst, policy, &mut channels)?;
         Ok(Route {
             channels,
-            nca_level: up.nca_level,
+            nca_level,
         })
+    }
+
+    /// Allocation-free form of [`Graph::route_from_root_with_policy`]:
+    /// the ascent is produced in place, then reversed channel by channel.
+    pub fn route_from_root_into(
+        &self,
+        dst: usize,
+        policy: AscentPolicy,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        let nca_level = self.route_to_root_into(dst, policy, out)?;
+        out.reverse();
+        for c in out.iter_mut() {
+            *c = self.reverse(*c);
+        }
+        Ok(nca_level)
     }
 
     /// Adaptive Up*/Down* route: like [`Graph::route`] but the ascent
@@ -431,20 +486,33 @@ impl Graph {
         dst: usize,
         up_digits: &[u32],
     ) -> Result<Route, TopologyError> {
+        let mut channels = Vec::new();
+        let nca_level = self.route_adaptive_into(src, dst, up_digits, &mut channels)?;
+        Ok(Route {
+            channels,
+            nca_level,
+        })
+    }
+
+    /// Allocation-free form of [`Graph::route_adaptive`].
+    pub fn route_adaptive_into(
+        &self,
+        src: usize,
+        dst: usize,
+        up_digits: &[u32],
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        out.clear();
         let n = self.tree.n();
         let h = self.tree.nca_level(src, dst)?;
         if h == 0 {
-            return Ok(Route {
-                channels: Vec::new(),
-                nca_level: 0,
-            });
+            return Ok(0);
         }
         let src_label = self.tree.node_label(src)?;
         let dst_label = self.tree.node_label(dst)?;
-        let mut channels = Vec::with_capacity(2 * h as usize);
         let mut sw = SwitchLabel::leaf_of(&src_label);
         let mut cur = Endpoint::Switch(self.switch_index[&sw]);
-        channels.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
+        out.push(self.lookup[&(Endpoint::Node(src as u32), cur)]);
         for l in 1..h {
             let u = up_digits
                 .get((l - 1) as usize)
@@ -452,7 +520,7 @@ impl Graph {
                 .unwrap_or_else(|| self.up_digit_with(&dst_label, l, AscentPolicy::TrailingDigits));
             let parent = sw.parent(u).expect("ascending below the root");
             let next = Endpoint::Switch(self.switch_index[&parent]);
-            channels.push(self.lookup[&(cur, next)]);
+            out.push(self.lookup[&(cur, next)]);
             sw = parent;
             cur = next;
         }
@@ -460,15 +528,12 @@ impl Graph {
             let d = dst_label.digits[(n - l - 1) as usize];
             let child = sw.child(d).expect("descending above the leaves");
             let next = Endpoint::Switch(self.switch_index[&child]);
-            channels.push(self.lookup[&(cur, next)]);
+            out.push(self.lookup[&(cur, next)]);
             sw = child;
             cur = next;
         }
-        channels.push(self.lookup[&(cur, Endpoint::Node(dst as u32))]);
-        Ok(Route {
-            channels,
-            nca_level: h,
-        })
+        out.push(self.lookup[&(cur, Endpoint::Node(dst as u32))]);
+        Ok(h)
     }
 
     /// Structural self-check: channel count, port budgets, reverse pairing.
@@ -718,6 +783,42 @@ mod tests {
             roots.insert(format!("{nca:?}"));
         }
         assert_eq!(roots.len(), 4);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_routes() {
+        // The `_into` forms exist so hot paths can reuse one buffer; they
+        // must emit exactly what the allocating forms return, including
+        // after the buffer has held a longer previous route.
+        let g = graph(8, 3);
+        let mut buf = Vec::new();
+        for (src, dst) in [(0usize, 127usize), (5, 9), (64, 1), (3, 3)] {
+            let r = g.route(src, dst).unwrap();
+            let h = g
+                .route_into(src, dst, AscentPolicy::default(), &mut buf)
+                .unwrap();
+            assert_eq!(h, r.nca_level);
+            assert_eq!(buf, r.channels);
+        }
+        for src in [0usize, 31, 77] {
+            let up = g.route_to_root(src).unwrap();
+            let h = g
+                .route_to_root_into(src, AscentPolicy::default(), &mut buf)
+                .unwrap();
+            assert_eq!(h, up.nca_level);
+            assert_eq!(buf, up.channels);
+            let down = g.route_from_root(src).unwrap();
+            g.route_from_root_into(src, AscentPolicy::default(), &mut buf)
+                .unwrap();
+            assert_eq!(buf, down.channels);
+            let ada = g.route_to_root_adaptive(src, &[1, 2]).unwrap();
+            g.route_to_root_adaptive_into(src, &[1, 2], &mut buf)
+                .unwrap();
+            assert_eq!(buf, ada.channels);
+        }
+        let ada = g.route_adaptive(0, 127, &[3, 1]).unwrap();
+        g.route_adaptive_into(0, 127, &[3, 1], &mut buf).unwrap();
+        assert_eq!(buf, ada.channels);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Seed-pinned golden statistics: the interned-route/slab rework of the
+//! simulators must be **bit-identical** to the PR-1 seed behaviour. Each
+//! case pins `latency.mean` (as raw f64 bits), the recorded count, the
+//! generated population and the final simulation clock for a fixed seed.
+//!
+//! If a change legitimately alters simulation semantics (not just its
+//! implementation), regenerate the constants with
+//! `cargo test --release -p cocnet --test golden_regression -- --ignored --nocapture`
+//! and say so loudly in the PR.
+
+use cocnet::prelude::*;
+use cocnet::sim::{run_simulation_flit, Coupling};
+
+fn hetero_spec() -> SystemSpec {
+    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+    let c = |n| ClusterSpec {
+        n,
+        icn1: net1,
+        ecn1: net2,
+    };
+    SystemSpec::new(4, vec![c(1), c(2), c(2), c(3)], net1).unwrap()
+}
+
+fn wide_spec() -> SystemSpec {
+    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
+    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
+    let c = |n| ClusterSpec {
+        n,
+        icn1: net1,
+        ecn1: net2,
+    };
+    let clusters = vec![c(1), c(1), c(2), c(2), c(1), c(2), c(1), c(1)];
+    SystemSpec::new(8, clusters, net2).unwrap()
+}
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup: 500,
+        measured: 5_000,
+        drain: 500,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// One pinned observation.
+struct Golden {
+    name: &'static str,
+    mean_bits: u64,
+    count: u64,
+    generated: u64,
+    sim_time_bits: u64,
+}
+
+fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+    let hetero = hetero_spec();
+    let wide = wide_spec();
+    vec![
+        (
+            "vct_uniform",
+            run_simulation(&hetero, &wl, Pattern::Uniform, &cfg(99)),
+        ),
+        (
+            "saf_uniform",
+            run_simulation(
+                &hetero,
+                &wl,
+                Pattern::Uniform,
+                &SimConfig {
+                    coupling: Coupling::StoreAndForward,
+                    ..cfg(99)
+                },
+            ),
+        ),
+        (
+            "cut_through_uniform",
+            run_simulation(
+                &hetero,
+                &wl,
+                Pattern::Uniform,
+                &SimConfig {
+                    coupling: Coupling::CutThrough,
+                    ..cfg(99)
+                },
+            ),
+        ),
+        (
+            "adaptive_vct_uniform",
+            run_simulation(
+                &hetero,
+                &wl,
+                Pattern::Uniform,
+                &SimConfig {
+                    adaptive_routing: true,
+                    ..cfg(99)
+                },
+            ),
+        ),
+        (
+            "flit_saf_uniform",
+            run_simulation_flit(
+                &hetero,
+                &Workload::new(2e-4, 8, 256.0).unwrap(),
+                Pattern::Uniform,
+                &SimConfig {
+                    coupling: Coupling::StoreAndForward,
+                    ..cfg(99)
+                },
+            ),
+        ),
+        (
+            "vct_cluster_local",
+            run_simulation(
+                &hetero,
+                &wl,
+                Pattern::ClusterLocal { locality: 0.8 },
+                &cfg(7),
+            ),
+        ),
+        (
+            "vct_wide_m8_complement",
+            run_simulation(&wide, &wl, Pattern::Complement, &cfg(1234)),
+        ),
+    ]
+}
+
+/// Regenerates the table below; run with `-- --ignored --nocapture`.
+#[test]
+#[ignore]
+fn print_golden_values() {
+    for (name, r) in observe() {
+        println!(
+            "    Golden {{ name: \"{name}\", mean_bits: 0x{:016x}, count: {}, generated: {}, sim_time_bits: 0x{:016x} }},",
+            r.latency.mean.to_bits(),
+            r.latency.count,
+            r.generated,
+            r.sim_time.to_bits(),
+        );
+    }
+}
+
+const GOLDEN: &[Golden] = &[
+    // Captured from the PR-1 seed engine via `print_golden_values`.
+    Golden {
+        name: "vct_uniform",
+        mean_bits: 0x404648d3b5cc952d,
+        count: 5000,
+        generated: 5500,
+        sim_time_bits: 0x4126e1bf19c501a5,
+    },
+    Golden {
+        name: "saf_uniform",
+        mean_bits: 0x4050d213417c825f,
+        count: 5000,
+        generated: 5500,
+        sim_time_bits: 0x4126e1bf19c501a5,
+    },
+    Golden {
+        name: "cut_through_uniform",
+        mean_bits: 0x4040ba03960355ac,
+        count: 5000,
+        generated: 5500,
+        sim_time_bits: 0x4126e1bf19c501a5,
+    },
+    Golden {
+        name: "adaptive_vct_uniform",
+        mean_bits: 0x404641b714a5fbec,
+        count: 5000,
+        generated: 5500,
+        sim_time_bits: 0x412701258f85f929,
+    },
+    Golden {
+        name: "flit_saf_uniform",
+        mean_bits: 0x4032ca1e28633fe3,
+        count: 5000,
+        generated: 5500,
+        sim_time_bits: 0x4126e1c68c75226a,
+    },
+    Golden {
+        name: "vct_cluster_local",
+        mean_bits: 0x4039f1480bd82bb3,
+        count: 5000,
+        generated: 5500,
+        sim_time_bits: 0x412793ad0223bb36,
+    },
+    Golden {
+        name: "vct_wide_m8_complement",
+        mean_bits: 0x40426d925ff5f474,
+        count: 5000,
+        generated: 5500,
+        sim_time_bits: 0x41095c452392d2c4,
+    },
+];
+
+#[test]
+fn statistics_bit_identical_to_seed_behaviour() {
+    assert!(
+        !GOLDEN.is_empty(),
+        "golden table is empty; regenerate with print_golden_values"
+    );
+    let observed = observe();
+    assert_eq!(observed.len(), GOLDEN.len());
+    for (g, (name, r)) in GOLDEN.iter().zip(&observed) {
+        assert_eq!(g.name, *name, "case order changed");
+        assert!(r.completed, "{name}: run must complete");
+        assert_eq!(
+            g.mean_bits,
+            r.latency.mean.to_bits(),
+            "{name}: latency.mean drifted ({} vs expected {})",
+            r.latency.mean,
+            f64::from_bits(g.mean_bits),
+        );
+        assert_eq!(g.count, r.latency.count, "{name}: latency.count drifted");
+        assert_eq!(g.generated, r.generated, "{name}: generated drifted");
+        assert_eq!(
+            g.sim_time_bits,
+            r.sim_time.to_bits(),
+            "{name}: sim_time drifted ({} vs expected {})",
+            r.sim_time,
+            f64::from_bits(g.sim_time_bits),
+        );
+    }
+}
