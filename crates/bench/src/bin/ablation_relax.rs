@@ -1,85 +1,9 @@
-//! Ablation: the relaxing factor δ of Eqs. (27)–(28).
+//! Ablation: the relaxing factor of Eqs. (27)-(28).
 //!
-//! The paper discounts ICN2-stage waits by δ = β_ICN2/β_ECN1 because "when
-//! the message flow comes into the ICN2 (with usually more bandwidth) the
-//! waiting time will be decreased proportional to the capacity". This
-//! ablation quantifies how much that term matters, and on which side of
-//! the simulation the model lands with and without it.
-//!
-//! The simulation points run concurrently through the unified
-//! `Scenario` runner.
-
-use cocnet::model::{evaluate, ModelOptions, Workload};
-use cocnet::presets;
-use cocnet::runner::Scenario;
-use cocnet::sim::SimConfig;
-use cocnet::stats::Table;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::ablations` and is equally reachable as
+//! `cocnet run ablation_relax`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let with = ModelOptions::default();
-    let without = ModelOptions {
-        relaxing_factor: false,
-        ..ModelOptions::default()
-    };
-    let sim_cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 17,
-        ..SimConfig::default()
-    };
-    for (name, spec, wl, rates) in [
-        (
-            "N=1120, M=32, Lm=256",
-            presets::org_1120(),
-            presets::wl_m32_l256(),
-            [1e-4, 2e-4, 3e-4, 4e-4],
-        ),
-        (
-            "N=544, M=32, Lm=256",
-            presets::org_544(),
-            presets::wl_m32_l256(),
-            [2e-4, 4e-4, 6e-4, 8e-4],
-        ),
-    ] {
-        println!("## {name}");
-        let mut table = Table::new([
-            "rate",
-            "with delta",
-            "without delta",
-            "delta effect%",
-            "sim",
-        ]);
-        let scenario = Scenario::new(name, spec.clone())
-            .with_workload("Lm=256", wl)
-            .with_rates(rates.to_vec())
-            .with_sim(sim_cfg);
-        let points = scenario.run_sim_detailed().remove(0);
-        for point in points {
-            let rate = point.rate;
-            let w = Workload {
-                lambda_g: rate,
-                ..wl
-            };
-            let a = evaluate(&spec, &w, &with).map(|o| o.latency);
-            let b = evaluate(&spec, &w, &without).map(|o| o.latency);
-            let fmt = |r: &Result<f64, _>| {
-                r.as_ref()
-                    .map(|v| format!("{v:.2}"))
-                    .unwrap_or_else(|_| "saturated".into())
-            };
-            let effect = match (&a, &b) {
-                (Ok(x), Ok(y)) => format!("{:+.2}", (y - x) / x * 100.0),
-                _ => "-".into(),
-            };
-            table.push_row([
-                format!("{rate:.2e}"),
-                fmt(&a),
-                fmt(&b),
-                effect,
-                format!("{:.2}", point.first().latency.mean),
-            ]);
-        }
-        println!("{}", table.render());
-    }
+    cocnet::registry::bin_main("ablation_relax");
 }

@@ -1,81 +1,9 @@
 //! Ablation: the Up*/Down* ascent policy under skewed destination mass.
 //!
-//! The analytical model assumes uniformly loaded channels (Eqs. (10),
-//! (24)–(25)). That only holds if the deterministic routing spreads ascent
-//! traffic across the parallel ancestors. This experiment quantifies what
-//! happens when it doesn't: the `MirrorDescent` policy funnels all traffic
-//! toward the four big clusters of the N=1120 organization through one ICN2
-//! root, saturating it at a quarter of the predicted rate (DESIGN.md §4.2).
-//!
-//! The rate points run concurrently via the runner's [`par_map`]; each
-//! job evaluates all three routing configurations for its rate.
-
-use cocnet::model::Workload;
-use cocnet::presets;
-use cocnet::runner::par_map;
-use cocnet::sim::{run_simulation_built, BuiltSystem, SimConfig};
-use cocnet::stats::Table;
-use cocnet::topology::AscentPolicy;
-use cocnet_workloads::Pattern;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::ablations` and is equally reachable as
+//! `cocnet run ablation_routing`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let spec = presets::org_1120();
-    let cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 9,
-        ..SimConfig::default()
-    };
-    println!("## N=1120, M=32, Lm=256 — ascent-policy ablation");
-    let mut table = Table::new([
-        "rate",
-        "trailing-digits",
-        "max util",
-        "mirror-descent",
-        "max util",
-        "adaptive (random)",
-        "max util",
-    ]);
-    let rates = [1e-4, 1.5e-4, 2e-4, 3e-4];
-    let rows = par_map(&rates, |&rate| {
-        let wl = Workload {
-            lambda_g: rate,
-            ..presets::wl_m32_l256()
-        };
-        let mut cells = vec![format!("{rate:.2e}")];
-        let push_run = |built: &BuiltSystem, cfg: &SimConfig, cells: &mut Vec<String>| {
-            let r = run_simulation_built(built, &wl, Pattern::Uniform, cfg);
-            let max_icn2 = r
-                .channel_busy
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| built.network_of(*i as u32).0 == "ICN2")
-                .map(|(_, &b)| b / r.sim_time)
-                .fold(0.0f64, f64::max);
-            cells.push(format!("{:.2}", r.latency.mean));
-            cells.push(format!("{max_icn2:.3}"));
-        };
-        for policy in [AscentPolicy::TrailingDigits, AscentPolicy::MirrorDescent] {
-            let built = BuiltSystem::build_with_policy(&spec, wl.flit_bytes, policy);
-            push_run(&built, &cfg, &mut cells);
-        }
-        // Oblivious-adaptive: random ascent digits per message.
-        let built = BuiltSystem::build(&spec, wl.flit_bytes);
-        let adaptive_cfg = SimConfig {
-            adaptive_routing: true,
-            ..cfg
-        };
-        push_run(&built, &adaptive_cfg, &mut cells);
-        cells
-    });
-    for row in rows {
-        table.push_row(row);
-    }
-    println!("{}", table.render());
-    println!(
-        "mirror-descent funnels every message bound for the four n=3 clusters\n\
-         (~45% of inter-cluster traffic) through one root switch; the balanced\n\
-         trailing-digits policy is what the model's uniform channel rates assume."
-    );
+    cocnet::registry::bin_main("ablation_routing");
 }

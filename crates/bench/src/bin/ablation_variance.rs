@@ -1,60 +1,9 @@
 //! Ablation: the service-variance approximation of Eq. (17)/(36).
 //!
-//! The paper singles out the variance approximation ("a factor of the model
-//! inaccuracy") when explaining the discrepancy near saturation. This
-//! ablation compares the Draper–Ghosh-style approximation against a
-//! deterministic-service (σ² = 0) model across the load range.
-
-use cocnet::model::{evaluate, ModelOptions, VarianceApprox, Workload};
-use cocnet::presets;
-use cocnet::stats::Table;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::ablations` and is equally reachable as
+//! `cocnet run ablation_variance`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let dg = ModelOptions::default();
-    let zero = ModelOptions {
-        variance: VarianceApprox::Zero,
-        ..ModelOptions::default()
-    };
-    for (name, spec, wl, max) in [
-        (
-            "N=1120, M=32, Lm=256",
-            presets::org_1120(),
-            presets::wl_m32_l256(),
-            presets::rates::FIG3_MAX,
-        ),
-        (
-            "N=544, M=64, Lm=256",
-            presets::org_544(),
-            presets::wl_m64_l256(),
-            presets::rates::FIG6_MAX,
-        ),
-    ] {
-        println!("## {name}");
-        let mut table = Table::new(["rate", "DraperGhosh", "sigma2=0", "gap%"]);
-        for i in 1..=8 {
-            let rate = max * i as f64 / 8.0;
-            let w = Workload {
-                lambda_g: rate,
-                ..wl
-            };
-            let a = evaluate(&spec, &w, &dg).map(|o| o.latency);
-            let b = evaluate(&spec, &w, &zero).map(|o| o.latency);
-            let fmt = |r: &Result<f64, _>| {
-                r.as_ref()
-                    .map(|v| format!("{v:.2}"))
-                    .unwrap_or_else(|_| "saturated".into())
-            };
-            let gap = match (&a, &b) {
-                (Ok(x), Ok(y)) => format!("{:+.2}", (x - y) / y * 100.0),
-                _ => "-".into(),
-            };
-            table.push_row([format!("{rate:.2e}"), fmt(&a), fmt(&b), gap]);
-        }
-        println!("{}", table.render());
-    }
-    println!(
-        "note: the variance term only affects the M/G/1 waits (source queues and\n\
-         concentrators); it grows with load, which is exactly where the paper\n\
-         reports its model diverging from simulation."
-    );
+    cocnet::registry::bin_main("ablation_variance");
 }

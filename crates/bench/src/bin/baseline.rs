@@ -1,75 +1,9 @@
-//! Baseline comparison: the flat homogeneous queueing model (the prior art
-//! the paper positions against, refs \[11\]–\[14\]) vs the paper's
-//! hierarchical heterogeneous model vs simulation.
+//! Flat homogeneous queueing baseline vs the paper's model vs simulation.
 //!
-//! Quantifies the paper's core motivation: a model that ignores network
-//! and cluster-size heterogeneity cannot predict cluster-of-clusters
-//! latency — it misses the slow ECN1 fabrics and the concentrator
-//! bottleneck entirely.
-//!
-//! The simulation points run concurrently through the unified
-//! `Scenario` runner.
-
-use cocnet::model::{evaluate, evaluate_baseline, ModelOptions, Workload};
-use cocnet::presets;
-use cocnet::runner::Scenario;
-use cocnet::sim::SimConfig;
-use cocnet::stats::Table;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::validation` and is equally reachable as
+//! `cocnet run baseline`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let opts = ModelOptions::default();
-    let cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 12,
-        ..SimConfig::default()
-    };
-    for (name, spec, rates) in [
-        ("N=1120 (Table 1)", presets::org_1120(), [1e-4, 2e-4, 3e-4]),
-        ("N=544 (Table 1)", presets::org_544(), [2e-4, 4e-4, 6e-4]),
-    ] {
-        println!("## {name}, M=32, Lm=256");
-        let mut table = Table::new([
-            "rate",
-            "flat baseline",
-            "hierarchical model",
-            "simulation",
-            "baseline err%",
-            "model err%",
-        ]);
-        let scenario = Scenario::new(name, spec.clone())
-            .with_workload("Lm=256", presets::wl_m32_l256())
-            .with_rates(rates.to_vec())
-            .with_sim(cfg);
-        let points = scenario.run_sim_detailed().remove(0);
-        for point in points {
-            let rate = point.rate;
-            let wl = Workload {
-                lambda_g: rate,
-                ..presets::wl_m32_l256()
-            };
-            let flat = evaluate_baseline(&spec, &wl, &opts)
-                .map(|b| b.latency)
-                .unwrap_or(f64::NAN);
-            let model = evaluate(&spec, &wl, &opts)
-                .map(|o| o.latency)
-                .unwrap_or(f64::NAN);
-            let s = point.first().latency.mean;
-            table.push_row([
-                format!("{rate:.1e}"),
-                format!("{flat:.2}"),
-                format!("{model:.2}"),
-                format!("{s:.2}"),
-                format!("{:+.1}", (flat - s) / s * 100.0),
-                format!("{:+.1}", (model - s) / s * 100.0),
-            ]);
-        }
-        println!("{}", table.render());
-    }
-    println!(
-        "the flat homogeneous baseline (prior art) misses the ECN1/ICN2\n\
-         hierarchy and lands at a fraction of the observed latency; the\n\
-         paper's heterogeneous model closes most of that gap."
-    );
+    cocnet::registry::bin_main("baseline");
 }

@@ -1,158 +1,9 @@
-//! Performance snapshot: runs a fixed simulator workload and writes
-//! `BENCH_sim.json`, the committed events/sec trajectory of the hot path.
+//! Perf: events/sec snapshot appended to the BENCH_sim.json trajectory.
 //!
-//! Three cases mirror the `sim_throughput` criterion bench:
-//!
-//! * `msg_dominated` — light load, generation and uncontended handoffs;
-//! * `high_load` — near saturation, chained blocking dominates;
-//! * `inter_heavy` — zero locality, every message crosses ECN1/ICN2.
-//!
-//! Each case is one [`Scenario`] point executed `--reps` times; the best
-//! wall-clock repetition is reported (throughput is a capability number,
-//! not an average over scheduler noise). Usage:
-//!
-//! ```text
-//! bench_snapshot [--quick] [--reps N] [--out PATH]
-//! ```
-//!
-//! `--quick` (CI mode) scales the population down 10× so the snapshot
-//! costs seconds; the committed baseline is produced without it.
-
-use cocnet::model::Workload;
-use cocnet::runner::Scenario;
-use cocnet::sim::SimConfig;
-use cocnet::topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
-use cocnet_workloads::Pattern;
-use serde::Serialize;
-use std::time::Instant;
-
-/// One measured case of the snapshot.
-#[derive(Debug, Serialize)]
-struct CaseReport {
-    name: String,
-    /// Messages generated by the measured repetition.
-    messages: u64,
-    /// Engine events processed by the measured repetition.
-    events: u64,
-    /// Best wall-clock seconds over the repetitions.
-    wall_s: f64,
-    events_per_sec: f64,
-    messages_per_sec: f64,
-    /// Peak concurrently-live messages (slab high-water mark).
-    peak_live_msgs: u64,
-}
-
-/// The written snapshot file.
-#[derive(Debug, Serialize)]
-struct Snapshot {
-    /// `quick` (CI smoke) or `full` (committed baseline).
-    mode: String,
-    /// Repetitions per case (best is reported).
-    reps: usize,
-    cases: Vec<CaseReport>,
-}
-
-fn small_spec() -> SystemSpec {
-    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
-    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
-    let c = |n| ClusterSpec {
-        n,
-        icn1: net1,
-        ecn1: net2,
-    };
-    SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
-}
-
-fn measure(name: &str, scenario: &Scenario, reps: usize) -> CaseReport {
-    let mut best: Option<CaseReport> = None;
-    for _ in 0..reps {
-        let start = Instant::now();
-        let detailed = scenario.run_sim_detailed();
-        let wall_s = start.elapsed().as_secs_f64();
-        let point = &detailed[0][0];
-        assert!(point.completed(), "{name}: snapshot case must complete");
-        let report = CaseReport {
-            name: name.to_string(),
-            messages: point.messages_total(),
-            events: point.events_total(),
-            wall_s,
-            events_per_sec: point.events_total() as f64 / wall_s,
-            messages_per_sec: point.messages_total() as f64 / wall_s,
-            peak_live_msgs: point.peak_live_msgs(),
-        };
-        if best.as_ref().is_none_or(|b| report.wall_s < b.wall_s) {
-            best = Some(report);
-        }
-    }
-    let report = best.expect("at least one repetition");
-    eprintln!(
-        "[{name}: {:.0} events/s, {:.0} msgs/s, peak slab {} ({:.3} s)]",
-        report.events_per_sec, report.messages_per_sec, report.peak_live_msgs, report.wall_s
-    );
-    report
-}
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::perf` and is equally reachable as
+//! `cocnet run bench_snapshot`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let mut reps = if quick { 1 } else { 3 };
-    let mut out = String::from("BENCH_sim.json");
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => {}
-            "--reps" => {
-                reps = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--reps needs a number");
-            }
-            "--out" => out = it.next().expect("--out needs a path").clone(),
-            other => eprintln!("ignoring unknown argument {other:?}"),
-        }
-    }
-
-    let scale = if quick { 10 } else { 1 };
-    let cfg = SimConfig {
-        warmup: 5_000 / scale,
-        measured: 50_000 / scale,
-        drain: 5_000 / scale,
-        seed: 1,
-        ..SimConfig::default()
-    };
-    let spec = small_spec();
-    let case = |name: &str, rate: f64, pattern: Pattern| {
-        Scenario::new(name, spec.clone())
-            .with_workload("M=32 Lm=256", Workload::new(rate, 32, 256.0).unwrap())
-            .with_rates(vec![rate])
-            .with_pattern(pattern)
-            .with_sim(cfg)
-    };
-
-    let cases = vec![
-        measure(
-            "msg_dominated",
-            &case("msg_dominated", 2e-4, Pattern::Uniform),
-            reps,
-        ),
-        measure(
-            "high_load",
-            &case("high_load", 1e-3, Pattern::Uniform),
-            reps,
-        ),
-        measure(
-            "inter_heavy",
-            &case("inter_heavy", 4e-4, Pattern::ClusterLocal { locality: 0.0 }),
-            reps,
-        ),
-    ];
-
-    let snapshot = Snapshot {
-        mode: if quick { "quick" } else { "full" }.to_string(),
-        reps,
-        cases,
-    };
-    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serialises");
-    std::fs::write(&out, json + "\n").expect("writable snapshot path");
-    eprintln!("[wrote {out}]");
+    cocnet::registry::bin_main("bench_snapshot");
 }

@@ -1,88 +1,9 @@
-//! Latency decomposition: where does the time go as load grows?
+//! Diagnostic: latency decomposition as load grows.
 //!
-//! The model's component structure (Eqs. (4) and (39)) makes the answer
-//! exact: source-queue wait, network latency, tail drain, and
-//! concentrator/dispatcher wait, separately for the intra- and
-//! inter-cluster populations. This is the designer's view behind Fig. 7's
-//! conclusion — the component that explodes first is the concentrator
-//! wait, which is why boosting ICN2 bandwidth pays off.
-
-use cocnet::model::{evaluate, ModelOptions, Workload};
-use cocnet::presets;
-use cocnet::stats::Table;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::diagnostics` and is equally reachable as
+//! `cocnet run breakdown`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let opts = ModelOptions::default();
-    for (name, spec, wl, rates) in [
-        (
-            "N=1120, M=32, Lm=256",
-            presets::org_1120(),
-            presets::wl_m32_l256(),
-            [5e-5, 2e-4, 3.5e-4, 4.7e-4],
-        ),
-        (
-            "N=544, M=64, Lm=256",
-            presets::org_544(),
-            presets::wl_m64_l256(),
-            [5e-5, 2e-4, 3.5e-4, 4.7e-4],
-        ),
-    ] {
-        println!("## {name} — population-weighted latency components");
-        let mut table = Table::new([
-            "rate",
-            "intra W_in",
-            "intra T+E",
-            "inter W_ex",
-            "inter T+E",
-            "condis W_d",
-            "total",
-        ]);
-        for rate in rates {
-            let w = Workload {
-                lambda_g: rate,
-                ..wl
-            };
-            match evaluate(&spec, &w, &opts) {
-                Ok(out) => {
-                    let n = spec.total_nodes() as f64;
-                    let mut acc = [0.0f64; 5];
-                    for c in &out.per_cluster {
-                        let share = spec.cluster_nodes(c.cluster) as f64 / n;
-                        let u = c.outgoing_probability;
-                        acc[0] += share * (1.0 - u) * c.intra.source_wait;
-                        acc[1] += share * (1.0 - u) * (c.intra.network + c.intra.tail);
-                        acc[2] += share * u * c.inter.source_wait;
-                        acc[3] += share * u * (c.inter.network + c.inter.tail);
-                        acc[4] += share * u * c.inter.condis_wait;
-                    }
-                    table.push_row([
-                        format!("{rate:.2e}"),
-                        format!("{:.2}", acc[0]),
-                        format!("{:.2}", acc[1]),
-                        format!("{:.2}", acc[2]),
-                        format!("{:.2}", acc[3]),
-                        format!("{:.2}", acc[4]),
-                        format!("{:.2}", out.latency),
-                    ]);
-                }
-                Err(e) => {
-                    table.push_row([
-                        format!("{rate:.2e}"),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        format!("{e}"),
-                    ]);
-                }
-            }
-        }
-        println!("{}", table.render());
-    }
-    println!(
-        "as load approaches saturation the concentrator/dispatcher wait (W_d)\n\
-         dominates the growth — the analytic restatement of the hotspots\n\
-         experiment's measured bottleneck."
-    );
+    cocnet::registry::bin_main("breakdown");
 }

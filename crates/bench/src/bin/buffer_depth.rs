@@ -1,73 +1,9 @@
-//! Extension experiment: relaxing assumption 6 (single-flit buffers).
+//! Extension: flit-buffer-depth sweep in the flit-level engine.
 //!
-//! The paper's model assumes one flit of buffering per channel. Real
-//! switches (Myrinet/InfiniBand/QsNet, the technologies §2 names) buffer
-//! more. This experiment sweeps the flit-buffer depth in the flit-level
-//! engine and reports latency across loads — quantifying how much of the
-//! wormhole blocking the model describes is an artefact of minimal
-//! buffering.
-//!
-//! All (rate × depth) simulations run concurrently via the runner's
-//! [`par_map`].
-
-use cocnet::model::Workload;
-use cocnet::runner::par_map;
-use cocnet::sim::{run_simulation_flit_built, BuiltSystem, Coupling, SimConfig};
-use cocnet::stats::Table;
-use cocnet::topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
-use cocnet_workloads::Pattern;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::extensions` and is equally reachable as
+//! `cocnet run buffer_depth`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
-    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
-    let c = |n| ClusterSpec {
-        n,
-        icn1: net1,
-        ecn1: net2,
-    };
-    let spec = SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap();
-    let built = BuiltSystem::build(&spec, 256.0);
-    let rates = [1e-3, 2e-3, 3e-3, 4e-3];
-    let depths = [1u32, 2, 4, 32];
-    let jobs: Vec<(f64, u32)> = rates
-        .iter()
-        .flat_map(|&rate| depths.iter().map(move |&d| (rate, d)))
-        .collect();
-    let results = par_map(&jobs, |&(rate, depth)| {
-        let wl = Workload::new(rate, 32, 256.0).unwrap();
-        let cfg = SimConfig {
-            warmup: 1_000,
-            measured: 10_000,
-            drain: 1_000,
-            seed: 23,
-            coupling: Coupling::StoreAndForward,
-            flit_buffer_depth: depth,
-            ..SimConfig::default()
-        };
-        let r = run_simulation_flit_built(&built, &wl, Pattern::Uniform, &cfg);
-        if r.completed {
-            format!("{:.2}", r.latency.mean)
-        } else {
-            "incomplete".into()
-        }
-    });
-
-    println!("## N=48, M=32, Lm=256 — flit-buffer-depth sweep (flit engine)");
-    let mut table = Table::new(["rate", "depth=1", "depth=2", "depth=4", "depth=32"]);
-    for (i, &rate) in rates.iter().enumerate() {
-        let mut row = vec![format!("{rate:.2e}")];
-        row.extend_from_slice(&results[i * depths.len()..(i + 1) * depths.len()]);
-        table.push_row(row);
-    }
-    println!("{}", table.render());
-    println!(
-        "finding: buffer depth is irrelevant in this regime. With messages\n\
-         (M=32 flits) much longer than any path (<= 14 hops), a worm spans its\n\
-         entire route whether or not intermediate channels can buffer extra\n\
-         flits: a blocked header holds the same set of channels, and deeper\n\
-         buffers can only compress flits that would otherwise wait at the\n\
-         source. The paper's single-flit-buffer assumption 6 is therefore\n\
-         *not* a material simplification for its workloads -- buffer depth\n\
-         would start to matter only for messages shorter than the path."
-    );
+    cocnet::registry::bin_main("buffer_depth");
 }

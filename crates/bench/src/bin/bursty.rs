@@ -1,66 +1,9 @@
-//! Extension experiment: bursty (interrupted-Poisson) traffic at a fixed
-//! mean rate.
+//! Extension: bursty (interrupted-Poisson) traffic at fixed mean rate.
 //!
-//! The paper's assumption 1 is per-node Poisson generation. Real parallel
-//! applications emit communication in phases; this experiment holds the
-//! mean rate constant and shrinks the duty cycle, showing how far the
-//! Poisson-based analytical model drifts as traffic becomes bursty —
-//! the time-domain counterpart of the §5 "non-uniform traffic" future work.
-//!
-//! The duty-cycle points run concurrently via the runner's [`par_map`].
-
-use cocnet::model::{evaluate, ModelOptions, Workload};
-use cocnet::presets;
-use cocnet::runner::par_map;
-use cocnet::sim::{run_simulation_arrivals, BuiltSystem, SimConfig};
-use cocnet::stats::Table;
-use cocnet_workloads::{ArrivalSpec, Pattern};
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::extensions` and is equally reachable as
+//! `cocnet run bursty`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let spec = presets::org_544();
-    let rate = 4e-4;
-    let wl = Workload {
-        lambda_g: rate,
-        ..presets::wl_m32_l256()
-    };
-    let opts = ModelOptions::default();
-    let model = evaluate(&spec, &wl, &opts).unwrap().latency;
-    let built = BuiltSystem::build(&spec, wl.flit_bytes);
-    let cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 99,
-        ..SimConfig::default()
-    };
-    println!(
-        "## N=544, M=32, Lm=256, mean rate {rate:.1e} — burstiness sweep\n\
-         (burst length 8 messages; duty 1.00 = the paper's Poisson assumption)"
-    );
-    println!("analytical model (Poisson assumption): {model:.2}\n");
-    let duties = [1.0, 0.5, 0.25, 0.1];
-    let runs = par_map(&duties, |&duty| {
-        let arrival = ArrivalSpec::bursty(rate, duty, 8.0);
-        run_simulation_arrivals(&built, &wl, Pattern::Uniform, &cfg, arrival)
-    });
-    let mut table = Table::new(["duty cycle", "sim latency", "vs Poisson sim", "model err%"]);
-    let poisson_ref = runs[0].latency.mean;
-    for (&duty, r) in duties.iter().zip(&runs) {
-        let mean = r.latency.mean;
-        table.push_row([
-            format!("{duty:.2}"),
-            if r.completed {
-                format!("{mean:.2}")
-            } else {
-                "incomplete".into()
-            },
-            format!("{:+.1}%", (mean / poisson_ref - 1.0) * 100.0),
-            format!("{:+.1}", (model - mean) / mean * 100.0),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "burstiness raises contention at the same mean load; the Poisson-based\n\
-         model grows increasingly optimistic as the duty cycle shrinks."
-    );
+    cocnet::registry::bin_main("bursty");
 }

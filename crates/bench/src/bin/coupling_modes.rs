@@ -1,79 +1,9 @@
 //! Ablation: the simulator's network-boundary coupling modes.
 //!
-//! The paper's model is ambivalent about what happens at the
-//! concentrator/dispatcher (see DESIGN.md): Eq. (20) merges the three
-//! networks into one wormhole pipe, while Eqs. (36)–(37) assume
-//! full-message buffering. This experiment runs the same workload under
-//! all three couplings the simulator implements and prints them against
-//! the model, making the trade-off measurable: cut-through matches the
-//! model at light load but saturates early; store-and-forward matches the
-//! saturation point but overshoots light-load latency; virtual cut-through
-//! (the default) is the compromise.
-//!
-//! All (rate × coupling) simulations run concurrently via the runner's
-//! [`par_map`].
-
-use cocnet::model::{evaluate, ModelOptions, Workload};
-use cocnet::presets;
-use cocnet::runner::par_map;
-use cocnet::sim::{run_simulation, Coupling, SimConfig};
-use cocnet::stats::Table;
-use cocnet_workloads::Pattern;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::ablations` and is equally reachable as
+//! `cocnet run coupling_modes`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let spec = presets::org_544();
-    let wl = presets::wl_m32_l256();
-    let opts = ModelOptions::default();
-    let base = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 31,
-        ..SimConfig::default()
-    };
-    let rates = [1e-4, 2e-4, 4e-4, 6e-4, 8e-4];
-    let couplings = [
-        Coupling::CutThrough,
-        Coupling::VirtualCutThrough,
-        Coupling::StoreAndForward,
-    ];
-    // One job per (rate, coupling); results come back in job order.
-    let jobs: Vec<(f64, Coupling)> = rates
-        .iter()
-        .flat_map(|&rate| couplings.iter().map(move |&c| (rate, c)))
-        .collect();
-    let results = par_map(&jobs, |&(rate, coupling)| {
-        let w = Workload {
-            lambda_g: rate,
-            ..wl
-        };
-        let cfg = SimConfig { coupling, ..base };
-        let r = run_simulation(&spec, &w, Pattern::Uniform, &cfg);
-        if r.completed {
-            format!("{:.2}", r.latency.mean)
-        } else {
-            "incomplete".into()
-        }
-    });
-
-    println!("## N=544, M=32, Lm=256 — coupling-mode comparison");
-    let mut table = Table::new(["rate", "model", "cut-through", "virtual-ct", "store&fwd"]);
-    for (i, &rate) in rates.iter().enumerate() {
-        let w = Workload {
-            lambda_g: rate,
-            ..wl
-        };
-        let model = evaluate(&spec, &w, &opts)
-            .map(|o| format!("{:.2}", o.latency))
-            .unwrap_or_else(|_| "saturated".into());
-        let row = &results[i * couplings.len()..(i + 1) * couplings.len()];
-        table.push_row([
-            format!("{rate:.2e}"),
-            model,
-            row[0].clone(),
-            row[1].clone(),
-            row[2].clone(),
-        ]);
-    }
-    println!("{}", table.render());
+    cocnet::registry::bin_main("coupling_modes");
 }

@@ -1,57 +1,9 @@
-//! Cross-validation experiment: worm engine vs flit-level reference engine
-//! over a load sweep (store-and-forward boundaries on both so the
-//! comparison isolates the worm engine's within-segment approximation).
+//! Worm engine vs flit-level reference engine (deliberately serial).
 //!
-//! Deliberately **not** parallelised over the runner: the final column is a
-//! wall-clock cost comparison between the two engines, and concurrent
-//! sibling simulations would contaminate each run's timing with scheduler
-//! contention. Each engine pair runs alone, back to back.
-
-use cocnet::model::Workload;
-use cocnet::sim::{run_simulation, run_simulation_flit, Coupling, SimConfig};
-use cocnet::stats::Table;
-use cocnet::topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
-use cocnet_workloads::Pattern;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::validation` and is equally reachable as
+//! `cocnet run engine_agreement`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
-    let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
-    let c = |n| ClusterSpec {
-        n,
-        icn1: net1,
-        ecn1: net2,
-    };
-    let spec = SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap();
-    let cfg = SimConfig {
-        warmup: 1_000,
-        measured: 10_000,
-        drain: 1_000,
-        seed: 77,
-        coupling: Coupling::StoreAndForward,
-        ..SimConfig::default()
-    };
-    println!("## worm engine vs flit-level reference (N=48, M=32, Lm=256)");
-    let mut table = Table::new(["rate", "worm", "flit", "gap%", "worm events/flit events"]);
-    for rate in [5e-5, 2e-4, 5e-4, 1e-3, 1.5e-3] {
-        let wl = Workload::new(rate, 32, 256.0).unwrap();
-        let t0 = std::time::Instant::now();
-        let worm = run_simulation(&spec, &wl, Pattern::Uniform, &cfg);
-        let t_worm = t0.elapsed();
-        let t1 = std::time::Instant::now();
-        let flit = run_simulation_flit(&spec, &wl, Pattern::Uniform, &cfg);
-        let t_flit = t1.elapsed();
-        let gap = (worm.latency.mean - flit.latency.mean) / flit.latency.mean * 100.0;
-        table.push_row([
-            format!("{rate:.2e}"),
-            format!("{:.2}", worm.latency.mean),
-            format!("{:.2}", flit.latency.mean),
-            format!("{gap:+.2}"),
-            format!("{:.0?} vs {:.0?}", t_worm, t_flit),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "the worm engine's message-level drain approximation tracks the\n\
-         flit-exact reference while processing ~M x fewer events."
-    );
+    cocnet::registry::bin_main("engine_agreement");
 }

@@ -1,5 +1,9 @@
-//! Regenerates the paper's Fig. 4. See `cocnet_bench::Cli` for flags.
+//! Regenerates the paper's Fig. 4.
+//!
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::figures` and is equally reachable as
+//! `cocnet run fig4`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    cocnet_bench::figure_main(cocnet::experiments::Figure::Fig4);
+    cocnet::registry::bin_main("fig4");
 }

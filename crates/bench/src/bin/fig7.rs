@@ -1,19 +1,9 @@
-//! Regenerates the paper's Fig. 7: mean message latency in the two Table 1
-//! organizations with the base ICN2 bandwidth vs a 20 % boost (analysis
-//! only, `M = 128` flits of 256 bytes, as in §4).
-
-use cocnet::experiments::run_fig7;
-use cocnet::model::ModelOptions;
-use cocnet::report::{render_figure, to_json};
+//! Regenerates the paper's Fig. 7 (ICN2 bandwidth design space).
+//!
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::figures` and is equally reachable as
+//! `cocnet run fig7`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let cli = cocnet_bench::Cli::parse();
-    let series = run_fig7(&ModelOptions::default(), cli.points);
-    println!(
-        "{}",
-        render_figure("Fig. 7 — ICN2 bandwidth +20% (M=128, Lm=256)", &series)
-    );
-    if cli.json {
-        println!("{}", to_json(&series));
-    }
+    cocnet::registry::bin_main("fig7");
 }

@@ -1,54 +1,9 @@
-//! Channel-utilisation diagnostic: runs one simulation and prints the
-//! hottest channels, supporting the paper's §4 claim that the inter-cluster
-//! networks (especially ICN2) are the system bottleneck.
-
-use cocnet_model::Workload;
-use cocnet_sim::{engine::run_simulation_built, BuiltSystem, SimConfig};
-use cocnet_workloads::{presets, Pattern};
+//! Diagnostic: hottest channels of one simulation run.
+//!
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::diagnostics` and is equally reachable as
+//! `cocnet run hotspots`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let rate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.5e-4);
-    let spec = presets::org_1120();
-    let wl = Workload {
-        lambda_g: rate,
-        ..presets::wl_m32_l256()
-    };
-    let cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 7,
-        max_events: 2_000_000_000,
-        ..SimConfig::default()
-    };
-    let built = BuiltSystem::build(&spec, wl.flit_bytes);
-    let r = run_simulation_built(&built, &wl, Pattern::Uniform, &cfg);
-    println!(
-        "rate={rate:.2e}  mean latency={:.2}  completed={}  sim_time={:.1}",
-        r.latency.mean, r.completed, r.sim_time
-    );
-    let mut hot: Vec<(usize, f64)> = r
-        .channel_busy
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| (i, b / r.sim_time))
-        .collect();
-    hot.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("top 15 channel utilisations:");
-    for &(c, u) in hot.iter().take(15) {
-        println!("  util={u:.3}  {}", built.describe_channel(c as u32));
-    }
-    // Aggregate by network kind.
-    let mut agg: std::collections::BTreeMap<String, (f64, usize)> = Default::default();
-    for (i, &b) in r.channel_busy.iter().enumerate() {
-        let (net, _) = built.network_of(i as u32);
-        let e = agg.entry(net.to_string()).or_insert((0.0, 0));
-        e.0 += b / r.sim_time;
-        e.1 += 1;
-    }
-    println!("mean utilisation by network:");
-    for (net, (sum, n)) in agg {
-        println!("  {net}: {:.4}", sum / n as f64);
-    }
+    cocnet::registry::bin_main("hotspots");
 }

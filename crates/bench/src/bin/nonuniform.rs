@@ -1,63 +1,9 @@
-//! Extension experiment (the paper's §5 future work): non-uniform traffic.
+//! Extension: non-uniform (cluster-local) traffic sweep.
 //!
-//! Sweeps the cluster-locality parameter ψ at a fixed generation rate and
-//! compares the generalised analytical model (outgoing-probability profile)
-//! against the simulator's cluster-local pattern, on the paper's N=544
-//! organization.
-//!
-//! The locality points run concurrently via the runner's [`par_map`].
-
-use cocnet::model::{evaluate_with_profile, ModelOptions, OutgoingProfile, Workload};
-use cocnet::presets;
-use cocnet::runner::par_map;
-use cocnet::sim::{run_simulation_built, BuiltSystem, SimConfig};
-use cocnet::stats::Table;
-use cocnet_workloads::Pattern;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::extensions` and is equally reachable as
+//! `cocnet run nonuniform`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let spec = presets::org_544();
-    let rate = 4e-4;
-    let wl = Workload {
-        lambda_g: rate,
-        ..presets::wl_m32_l256()
-    };
-    let opts = ModelOptions::default();
-    let cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 55,
-        ..SimConfig::default()
-    };
-    let built = BuiltSystem::build(&spec, wl.flit_bytes);
-    println!("## N=544, M=32, Lm=256, rate={rate:.1e} — locality sweep");
-    let localities = [0.0, 0.2, 0.4, 0.6, 0.8, 0.95];
-    let sims = par_map(&localities, |&locality| {
-        run_simulation_built(&built, &wl, Pattern::ClusterLocal { locality }, &cfg)
-    });
-    let mut table = Table::new(["locality", "model", "sim", "err%", "sim inter-frac"]);
-    for (&locality, sim) in localities.iter().zip(&sims) {
-        let profile = OutgoingProfile::cluster_local(&spec, locality).unwrap();
-        let model = evaluate_with_profile(&spec, &wl, &opts, &profile).map(|o| o.latency);
-        let model_cell = model
-            .as_ref()
-            .map(|v| format!("{v:.2}"))
-            .unwrap_or_else(|_| "saturated".into());
-        let err = model
-            .map(|m| format!("{:+.1}", (m - sim.latency.mean) / sim.latency.mean * 100.0))
-            .unwrap_or_else(|_| "-".into());
-        table.push_row([
-            format!("{locality:.2}"),
-            model_cell,
-            format!("{:.2}", sim.latency.mean),
-            err,
-            format!("{:.3}", sim.inter_fraction()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "higher locality keeps traffic on the fast intra-cluster networks and\n\
-         bypasses the concentrators: latency falls and the model error shrinks\n\
-         (the documented inter-cluster offset applies only to outgoing traffic)."
-    );
+    cocnet::registry::bin_main("nonuniform");
 }

@@ -1,74 +1,9 @@
-//! Pairwise inter-cluster latency matrix `L_ex^{(i,j)}` (Eq. (32)) —
-//! the quantity Eq. (35) averages away. Printed per cluster *class* (the
-//! organizations have 3 classes), it shows how asymmetric the
-//! cluster-of-clusters really is: small→small pairs pay the most because
-//! both endpoints' ECN1 trees are shallow but their concentrators carry
-//! proportionally more of their traffic.
-
-use cocnet::model::inter::pair_latency;
-use cocnet::model::{ModelOptions, Workload};
-use cocnet::presets;
-use cocnet::stats::Table;
+//! Diagnostic: pairwise inter-cluster latency matrix.
+//!
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::diagnostics` and is equally reachable as
+//! `cocnet run pairwise`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let opts = ModelOptions::default();
-    for (name, spec, rate) in [
-        ("N=1120", presets::org_1120(), 2e-4),
-        ("N=544", presets::org_544(), 4e-4),
-    ] {
-        let wl = Workload {
-            lambda_g: rate,
-            ..presets::wl_m32_l256()
-        };
-        // One representative cluster per height class.
-        let mut reps: Vec<usize> = Vec::new();
-        for i in 0..spec.num_clusters() {
-            if !reps
-                .iter()
-                .any(|&r| spec.clusters[r].n == spec.clusters[i].n)
-            {
-                reps.push(i);
-            }
-        }
-        println!("## {name}, M=32, Lm=256, rate={rate:.1e} — L_ex by class pair");
-        let mut header = vec!["src \\ dst".to_string()];
-        header.extend(
-            reps.iter()
-                .map(|&j| format!("n={} (N={})", spec.clusters[j].n, spec.cluster_nodes(j))),
-        );
-        let mut table = Table::new(header);
-        for &i in &reps {
-            let mut row = vec![format!(
-                "n={} (N={})",
-                spec.clusters[i].n,
-                spec.cluster_nodes(i)
-            )];
-            for &j in &reps {
-                // Same class: pick another member of that class if it
-                // exists (pair latency needs distinct clusters).
-                let j_eff = if i == j {
-                    (0..spec.num_clusters())
-                        .find(|&x| x != i && spec.clusters[x].n == spec.clusters[j].n)
-                } else {
-                    Some(j)
-                };
-                row.push(match j_eff {
-                    Some(j2) => pair_latency(&spec, &wl, i, j2, &opts)
-                        .map(|p| {
-                            format!("{:.1}", p.source_wait + p.network + p.tail + p.condis_wait)
-                        })
-                        .unwrap_or_else(|_| "sat".into()),
-                    None => "-".into(),
-                });
-            }
-            table.push_row(row);
-        }
-        println!("{}", table.render());
-    }
-    println!(
-        "rows: source class; columns: destination class. The destination's\n\
-         tree height sets the descent length, the pair's combined outgoing\n\
-         traffic sets the concentrator load (Eq. 22-23): big<->big pairs\n\
-         dominate the Eq. (35) average."
-    );
+    cocnet::registry::bin_main("pairwise");
 }

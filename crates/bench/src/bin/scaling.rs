@@ -1,60 +1,9 @@
-//! Scaling study (beyond the paper): how latency and the saturation rate
-//! evolve as the system grows, holding the cluster design fixed.
+//! Extension: cluster-count scaling study.
 //!
-//! The paper evaluates two fixed organizations; the analytical model's real
-//! value is sweeping a *family* of systems in milliseconds. This bin scales
-//! the number of clusters (m=4, homogeneous n=3 clusters of 16 nodes,
-//! Table 2 networks) through every valid ICN2 size and reports zero-load
-//! latency, mid-load latency and the saturation rate — the designer's
-//! capacity curve.
-
-use cocnet::model::{evaluate, saturation_point, ModelOptions, Workload};
-use cocnet::presets;
-use cocnet::stats::Table;
-use cocnet::topology::{ClusterSpec, SystemSpec};
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::extensions` and is equally reachable as
+//! `cocnet run scaling`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let opts = ModelOptions::default();
-    let wl = Workload::new(0.0, 32, 256.0).unwrap();
-    println!("## cluster-count scaling (m=4, uniform n=3 clusters of 16 nodes)");
-    let mut table = Table::new([
-        "C",
-        "N",
-        "n_c",
-        "latency (λ→0)",
-        "latency (λ=sat/2)",
-        "saturation rate",
-        "aggregate msg/s at sat",
-    ]);
-    // Valid C for m=4: 2·2^{n_c} = 4, 8, 16, 32, 64.
-    for n_c in 1..=5u32 {
-        let c = 2 * 2usize.pow(n_c);
-        let cluster = ClusterSpec {
-            n: 3,
-            icn1: presets::net1(),
-            ecn1: presets::net2(),
-        };
-        let spec = SystemSpec::new(4, vec![cluster; c], presets::net1()).unwrap();
-        let zero = evaluate(&spec, &wl, &opts).unwrap().latency;
-        let sat = saturation_point(&spec, &wl, &opts, 1e-4).unwrap();
-        let mid = evaluate(&spec, &wl.with_rate(sat / 2.0), &opts)
-            .unwrap()
-            .latency;
-        table.push_row([
-            c.to_string(),
-            spec.total_nodes().to_string(),
-            spec.icn2_height().unwrap().to_string(),
-            format!("{zero:.2}"),
-            format!("{mid:.2}"),
-            format!("{sat:.3e}"),
-            format!("{:.3}", sat * spec.total_nodes() as f64),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "per-node sustainable load shrinks as C grows (every outgoing message\n\
-         still crosses one concentrator), while aggregate throughput rises\n\
-         sublinearly — the fundamental cluster-of-clusters trade-off the\n\
-         paper's model makes visible."
-    );
+    cocnet::registry::bin_main("scaling");
 }

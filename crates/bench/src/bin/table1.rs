@@ -1,47 +1,9 @@
-//! Regenerates Table 1: the two system organizations used for model
-//! validation, with the node algebra spelled out and checked.
-
-use cocnet::presets;
-use cocnet::stats::Table;
+//! Regenerates Table 1 (system organizations).
+//!
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::tables` and is equally reachable as
+//! `cocnet run table1`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let mut table = Table::new(["N", "C", "m", "node organizations"]);
-    for spec in [presets::org_1120(), presets::org_544()] {
-        // Group consecutive clusters by height.
-        let mut groups: Vec<(u32, usize, usize)> = Vec::new(); // (n, from, to)
-        for (i, c) in spec.clusters.iter().enumerate() {
-            match groups.last_mut() {
-                Some((n, _, to)) if *n == c.n && *to + 1 == i => *to = i,
-                _ => groups.push((c.n, i, i)),
-            }
-        }
-        let desc = groups
-            .iter()
-            .map(|(n, from, to)| format!("n_i={n} for i in [{from},{to}]"))
-            .collect::<Vec<_>>()
-            .join(";  ");
-        table.push_row([
-            spec.total_nodes().to_string(),
-            spec.num_clusters().to_string(),
-            spec.m.to_string(),
-            desc,
-        ]);
-    }
-    println!("Table 1. System Organizations for Model Validation");
-    println!("{}", table.render());
-
-    // The node algebra: N = Σ 2(m/2)^{n_i}.
-    for spec in [presets::org_1120(), presets::org_544()] {
-        let sum: usize = (0..spec.num_clusters())
-            .map(|i| spec.cluster_nodes(i))
-            .sum();
-        assert_eq!(sum, spec.total_nodes());
-        println!(
-            "check: C={} clusters of m={} sum to N={} nodes; ICN2 is an m-port {}-tree",
-            spec.num_clusters(),
-            spec.m,
-            sum,
-            spec.icn2_height().unwrap()
-        );
-    }
+    cocnet::registry::bin_main("table1");
 }

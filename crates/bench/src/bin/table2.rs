@@ -1,35 +1,9 @@
-//! Regenerates Table 2: the network characteristics used for model
-//! validation, plus the derived per-flit service times (Eqs. (11)–(12))
-//! for both flit sizes used in the figures.
-
-use cocnet::presets;
-use cocnet::stats::Table;
+//! Regenerates Table 2 (network characteristics).
+//!
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::tables` and is equally reachable as
+//! `cocnet run table2`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let mut table = Table::new(["Network", "Bandwidth", "Network Latency", "Switch Latency"]);
-    for (name, net) in [("Net.1", presets::net1()), ("Net.2", presets::net2())] {
-        table.push_row([
-            name.to_string(),
-            format!("{}", net.bandwidth),
-            format!("{}", net.network_latency),
-            format!("{}", net.switch_latency),
-        ]);
-    }
-    println!("Table 2. Network Characteristics for Model Validation");
-    println!("{}", table.render());
-    println!("wiring: ICN1, ICN2 <- Net.1;  ECN1 <- Net.2\n");
-
-    let mut derived = Table::new(["Network", "d_m", "t_cn (Eq.11)", "t_cs (Eq.12)"]);
-    for (name, net) in [("Net.1", presets::net1()), ("Net.2", presets::net2())] {
-        for d_m in [256.0, 512.0] {
-            derived.push_row([
-                name.to_string(),
-                format!("{d_m}"),
-                format!("{:.4}", net.t_cn(d_m)),
-                format!("{:.4}", net.t_cs(d_m)),
-            ]);
-        }
-    }
-    println!("Derived per-flit service times:");
-    println!("{}", derived.render());
+    cocnet::registry::bin_main("table2");
 }

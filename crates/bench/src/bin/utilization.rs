@@ -1,88 +1,9 @@
-//! Predicted vs measured channel utilisation, per network class.
+//! Diagnostic: predicted vs measured channel utilisation per network class.
 //!
-//! Runs the analytical rate predictions (Eqs. (7), (10), (22)–(25) plus
-//! `M·t_cs` holding) against the simulator's measured busy fractions on the
-//! N=1120 organization. This quantifies the paper's §4 claim that the
-//! inter-cluster networks, especially ICN2, are the system's bottleneck.
-
-use cocnet::model::{network_rates, Workload};
-use cocnet::presets;
-use cocnet::sim::{run_simulation_built, BuiltSystem, SimConfig};
-use cocnet::stats::Table;
-use cocnet_workloads::Pattern;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::diagnostics` and is equally reachable as
+//! `cocnet run utilization`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let rate: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2e-4);
-    let spec = presets::org_1120();
-    let wl = Workload {
-        lambda_g: rate,
-        ..presets::wl_m32_l256()
-    };
-    let cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 3,
-        ..SimConfig::default()
-    };
-    let built = BuiltSystem::build(&spec, wl.flit_bytes);
-    let sim = run_simulation_built(&built, &wl, Pattern::Uniform, &cfg);
-    let predicted = network_rates(&spec, &wl);
-
-    // Aggregate measured busy fractions per network class.
-    let mut sums: std::collections::BTreeMap<(&str, u32), (f64, f64, usize)> = Default::default();
-    for (i, &b) in sim.channel_busy.iter().enumerate() {
-        let (net, cluster) = built.network_of(i as u32);
-        let n_height = if net == "ICN2" {
-            spec.icn2_height().unwrap()
-        } else {
-            spec.clusters[cluster].n
-        };
-        let u = b / sim.sim_time;
-        let e = sums.entry((net, n_height)).or_insert((0.0, 0.0, 0));
-        e.0 += u;
-        e.1 = e.1.max(u);
-        e.2 += 1;
-    }
-
-    println!("## N=1120, M=32, Lm=256, rate={rate:.2e} — channel utilisation by network class");
-    let mut table = Table::new([
-        "network class",
-        "mean util (sim)",
-        "max util (sim)",
-        "predicted util (model)",
-    ]);
-    for ((net, h), (sum, max, count)) in &sums {
-        // A representative predicted value for the class.
-        let pred = match *net {
-            "ICN1" => {
-                let i = (0..spec.num_clusters())
-                    .find(|&i| spec.clusters[i].n == *h)
-                    .unwrap();
-                predicted.util_icn1[i]
-            }
-            "ECN1" => {
-                let i = (0..spec.num_clusters())
-                    .find(|&i| spec.clusters[i].n == *h)
-                    .unwrap();
-                predicted.util_ecn1[i]
-            }
-            _ => predicted.util_icn2,
-        };
-        table.push_row([
-            format!("{net} (n={h})"),
-            format!("{:.4}", sum / *count as f64),
-            format!("{max:.4}"),
-            format!("{pred:.4}"),
-        ]);
-    }
-    println!("{}", table.render());
-    println!(
-        "mean latency {:.2} (completed={}); the ICN2 class dominates, matching\n\
-         the paper's bottleneck observation.",
-        sim.latency.mean, sim.completed
-    );
+    cocnet::registry::bin_main("utilization");
 }

@@ -1,103 +1,9 @@
-//! Model-vs-simulation validation across the paper's configurations
-//! (the §4 accuracy claim: 4–8 % error at light load).
+//! Model-vs-simulation validation across the paper's configurations.
 //!
-//! Prints, per traffic rate: the model's predicted mean latency, the
-//! simulated mean, the relative error, and the same split into intra- and
-//! inter-cluster populations. The intra-cluster split is the cleanest
-//! accuracy test (single network, no concentrator ambiguity); see
-//! EXPERIMENTS.md for the discussion of the inter-cluster offset.
-//!
-//! The simulation points run concurrently through the unified
-//! `Scenario` runner.
-
-use cocnet::runner::Scenario;
-use cocnet_model::{evaluate, ModelOptions, Workload};
-use cocnet_sim::SimConfig;
-use cocnet_workloads::presets;
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::validation` and is equally reachable as
+//! `cocnet run validation`. See `cocnet::registry::RunOpts` for the flags.
 
 fn main() {
-    let opts = ModelOptions::default();
-    let cfg = SimConfig {
-        warmup: 2_000,
-        measured: 20_000,
-        drain: 2_000,
-        seed: 42,
-        ..SimConfig::default()
-    };
-    for (name, spec, wl, rates) in [
-        (
-            "N=1120 M=32 Lm=256",
-            presets::org_1120(),
-            presets::wl_m32_l256(),
-            vec![5e-5, 1e-4, 2e-4, 3e-4],
-        ),
-        (
-            "N=544 M=32 Lm=256",
-            presets::org_544(),
-            presets::wl_m32_l256(),
-            vec![1e-4, 2e-4, 4e-4, 6e-4],
-        ),
-    ] {
-        println!("--- {name}");
-        println!(
-            "{:>10} {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7} | {:>9} {:>9} {:>7}",
-            "rate",
-            "model",
-            "sim",
-            "err%",
-            "model-in",
-            "sim-in",
-            "err%",
-            "model-ex",
-            "sim-ex",
-            "err%"
-        );
-        let scenario = Scenario::new(name, spec.clone())
-            .with_workload("Lm=256", wl)
-            .with_rates(rates)
-            .with_sim(cfg);
-        let points = scenario.run_sim_detailed().remove(0);
-        for point in points {
-            let rate = point.rate;
-            let sim = point.first();
-            let w = Workload {
-                lambda_g: rate,
-                ..wl
-            };
-            match evaluate(&spec, &w, &opts) {
-                Ok(out) => {
-                    // Population-weighted model means for the intra/inter splits.
-                    let n = spec.total_nodes() as f64;
-                    let mut w_in = 0.0;
-                    let mut w_ex = 0.0;
-                    let mut m_in = 0.0;
-                    let mut m_ex = 0.0;
-                    for c in &out.per_cluster {
-                        let share = spec.cluster_nodes(c.cluster) as f64 / n;
-                        let u = c.outgoing_probability;
-                        w_in += share * (1.0 - u);
-                        w_ex += share * u;
-                        m_in += share * (1.0 - u) * c.intra.total();
-                        m_ex += share * u * c.inter.total();
-                    }
-                    m_in /= w_in;
-                    m_ex /= w_ex;
-                    let err = |m: f64, s: f64| (m - s) / s * 100.0;
-                    println!(
-                        "{rate:>10.2e} {:>9.2} {:>9.2} {:>7.2} | {:>9.2} {:>9.2} {:>7.2} | {:>9.2} {:>9.2} {:>7.2}",
-                        out.latency,
-                        sim.latency.mean,
-                        err(out.latency, sim.latency.mean),
-                        m_in,
-                        sim.intra.mean,
-                        err(m_in, sim.intra.mean),
-                        m_ex,
-                        sim.inter.mean,
-                        err(m_ex, sim.inter.mean),
-                    );
-                }
-                Err(e) => println!("{rate:>10.2e} model saturated: {e}"),
-            }
-        }
-    }
+    cocnet::registry::bin_main("validation");
 }

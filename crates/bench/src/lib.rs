@@ -1,156 +1,22 @@
-//! Shared driver for the figure/table regeneration binaries.
+//! Thin binary wrappers over the scenario registry.
 //!
-//! Every binary accepts:
+//! Every figure/table/ablation binary in `src/bin/` is a one-liner over
+//! [`cocnet::registry::bin_main`]: the experiment definitions live in the
+//! registry (`cocnet::registry`), where they are equally reachable as
+//! `cocnet run <name>`, and the declarative ones additionally as committed
+//! JSON files under `scenarios/`. Flags accepted by every binary are
+//! documented on [`cocnet::registry::RunOpts`]:
 //!
-//! * `--quick` — scaled-down simulation (2k/20k/2k messages instead of the
-//!   paper's 10k/100k/10k) for a fast smoke run;
-//! * `--points N` — number of x-axis points (default 10);
-//! * `--replications N` — independent simulation replications per point
-//!   (default 1);
-//! * `--json` — also print the series as JSON (recorded in EXPERIMENTS.md);
-//! * `--no-sim` — analysis only;
-//! * `--serial` — run the sweep on one core (the runner's serial reference
-//!   path; bit-identical results, used for speedup measurements).
+//! * `--quick` — scaled-down simulation populations for a fast smoke run;
+//! * `--points N` / `--replications N` — sweep-grid overrides;
+//! * `--json` — append the series as JSON; `--out json|csv` — machine
+//!   output only;
+//! * `--no-sim` — analysis only; `--serial` — the runner's serial
+//!   reference path (bit-identical results, used for speedup
+//!   measurements);
+//! * `--rate λ`, `--reps N`, `--out-file PATH` — entry-specific knobs
+//!   (diagnostics and `bench_snapshot`).
 //!
-//! All simulation sweeps execute through [`cocnet::runner::Scenario`], so
-//! every (workload × rate × replication) run is fanned out over the rayon
-//! pool with deterministic seeding.
+//! This crate also hosts the criterion benches (`benches/`).
 
-use cocnet::experiments::{figure_config, figure_scenario, Figure};
-use cocnet::model::ModelOptions;
-use cocnet::report::{render_figure, to_json};
-use cocnet::sim::SimConfig;
-
-/// Parsed command-line options.
-#[derive(Debug, Clone)]
-pub struct Cli {
-    /// Scaled-down simulation population.
-    pub quick: bool,
-    /// Number of sweep points.
-    pub points: usize,
-    /// Independent replications per sweep point.
-    pub replications: usize,
-    /// Emit JSON after the table.
-    pub json: bool,
-    /// Skip the simulation series.
-    pub no_sim: bool,
-    /// Force the serial reference path (for speedup measurements).
-    pub serial: bool,
-}
-
-impl Cli {
-    /// Parses `std::env::args`.
-    pub fn parse() -> Self {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut cli = Cli {
-            quick: false,
-            points: 10,
-            replications: 1,
-            json: false,
-            no_sim: false,
-            serial: false,
-        };
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--quick" => cli.quick = true,
-                "--json" => cli.json = true,
-                "--no-sim" => cli.no_sim = true,
-                "--serial" => cli.serial = true,
-                "--points" => {
-                    cli.points = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--points needs a number");
-                }
-                "--replications" => {
-                    cli.replications = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--replications needs a number");
-                }
-                other => eprintln!("ignoring unknown argument {other:?}"),
-            }
-        }
-        cli
-    }
-
-    /// The simulation configuration implied by the flags.
-    pub fn sim_config(&self) -> SimConfig {
-        if self.quick {
-            SimConfig {
-                warmup: 2_000,
-                measured: 20_000,
-                drain: 2_000,
-                seed: 2006,
-                ..SimConfig::default()
-            }
-        } else {
-            // The paper's §4 methodology: 10k warm-up, 100k measured, 10k drain.
-            SimConfig {
-                seed: 2006,
-                ..SimConfig::default()
-            }
-        }
-    }
-}
-
-/// Runs one latency-vs-load figure end to end and prints it.
-pub fn figure_main(fig: Figure) {
-    let cli = Cli::parse();
-    let cfg = figure_config(fig);
-    let opts = ModelOptions::default();
-
-    let scenario = figure_scenario(&cfg, &cli.sim_config(), cli.points)
-        .with_opts(opts)
-        .with_replications(cli.replications);
-    let mut series = scenario.run_model();
-    if !cli.no_sim {
-        let start = std::time::Instant::now();
-        let sim_series = if cli.serial {
-            scenario.run_sim_serial()
-        } else {
-            scenario.run_sim()
-        };
-        let jobs = scenario.workloads.len() * scenario.rates.len() * scenario.replications;
-        eprintln!(
-            "[sweep: {jobs} simulations in {:.2?} ({})]",
-            start.elapsed(),
-            if cli.serial {
-                "serial".to_string()
-            } else {
-                format!("{} threads", rayon::current_num_threads())
-            },
-        );
-        series.extend(sim_series);
-    }
-    println!("{}", render_figure(&cfg.title, &series));
-    println!("{}", cocnet::stats::scatter(&series, 64, 20));
-    if cli.json {
-        println!("{}", to_json(&series));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn sim_config_scales() {
-        let quick = Cli {
-            quick: true,
-            points: 10,
-            replications: 1,
-            json: false,
-            no_sim: false,
-            serial: false,
-        };
-        let full = Cli {
-            quick: false,
-            ..quick.clone()
-        };
-        assert_eq!(quick.sim_config().measured, 20_000);
-        assert_eq!(full.sim_config().measured, 100_000);
-        assert_eq!(full.sim_config().warmup, 10_000);
-    }
-}
+pub use cocnet::registry::{bin_main, RunOpts};

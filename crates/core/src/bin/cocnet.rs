@@ -1,4 +1,5 @@
-//! `cocnet` — command-line front end for the model and simulator.
+//! `cocnet` — command-line front end for the model, the simulator and the
+//! scenario registry.
 //!
 //! ```text
 //! cocnet model    [spec flags] --rate 2e-4            analytic evaluation
@@ -6,6 +7,14 @@
 //! cocnet saturate [spec flags]                        stability boundary
 //! cocnet sweep    [spec flags] --max-rate 1e-3        latency-vs-load table+plot
 //! cocnet figure   --fig fig3|fig4|fig5|fig6           a paper figure (analysis side)
+//!
+//! cocnet list                                         every registry entry
+//! cocnet describe <name> [--json]                     one entry (+ scenario JSON)
+//! cocnet validate <path>                              check scenario file(s)
+//! cocnet run <name|path> [--quick] [--points N] [--replications N]
+//!                        [--serial] [--json] [--no-sim] [--out json|csv]
+//!                                                     run a registry entry or a
+//!                                                     scenario JSON file
 //!
 //! spec flags:
 //!   --org 1120|544          a Table 1 organization (default: 544), or
@@ -21,19 +30,27 @@ use cocnet::model::{
     evaluate_with_profile, saturation_point, sweep, ModelOptions, OutgoingProfile, Workload,
 };
 use cocnet::presets;
+use cocnet::registry::{self, RunOpts};
 use cocnet::report::render_figure;
+use cocnet::runner::Scenario;
 use cocnet::sim::{run_simulation, SimConfig};
 use cocnet::stats::{scatter, Series, Table};
 use cocnet::topology::{ClusterSpec, SystemSpec};
 use cocnet_workloads::Pattern;
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: cocnet <model|sim|saturate|sweep|figure> [--org 1120|544] \
          [--m M --heights a,b,c] [--rate λ] [--flits M] [--flit-bytes D] \
-         [--seed S] [--measured N] [--locality ψ] [--max-rate λ] [--points P]"
+         [--seed S] [--measured N] [--locality ψ] [--max-rate λ] [--points P]\n\
+         \x20      cocnet list\n\
+         \x20      cocnet describe <name> [--json]\n\
+         \x20      cocnet validate <path>\n\
+         \x20      cocnet run <name|path> [--quick] [--points N] [--replications N] \
+         [--serial] [--json] [--no-sim] [--out json|csv]"
     );
     exit(2);
 }
@@ -238,11 +255,183 @@ fn cmd_figure(flags: &HashMap<String, String>) {
     println!("{}", scatter(&series, 60, 16));
 }
 
+/// `cocnet list`: every registry entry, grouped the way the paper groups
+/// its artefacts.
+fn cmd_list() {
+    let mut table = Table::new(["name", "group", "paper", "kind", "summary"]);
+    for entry in registry::all() {
+        table.push_row([
+            entry.name.to_string(),
+            entry.group.to_string(),
+            entry.paper_ref.to_string(),
+            match entry.kind {
+                registry::Kind::Declarative(_) => "scenario".to_string(),
+                registry::Kind::Custom(_) => "custom".to_string(),
+            },
+            entry.summary.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "run one with `cocnet run <name>`; scenario-kind entries also live as\n\
+         JSON twins under scenarios/ and run via `cocnet run scenarios/<name>.json`."
+    );
+}
+
+/// `cocnet describe <name> [--json]`: one entry's metadata; for
+/// declarative entries also (or, with `--json`, only) the scenario JSON —
+/// the exact content of its committed `scenarios/` twin.
+fn cmd_describe(name: &str, json_only: bool) {
+    let Some(entry) = registry::find(name) else {
+        eprintln!("unknown registry entry {name:?}; `cocnet list` shows all");
+        exit(2);
+    };
+    let scenario = entry.scenario();
+    if json_only {
+        match &scenario {
+            Some(s) => {
+                println!("{}", serde_json::to_string_pretty(s).expect("serialisable"));
+                return;
+            }
+            None => {
+                eprintln!("{name} is a custom entry: it has no scenario JSON form");
+                exit(1);
+            }
+        }
+    }
+    println!("name:     {}", entry.name);
+    println!("group:    {}", entry.group);
+    println!("paper:    {}", entry.paper_ref);
+    println!("summary:  {}", entry.summary);
+    match &scenario {
+        Some(s) => {
+            println!(
+                "kind:     declarative scenario (twin: scenarios/{}.json)",
+                entry.name
+            );
+            println!("{}", serde_json::to_string_pretty(s).expect("serialisable"));
+        }
+        None => println!("kind:     custom experiment code"),
+    }
+}
+
+/// Loads and validates one scenario file.
+fn load_scenario(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let scenario: Scenario =
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    scenario
+        .validate()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(scenario)
+}
+
+/// `cocnet validate <path>`: parse + validate one scenario file, or every
+/// `*.json` under a directory. Exit 1 if any file fails.
+fn cmd_validate(path: &str) {
+    let path = Path::new(path);
+    let files: Vec<std::path::PathBuf> = if path.is_dir() {
+        let mut files: Vec<_> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| {
+                eprintln!("{}: {e}", path.display());
+                exit(2);
+            })
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        files.sort();
+        files
+    } else {
+        vec![path.to_path_buf()]
+    };
+    if files.is_empty() {
+        eprintln!("{}: no scenario files found", path.display());
+        exit(2);
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        match load_scenario(file) {
+            Ok(scenario) => println!(
+                "ok    {} ({:?}: {} workloads x {} rates x {} reps)",
+                file.display(),
+                scenario.name,
+                scenario.workloads.len(),
+                scenario.rates.len(),
+                scenario.replications,
+            ),
+            Err(e) => {
+                println!("FAIL  {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} scenario file(s) invalid", files.len());
+        exit(1);
+    }
+}
+
+/// `cocnet run <name|path> [flags]`: a registry entry by name, or any
+/// scenario JSON file through the same declarative execution path.
+fn cmd_run(target: &str, opt_args: &[String]) {
+    let opts = RunOpts::parse(opt_args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    });
+    let result = if let Some(entry) = registry::find(target) {
+        registry::run(entry, &opts)
+    } else if Path::new(target).exists() {
+        load_scenario(Path::new(target)).and_then(|s| registry::run_scenario(&s, &opts))
+    } else {
+        eprintln!(
+            "{target:?} is neither a registry entry nor a scenario file; \
+             `cocnet list` shows the entries"
+        );
+        exit(2);
+    };
+    if let Err(e) = result {
+        eprintln!("{e}");
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         usage()
     };
+    // Registry subcommands take a positional argument; the classic
+    // model/sim commands are pure-flag.
+    match cmd.as_str() {
+        "list" => {
+            if !rest.is_empty() {
+                usage();
+            }
+            return cmd_list();
+        }
+        "describe" => {
+            let Some((name, flags)) = rest.split_first() else {
+                usage()
+            };
+            let json_only = match flags {
+                [] => false,
+                [flag] if flag == "--json" => true,
+                _ => usage(),
+            };
+            return cmd_describe(name, json_only);
+        }
+        "validate" => {
+            let [path] = rest else { usage() };
+            return cmd_validate(path);
+        }
+        "run" => {
+            let Some((target, opt_args)) = rest.split_first() else {
+                usage()
+            };
+            return cmd_run(target, opt_args);
+        }
+        _ => {}
+    }
     let flags = parse_flags(rest);
     match cmd.as_str() {
         "model" => cmd_model(&flags),

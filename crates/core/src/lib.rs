@@ -44,6 +44,7 @@
 
 pub mod compare;
 pub mod experiments;
+pub mod registry;
 pub mod report;
 pub mod runner;
 
@@ -59,7 +60,8 @@ pub mod prelude {
     pub use crate::experiments::{
         figure_config, run_fig7, run_figure_model, run_figure_sim, Figure,
     };
-    pub use crate::runner::{PointSim, Scenario, Seeding};
+    pub use crate::registry::RunOpts;
+    pub use crate::runner::{PointSim, RateGrid, Scenario, Seeding, WorkloadEntry};
     pub use cocnet_model::{
         evaluate, saturation_point, sweep, ModelOptions, SystemLatency, VarianceApprox, Workload,
     };

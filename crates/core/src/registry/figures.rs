@@ -1,0 +1,81 @@
+//! The paper's latency-vs-load figures as registry entries.
+//!
+//! Figs. 3–6 are fully declarative: each is a [`Scenario`] whose JSON twin
+//! is committed under `scenarios/` (the golden test pins the two
+//! bit-identical). Fig. 7 compares four *different* system specs in one
+//! chart, which the one-spec scenario shape cannot express, so it stays a
+//! custom entry. Two extension entries demonstrate what the declarative
+//! layer buys: the same figures under non-uniform traffic or replicated
+//! per-point seeding, with no new execution code.
+
+use super::RunOpts;
+use crate::experiments::{figure_config, figure_scenario, run_fig7, Figure};
+use crate::report::{render_figure, to_json};
+use crate::runner::{Scenario, Seeding};
+use cocnet_sim::SimConfig;
+use cocnet_workloads::Pattern;
+
+/// The shared shape of Figs. 3–6: the figure's spec/workloads over a
+/// 10-point grid, full §4 methodology, the historical seed 2006.
+fn figure(fig: Figure) -> Scenario {
+    let sim = SimConfig {
+        seed: 2006,
+        ..SimConfig::default()
+    };
+    figure_scenario(&figure_config(fig), &sim, 10)
+}
+
+/// Fig. 3: N=1120, M=32.
+pub fn fig3() -> Scenario {
+    figure(Figure::Fig3)
+}
+
+/// Fig. 4: N=1120, M=64.
+pub fn fig4() -> Scenario {
+    figure(Figure::Fig4)
+}
+
+/// Fig. 5: N=544, M=32.
+pub fn fig5() -> Scenario {
+    figure(Figure::Fig5)
+}
+
+/// Fig. 6: N=544, M=64.
+pub fn fig6() -> Scenario {
+    figure(Figure::Fig6)
+}
+
+/// Extension: Fig. 5 under cluster-local traffic (ψ = 0.8) — most
+/// messages stay on the fast intra-cluster networks, so the simulation
+/// series sits far below Fig. 5's. The analysis series is the *uniform*
+/// model (a scenario's `run_model` is pattern-unaware); the gap between
+/// the two is the point of the entry — the `nonuniform` custom entry
+/// closes it with the generalized outgoing-probability profile.
+pub fn fig5_local() -> Scenario {
+    let mut scenario = figure(Figure::Fig5).with_pattern(Pattern::ClusterLocal { locality: 0.8 });
+    scenario.name = "N=544, m=4, M=32, psi=0.8".to_string();
+    scenario
+}
+
+/// Extension: Fig. 3 with statistically independent sweep points
+/// ([`Seeding::PerPoint`]) and three replications per point.
+pub fn fig3_perpoint() -> Scenario {
+    let mut scenario = figure(Figure::Fig3)
+        .with_seeding(Seeding::PerPoint)
+        .with_replications(3);
+    scenario.name = "N=1120, m=8, M=32 (3 reps, per-point seeds)".to_string();
+    scenario
+}
+
+/// Fig. 7: the ICN2 bandwidth design-space study (analysis only; four
+/// specs in one chart, hence custom).
+pub fn fig7(opts: &RunOpts) {
+    let series = run_fig7(&Default::default(), opts.points.unwrap_or(10));
+    println!(
+        "{}",
+        render_figure("Fig. 7 — ICN2 bandwidth +20% (M=128, Lm=256)", &series)
+    );
+    if opts.json {
+        println!("{}", to_json(&series));
+    }
+}

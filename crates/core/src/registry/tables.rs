@@ -1,0 +1,83 @@
+//! Tables 1–2 of the paper as registry entries: the validated system
+//! organizations and network characteristics, with the derived quantities
+//! spelled out and checked.
+
+use super::RunOpts;
+use cocnet_stats::Table;
+use cocnet_workloads::presets;
+
+/// Table 1: the two system organizations used for model validation, with
+/// the node algebra spelled out and checked.
+pub fn table1(_opts: &RunOpts) {
+    let mut table = Table::new(["N", "C", "m", "node organizations"]);
+    for spec in [presets::org_1120(), presets::org_544()] {
+        // Group consecutive clusters by height.
+        let mut groups: Vec<(u32, usize, usize)> = Vec::new(); // (n, from, to)
+        for (i, c) in spec.clusters.iter().enumerate() {
+            match groups.last_mut() {
+                Some((n, _, to)) if *n == c.n && *to + 1 == i => *to = i,
+                _ => groups.push((c.n, i, i)),
+            }
+        }
+        let desc = groups
+            .iter()
+            .map(|(n, from, to)| format!("n_i={n} for i in [{from},{to}]"))
+            .collect::<Vec<_>>()
+            .join(";  ");
+        table.push_row([
+            spec.total_nodes().to_string(),
+            spec.num_clusters().to_string(),
+            spec.m.to_string(),
+            desc,
+        ]);
+    }
+    println!("Table 1. System Organizations for Model Validation");
+    println!("{}", table.render());
+
+    // The node algebra: N = Σ 2(m/2)^{n_i}.
+    for spec in [presets::org_1120(), presets::org_544()] {
+        let sum: usize = (0..spec.num_clusters())
+            .map(|i| spec.cluster_nodes(i))
+            .sum();
+        assert_eq!(sum, spec.total_nodes());
+        println!(
+            "check: C={} clusters of m={} sum to N={} nodes; ICN2 is an m-port {}-tree",
+            spec.num_clusters(),
+            spec.m,
+            sum,
+            spec.icn2_height().unwrap()
+        );
+    }
+}
+
+/// Table 2: the network characteristics used for model validation, plus
+/// the derived per-flit service times (Eqs. (11)–(12)) for both flit sizes
+/// used in the figures.
+pub fn table2(_opts: &RunOpts) {
+    let mut table = Table::new(["Network", "Bandwidth", "Network Latency", "Switch Latency"]);
+    for (name, net) in [("Net.1", presets::net1()), ("Net.2", presets::net2())] {
+        table.push_row([
+            name.to_string(),
+            format!("{}", net.bandwidth),
+            format!("{}", net.network_latency),
+            format!("{}", net.switch_latency),
+        ]);
+    }
+    println!("Table 2. Network Characteristics for Model Validation");
+    println!("{}", table.render());
+    println!("wiring: ICN1, ICN2 <- Net.1;  ECN1 <- Net.2\n");
+
+    let mut derived = Table::new(["Network", "d_m", "t_cn (Eq.11)", "t_cs (Eq.12)"]);
+    for (name, net) in [("Net.1", presets::net1()), ("Net.2", presets::net2())] {
+        for d_m in [256.0, 512.0] {
+            derived.push_row([
+                name.to_string(),
+                format!("{d_m}"),
+                format!("{:.4}", net.t_cn(d_m)),
+                format!("{:.4}", net.t_cs(d_m)),
+            ]);
+        }
+    }
+    println!("Derived per-flit service times:");
+    println!("{}", derived.render());
+}

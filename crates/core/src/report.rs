@@ -1,36 +1,112 @@
 //! Rendering experiment output: aligned ASCII tables for the terminal and
-//! JSON for machine consumption (EXPERIMENTS.md records both).
+//! JSON/CSV for machine consumption (EXPERIMENTS.md records both). This is
+//! the unified output writer behind `cocnet run … --out json|csv` and the
+//! figure binaries' `--json` flag.
 
 use cocnet_stats::{Series, Table};
 
-/// Renders a set of series sharing an x axis as one aligned table:
-/// first column the rate, one column per series (blank where a series has
-/// no point at that x, e.g. past its saturation).
-pub fn render_figure(title: &str, series: &[Series]) -> String {
+/// Machine-readable formats of the unified output writer
+/// (`cocnet run … --out <format>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// Pretty-printed JSON array of series (round-trips via [`from_json`]).
+    Json,
+    /// One CSV table over the shared rate axis, one column per series.
+    Csv,
+}
+
+impl std::str::FromStr for OutputFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(OutputFormat::Json),
+            "csv" => Ok(OutputFormat::Csv),
+            other => Err(format!("unknown output format {other:?} (use json or csv)")),
+        }
+    }
+}
+
+/// The union of every series' x values, deduplicated within float noise —
+/// the shared axis of [`render_figure`] and [`to_csv`].
+fn shared_axis(series: &[Series]) -> Vec<f64> {
     let mut xs: Vec<f64> = series
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.x))
         .collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup_by(|a, b| (*a - *b).abs() <= 1e-15 + 1e-9 * a.abs());
+    xs
+}
 
+/// The series' y value at shared-axis position `x`, if it has one.
+fn value_at(s: &Series, x: f64) -> Option<f64> {
+    s.points
+        .iter()
+        .find(|p| (p.x - x).abs() <= 1e-15 + 1e-9 * x.abs())
+        .map(|p| p.y)
+}
+
+/// Renders a set of series sharing an x axis as one aligned table:
+/// first column the rate, one column per series (blank where a series has
+/// no point at that x, e.g. past its saturation).
+pub fn render_figure(title: &str, series: &[Series]) -> String {
     let mut header = vec!["rate".to_string()];
     header.extend(series.iter().map(|s| s.label.clone()));
     let mut table = Table::new(header);
-    for &x in &xs {
+    for &x in &shared_axis(series) {
         let mut row = vec![format!("{x:.3e}")];
         for s in series {
-            let cell = s
-                .points
-                .iter()
-                .find(|p| (p.x - x).abs() <= 1e-15 + 1e-9 * x.abs())
-                .map(|p| format!("{:.2}", p.y))
-                .unwrap_or_default();
-            row.push(cell);
+            row.push(
+                value_at(s, x)
+                    .map(|y| format!("{y:.2}"))
+                    .unwrap_or_default(),
+            );
         }
         table.push_row(row);
     }
     format!("## {title}\n{}", table.render())
+}
+
+/// Quotes one CSV cell per RFC 4180 (only when needed — labels like
+/// `"N=544, Base"` contain commas).
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Serialises series as CSV over the shared rate axis: header
+/// `rate,<label>…`, one row per rate, empty cells where a series has no
+/// point (saturation). Values keep full `f64` round-trip precision.
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::from("rate");
+    for s in series {
+        out.push(',');
+        out.push_str(&csv_cell(&s.label));
+    }
+    out.push('\n');
+    for &x in &shared_axis(series) {
+        out.push_str(&format!("{x:e}"));
+        for s in series {
+            out.push(',');
+            if let Some(y) = value_at(s, x) {
+                out.push_str(&format!("{y}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The unified machine-readable writer: series in the requested format.
+pub fn render_machine(series: &[Series], format: OutputFormat) -> String {
+    match format {
+        OutputFormat::Json => to_json(series),
+        OutputFormat::Csv => to_csv(series),
+    }
 }
 
 /// Serialises series to pretty JSON (the figure binaries' `--json` output).
@@ -76,5 +152,26 @@ mod tests {
         let json = to_json(&series);
         let back = from_json(&json).unwrap();
         assert_eq!(series, back);
+    }
+
+    #[test]
+    fn csv_shares_axis_and_quotes_labels() {
+        let a = s("N=544, Base", &[(1e-4, 40.0), (2e-4, 44.5)]);
+        let b = s("plain", &[(1e-4, 50.0)]);
+        let csv = to_csv(&[a, b]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "rate,\"N=544, Base\",plain");
+        assert_eq!(lines.next().unwrap(), "1e-4,40,50");
+        // b has no point at 2e-4: trailing empty cell.
+        assert_eq!(lines.next().unwrap(), "2e-4,44.5,");
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn output_format_parses() {
+        use std::str::FromStr;
+        assert_eq!(OutputFormat::from_str("json"), Ok(OutputFormat::Json));
+        assert_eq!(OutputFormat::from_str("csv"), Ok(OutputFormat::Csv));
+        assert!(OutputFormat::from_str("yaml").is_err());
     }
 }

@@ -26,9 +26,10 @@ use cocnet_stats::Series;
 use cocnet_topology::SystemSpec;
 use cocnet_workloads::Pattern;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// How per-job seeds are derived from `sim.seed`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Seeding {
     /// Every sweep point uses `sim.seed` as its base seed (replication `r`
     /// adds `r`). This is the historical figure-harness behaviour — the
@@ -41,28 +42,171 @@ pub enum Seeding {
     PerPoint,
 }
 
+/// One plotted series: a legend label plus the workload that produces it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct WorkloadEntry {
+    /// Legend suffix, e.g. `"Lm=256"` (series render as `Analysis (Lm=256)`
+    /// / `Simulation (Lm=256)`).
+    pub label: String,
+    /// The workload swept for this series (its `lambda_g` is replaced by
+    /// each grid rate in turn).
+    pub workload: Workload,
+}
+
+/// The sweep grid of a [`Scenario`]: either the traffic generation rates
+/// spelled out in plot order, or an evenly spaced range.
+///
+/// In JSON a grid is *untagged*: an array is an explicit list, an object
+/// `{"start": …, "stop": …, "steps": …}` is a range (`start` may be
+/// omitted and defaults to 0). A range resolves to `steps` evenly spaced
+/// rates in `(start, stop]` — exactly [`cocnet_model::rate_grid`] when
+/// `start == 0`, so declarative scenarios reproduce the figures' grids
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateGrid {
+    /// Explicit rates, in plot order.
+    List(Vec<f64>),
+    /// `steps` evenly spaced rates in `(start, stop]`.
+    Range {
+        /// Exclusive lower bound (0 = the classic figure grid).
+        start: f64,
+        /// Inclusive upper bound (the largest rate on the x axis).
+        stop: f64,
+        /// Number of grid points.
+        steps: usize,
+    },
+}
+
+impl Default for RateGrid {
+    fn default() -> Self {
+        RateGrid::List(Vec::new())
+    }
+}
+
+impl RateGrid {
+    /// Resolves the grid to concrete rates, in plot order.
+    pub fn values(&self) -> Vec<f64> {
+        match self {
+            RateGrid::List(rates) => rates.clone(),
+            &RateGrid::Range { start, stop, steps } => {
+                if start == 0.0 {
+                    // Delegate so the resolved grid is bit-identical to the
+                    // historical figure grids.
+                    cocnet_model::rate_grid(stop, steps)
+                } else {
+                    (1..=steps)
+                        .map(|i| start + (stop - start) * i as f64 / steps as f64)
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        match self {
+            RateGrid::List(rates) => rates.len(),
+            RateGrid::Range { steps, .. } => *steps,
+        }
+    }
+
+    /// Whether the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy re-gridded to `steps` points. Ranges rescale; explicit lists
+    /// have no generating rule, so they are truncated/kept as-is (never
+    /// extended).
+    pub fn with_steps(&self, steps: usize) -> RateGrid {
+        match self {
+            RateGrid::List(rates) => {
+                RateGrid::List(rates.iter().copied().take(steps.max(1)).collect())
+            }
+            &RateGrid::Range { start, stop, .. } => RateGrid::Range { start, stop, steps },
+        }
+    }
+}
+
+impl Serialize for RateGrid {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            RateGrid::List(rates) => rates.to_value(),
+            &RateGrid::Range { start, stop, steps } => serde::Value::Obj(vec![
+                ("start".to_string(), start.to_value()),
+                ("stop".to_string(), stop.to_value()),
+                ("steps".to_string(), steps.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for RateGrid {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Arr(_) => Ok(RateGrid::List(Vec::<f64>::from_value(v)?)),
+            serde::Value::Obj(_) => {
+                serde::check_unknown_fields(v, "RateGrid", &["start", "stop", "steps"])?;
+                let start = match v.get("start") {
+                    Some(inner) => serde::de_field_val(inner, "RateGrid", "start")?,
+                    None => 0.0,
+                };
+                Ok(RateGrid::Range {
+                    start,
+                    stop: serde::de_field(v, "RateGrid", "stop")?,
+                    steps: serde::de_field(v, "RateGrid", "steps")?,
+                })
+            }
+            other => Err(serde::DeError::expected(
+                "rate list or {start, stop, steps} range",
+                other,
+            )),
+        }
+    }
+}
+
+/// `#[serde(default = …)]` helper: scenarios run one replication per point
+/// unless the file says otherwise.
+fn default_replications() -> usize {
+    1
+}
+
 /// One fully specified experiment: everything needed to regenerate a
 /// latency-vs-load figure (or any rate sweep) from both the analytical
 /// model and the simulator.
-#[derive(Debug, Clone)]
+///
+/// A `Scenario` is pure data — it serializes to/from JSON (see the
+/// `scenarios/` directory for the committed paper experiments), so new
+/// experiments can be authored and run through `cocnet run file.json`
+/// without recompiling. Only `spec`, `workloads` and `rates` are required
+/// in a file; everything else has the documented default.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct Scenario {
     /// Human-readable title (used by reports; never by execution).
+    #[serde(default)]
     pub name: String,
     /// The system organization under study.
     pub spec: SystemSpec,
-    /// `(legend suffix, workload)` pairs; each produces one series.
-    pub workloads: Vec<(String, Workload)>,
-    /// Destination traffic pattern for the simulator.
+    /// The plotted series; each label/workload pair produces one.
+    pub workloads: Vec<WorkloadEntry>,
+    /// Destination traffic pattern for the simulator (default: uniform).
+    #[serde(default)]
     pub pattern: Pattern,
     /// The sweep grid: traffic generation rates, in plot order.
-    pub rates: Vec<f64>,
-    /// Independent replications per sweep point (≥ 1).
+    pub rates: RateGrid,
+    /// Independent replications per sweep point (≥ 1, default 1).
+    #[serde(default = "default_replications")]
     pub replications: usize,
-    /// Seed-derivation policy.
+    /// Seed-derivation policy (default: the historical shared seed).
+    #[serde(default)]
     pub seeding: Seeding,
-    /// Analytical-model options.
+    /// Analytical-model options (default: the paper's).
+    #[serde(default)]
     pub opts: ModelOptions,
-    /// Simulation configuration (population sizes, base seed, coupling…).
+    /// Simulation configuration (default: the paper's §4 methodology).
+    #[serde(default)]
     pub sim: SimConfig,
 }
 
@@ -149,7 +293,7 @@ impl Scenario {
             spec,
             workloads: Vec::new(),
             pattern: Pattern::Uniform,
-            rates: Vec::new(),
+            rates: RateGrid::default(),
             replications: 1,
             seeding: Seeding::default(),
             opts: ModelOptions::default(),
@@ -159,19 +303,27 @@ impl Scenario {
 
     /// Adds one `(legend suffix, workload)` series.
     pub fn with_workload(mut self, label: impl Into<String>, wl: Workload) -> Self {
-        self.workloads.push((label.into(), wl));
+        self.workloads.push(WorkloadEntry {
+            label: label.into(),
+            workload: wl,
+        });
         self
     }
 
-    /// Sets the sweep grid explicitly.
+    /// Sets the sweep grid to an explicit rate list.
     pub fn with_rates(mut self, rates: Vec<f64>) -> Self {
-        self.rates = rates;
+        self.rates = RateGrid::List(rates);
         self
     }
 
     /// Sets an evenly spaced grid of `points` rates over `(0, max]`.
-    pub fn with_grid(self, max: f64, points: usize) -> Self {
-        self.with_rates(cocnet_model::rate_grid(max, points))
+    pub fn with_grid(mut self, max: f64, points: usize) -> Self {
+        self.rates = RateGrid::Range {
+            start: 0.0,
+            stop: max,
+            steps: points,
+        };
+        self
     }
 
     /// Sets the traffic pattern.
@@ -214,19 +366,98 @@ impl Scenario {
         }
     }
 
+    /// Checks every invariant a deserialized scenario file must satisfy
+    /// before it can execute: a valid system and workloads, a non-empty
+    /// positive finite rate grid, at least one replication, pattern
+    /// parameters in range, and a terminating simulation config. The
+    /// builder methods cannot construct most of these violations; `cocnet
+    /// validate` and `cocnet run <file>` call this on every loaded file.
+    pub fn validate(&self) -> Result<(), String> {
+        self.spec.validate().map_err(|e| format!("spec: {e}"))?;
+        if self.workloads.is_empty() {
+            return Err("scenario needs at least one workload".into());
+        }
+        for entry in &self.workloads {
+            entry
+                .workload
+                .validate()
+                .map_err(|e| format!("workload {:?}: {e}", entry.label))?;
+        }
+        if let RateGrid::Range { start, stop, steps } = self.rates {
+            if !(start.is_finite() && start >= 0.0 && stop.is_finite() && stop > start) {
+                return Err(format!(
+                    "rates: range needs finite 0 <= start < stop (got start={start}, stop={stop})"
+                ));
+            }
+            if steps == 0 {
+                return Err("rates: range needs at least one step".into());
+            }
+        }
+        let rates = self.rates.values();
+        if rates.is_empty() {
+            return Err("scenario needs at least one rate".into());
+        }
+        for &rate in &rates {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(format!(
+                    "rates: every rate must be finite and > 0 (got {rate})"
+                ));
+            }
+        }
+        if self.replications == 0 {
+            return Err("replications must be >= 1".into());
+        }
+        let unit = |x: f64, what: &str| {
+            if (0.0..=1.0).contains(&x) {
+                Ok(())
+            } else {
+                Err(format!("pattern: {what} must lie in [0, 1] (got {x})"))
+            }
+        };
+        match self.pattern {
+            Pattern::Uniform | Pattern::Complement => {}
+            Pattern::Hotspot { hotspot, fraction } => {
+                unit(fraction, "hotspot fraction")?;
+                if hotspot >= self.spec.total_nodes() {
+                    return Err(format!(
+                        "pattern: hotspot node {hotspot} outside the {}-node system",
+                        self.spec.total_nodes()
+                    ));
+                }
+            }
+            Pattern::ClusterLocal { locality } => unit(locality, "locality")?,
+            Pattern::ClusterShift { shift } => {
+                if shift == 0 || shift >= self.spec.num_clusters() {
+                    return Err(format!(
+                        "pattern: shift must lie in 1..{} (got {shift})",
+                        self.spec.num_clusters()
+                    ));
+                }
+            }
+        }
+        if self.sim.measured == 0 {
+            return Err("sim: need at least one measured message".into());
+        }
+        if self.sim.max_events == 0 {
+            return Err("sim: max_events of 0 can never terminate a run".into());
+        }
+        Ok(())
+    }
+
     /// The analytical series: one per workload, produced by
     /// [`cocnet_model::sweep`] over the scenario grid. Rates past the
     /// stability boundary yield no point, as in the paper's figures.
     pub fn run_model(&self) -> Vec<Series> {
+        let rates = self.rates.values();
         self.workloads
             .iter()
-            .map(|(suffix, wl)| {
+            .map(|entry| {
                 sweep(
                     &self.spec,
-                    wl,
-                    &self.rates,
+                    &entry.workload,
+                    &rates,
                     &self.opts,
-                    format!("Analysis ({suffix})"),
+                    format!("Analysis ({})", entry.label),
                 )
             })
             .collect()
@@ -252,29 +483,30 @@ impl Scenario {
     /// parallel. Use this instead of [`run_sim`] when a binary needs more
     /// than the latency mean.
     pub fn run_sim_detailed(&self) -> Vec<Vec<PointSim>> {
-        let jobs = self.jobs();
+        let rates = self.rates.values();
+        let jobs = self.jobs(&rates);
         let builts = self.build_all();
         let results: Vec<SimResults> = jobs
             .par_iter()
             .map(|job| self.run_job(&builts, job))
             .collect();
-        self.assemble(&jobs, results)
+        self.assemble(&rates, &jobs, results)
     }
 
     /// Serial reference for [`run_sim_detailed`]; bit-identical results.
     pub fn run_sim_detailed_serial(&self) -> Vec<Vec<PointSim>> {
-        let jobs = self.jobs();
+        let rates = self.rates.values();
+        let jobs = self.jobs(&rates);
         let builts = self.build_all();
         let results: Vec<SimResults> = jobs.iter().map(|job| self.run_job(&builts, job)).collect();
-        self.assemble(&jobs, results)
+        self.assemble(&rates, &jobs, results)
     }
 
     /// The flattened job list, in (workload, point, replication) order.
-    fn jobs(&self) -> Vec<Job> {
-        let mut jobs =
-            Vec::with_capacity(self.workloads.len() * self.rates.len() * self.replications);
+    fn jobs(&self, rates: &[f64]) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(self.workloads.len() * rates.len() * self.replications);
         for w in 0..self.workloads.len() {
-            for (p, &rate) in self.rates.iter().enumerate() {
+            for (p, &rate) in rates.iter().enumerate() {
                 let base = self.point_seed(w, p);
                 for r in 0..self.replications {
                     jobs.push(Job {
@@ -296,13 +528,13 @@ impl Scenario {
     fn build_all(&self) -> Vec<BuiltSystem> {
         self.workloads
             .iter()
-            .map(|(_, wl)| BuiltSystem::build(&self.spec, wl.flit_bytes))
+            .map(|entry| BuiltSystem::build(&self.spec, entry.workload.flit_bytes))
             .collect()
     }
 
     /// Executes one job. Pure: output depends only on (scenario, job).
     fn run_job(&self, builts: &[BuiltSystem], job: &Job) -> SimResults {
-        let (_, wl) = &self.workloads[job.workload];
+        let wl = &self.workloads[job.workload].workload;
         let cfg = SimConfig {
             seed: job.seed,
             ..self.sim
@@ -316,12 +548,17 @@ impl Scenario {
     }
 
     /// Groups flat job results back into per-workload, per-point buckets.
-    fn assemble(&self, jobs: &[Job], results: Vec<SimResults>) -> Vec<Vec<PointSim>> {
+    fn assemble(
+        &self,
+        rates: &[f64],
+        jobs: &[Job],
+        results: Vec<SimResults>,
+    ) -> Vec<Vec<PointSim>> {
         let mut out: Vec<Vec<PointSim>> = (0..self.workloads.len())
             .map(|w| {
-                (0..self.rates.len())
+                (0..rates.len())
                     .map(|p| PointSim {
-                        rate: self.rates[p],
+                        rate: rates[p],
                         seed: self.point_seed(w, p),
                         runs: Vec::with_capacity(self.replications),
                     })
@@ -340,8 +577,8 @@ impl Scenario {
         self.workloads
             .iter()
             .zip(detailed)
-            .map(|((suffix, _), points)| {
-                let mut series = Series::new(format!("Simulation ({suffix})"));
+            .map(|(entry, points)| {
+                let mut series = Series::new(format!("Simulation ({})", entry.label));
                 for point in points {
                     if point.completed() {
                         series.push(point.rate, point.summary().mean);
@@ -422,7 +659,7 @@ mod tests {
         for point in &series[0].points {
             let r = cocnet_sim::run_simulation(
                 &s.spec,
-                &s.workloads[0].1.with_rate(point.x),
+                &s.workloads[0].workload.with_rate(point.x),
                 Pattern::Uniform,
                 &s.sim,
             );
@@ -447,7 +684,7 @@ mod tests {
     fn replications_summarized_like_replicate() {
         let s = scenario().with_replications(3);
         let detailed = s.run_sim_detailed();
-        let wl = s.workloads[0].1.with_rate(s.rates[0]);
+        let wl = s.workloads[0].workload.with_rate(s.rates.values()[0]);
         let cfg = SimConfig {
             seed: s.point_seed(0, 0),
             ..s.sim

@@ -26,6 +26,7 @@ pub enum VarianceApprox {
 
 /// Evaluation options (ablation switches; defaults reproduce the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default, deny_unknown_fields)]
 pub struct ModelOptions {
     /// Apply the relaxing factor `δ_i` of Eqs. (27)–(28) to ICN2 stages.
     pub relaxing_factor: bool,

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 /// Poisson process with uniformly random destinations (paper assumptions
 /// 1, 2 and 7).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct Workload {
     /// Per-node message generation rate `λ_g` (messages per time unit).
     pub lambda_g: f64,

@@ -96,6 +96,33 @@ pub fn de_field<T: Deserialize>(v: &Value, strukt: &str, field: &str) -> Result<
     }
 }
 
+/// Derive-macro helper: deserializes an already-extracted field value,
+/// labelling errors with the `struct.field` path (the `#[serde(default)]`
+/// counterpart of [`de_field`], which takes the containing object).
+pub fn de_field_val<T: Deserialize>(
+    inner: &Value,
+    strukt: &str,
+    field: &str,
+) -> Result<T, DeError> {
+    T::from_value(inner).map_err(|e| DeError(format!("{strukt}.{field}: {e}")))
+}
+
+/// Derive-macro helper behind `#[serde(deny_unknown_fields)]`: rejects any
+/// object key that matches no declared field, so typos in hand-written
+/// JSON fail loudly instead of silently taking a default.
+pub fn check_unknown_fields(v: &Value, strukt: &str, known: &[&str]) -> Result<(), DeError> {
+    if let Value::Obj(fields) = v {
+        for (key, _) in fields {
+            if !known.contains(&key.as_str()) {
+                return Err(DeError(format!(
+                    "{strukt}: unknown field {key:?} (expected one of {known:?})"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Derive-macro helper: extracts and deserializes one tuple element.
 pub fn de_element<T: Deserialize>(items: &[Value], strukt: &str, idx: usize) -> Result<T, DeError> {
     match items.get(idx) {

@@ -6,13 +6,54 @@
 //! tuple, unit) and enums (unit, tuple, struct variants), serialized in
 //! serde's default layout — objects keyed by field name, externally tagged
 //! enums, bare strings for unit variants, transparent newtypes.
+//!
+//! The subset of `#[serde(...)]` attributes the scenario layer relies on is
+//! honoured on deserialization (serialization always emits every field):
+//!
+//! * container `#[serde(deny_unknown_fields)]` — named structs and named
+//!   enum variants reject JSON keys that match no field, so typos in
+//!   committed scenario files fail loudly instead of silently taking a
+//!   default;
+//! * container `#[serde(default)]` — missing fields are taken from the
+//!   struct's `Default::default()` instance;
+//! * field `#[serde(default)]` — a missing field becomes the *field
+//!   type's* `Default::default()`;
+//! * field `#[serde(default = "path")]` — a missing field becomes `path()`.
+//!
+//! Any other `#[serde(...)]` content is rejected at compile time rather
+//! than silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// How a missing named field is filled during deserialization.
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// Field is required; its absence is an error.
+    Required,
+    /// `#[serde(default)]`: use the field type's `Default::default()`.
+    TypeDefault,
+    /// `#[serde(default = "path")]`: call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
+}
+
+/// Container-level `#[serde(...)]` switches.
+#[derive(Default, Clone, Copy)]
+struct ContainerAttrs {
+    deny_unknown_fields: bool,
+    /// Container `#[serde(default)]`: missing fields come from the
+    /// struct's own `Default::default()` value.
+    default: bool,
 }
 
 struct Variant {
@@ -27,23 +68,127 @@ enum Kind {
 
 struct Input {
     name: String,
+    attrs: ContainerAttrs,
     kind: Kind,
 }
 
-/// Skips one attribute (`#` already consumed callers pass the iterator at
-/// `#`): consumes the `#` and the following bracket group.
-fn skip_attr(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+/// Field-level `#[serde(...)]` switches gathered while skipping attributes.
+#[derive(Default)]
+struct FieldAttrs {
+    default: Option<FieldDefault>,
+}
+
+/// Where a `#[serde(...)]` attribute sits — each switch is only legal at
+/// one position, and a misplaced switch is a compile error rather than a
+/// silent no-op.
+enum AttrTarget<'a> {
+    /// On the struct/enum itself.
+    Container(&'a mut ContainerAttrs),
+    /// On a named field (or an enum variant, where no switch is legal).
+    Field(&'a mut FieldAttrs),
+}
+
+/// Parses the *content* of one `#[serde(...)]` attribute (the token stream
+/// inside the parentheses) into the recognised switches. Unrecognised or
+/// misplaced switches are a compile error — silently ignoring them would
+/// defeat the point of hygiene attributes.
+fn parse_serde_args(stream: TokenStream, target: &mut AttrTarget) {
+    let mut it = stream.into_iter().peekable();
+    while let Some(tok) = it.next() {
+        match tok {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "deny_unknown_fields" => match target {
+                    AttrTarget::Container(container) => container.deny_unknown_fields = true,
+                    AttrTarget::Field(_) => {
+                        panic!("serde(deny_unknown_fields) is a container attribute, not a field attribute")
+                    }
+                },
+                "default" => {
+                    // Bare `default`, or `default = "path"`.
+                    let mut path = None;
+                    if let Some(TokenTree::Punct(p)) = it.peek() {
+                        if p.as_char() == '=' {
+                            it.next();
+                            match it.next() {
+                                Some(TokenTree::Literal(lit)) => {
+                                    let s = lit.to_string();
+                                    path = Some(
+                                        s.strip_prefix('"')
+                                            .and_then(|s| s.strip_suffix('"'))
+                                            .unwrap_or_else(|| {
+                                                panic!("serde(default = …) expects a string literal, got {s}")
+                                            })
+                                            .to_string(),
+                                    );
+                                }
+                                other => panic!("serde(default = …) expects a string literal, got {other:?}"),
+                            }
+                        }
+                    }
+                    match target {
+                        AttrTarget::Container(container) => {
+                            if path.is_some() {
+                                panic!("container-level serde(default = \"path\") is not supported by the shim (use the Default impl)");
+                            }
+                            container.default = true;
+                        }
+                        AttrTarget::Field(field) => {
+                            field.default = Some(match path {
+                                Some(path) => FieldDefault::Path(path),
+                                None => FieldDefault::TypeDefault,
+                            });
+                        }
+                    }
+                }
+                other => panic!("unsupported serde attribute {other:?} (shim supports default, default = \"path\", deny_unknown_fields)"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("malformed serde attribute near {other}"),
+        }
+    }
+}
+
+/// Parses one already-extracted `[...]` attribute group: `serde(...)`
+/// content goes into the target, everything else is ignored. The single
+/// extraction point shared by field/variant position ([`skip_attr`]) and
+/// container position (`parse_input`).
+fn parse_attr_group(group: &proc_macro::Group, target: &mut AttrTarget) {
+    let mut inner = group.stream().into_iter();
+    if let Some(TokenTree::Ident(id)) = inner.next() {
+        if id.to_string() == "serde" {
+            match inner.next() {
+                Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+                    parse_serde_args(args.stream(), target);
+                }
+                other => panic!("malformed serde attribute near {other:?}"),
+            }
+        }
+    }
+}
+
+/// Skips one attribute (callers pass the iterator at `#`): consumes the `#`
+/// and the following bracket group, routing `#[serde(...)]` content into
+/// the given target.
+fn skip_attr(
+    it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    target: &mut AttrTarget,
+) {
     it.next(); // '#'
     match it.next() {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+            parse_attr_group(&g, target);
+        }
         other => panic!("malformed attribute near {other:?}"),
     }
 }
 
-fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> FieldAttrs {
+    let mut field = FieldAttrs::default();
     loop {
         match it.peek() {
-            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(it),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                skip_attr(it, &mut AttrTarget::Field(&mut field))
+            }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                 it.next();
                 // pub(crate) / pub(super) …
@@ -53,7 +198,7 @@ fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTre
                     }
                 }
             }
-            _ => return,
+            _ => return field,
         }
     }
 }
@@ -75,15 +220,18 @@ fn skip_type_until_comma(it: &mut std::iter::Peekable<impl Iterator<Item = Token
     false
 }
 
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
-    let mut names = Vec::new();
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
     let mut it = body.into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut it);
+        let attrs = skip_attrs_and_vis(&mut it);
         match it.next() {
             None => break,
             Some(TokenTree::Ident(id)) => {
-                names.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    default: attrs.default.unwrap_or(FieldDefault::Required),
+                });
                 match it.next() {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
                     other => panic!("expected ':' after field {id}, found {other:?}"),
@@ -95,14 +243,24 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             Some(other) => panic!("unexpected token in fields: {other}"),
         }
     }
-    names
+    fields
+}
+
+/// [`skip_attrs_and_vis`] for positions where no serde switch can take
+/// effect (tuple-struct fields, enum variants): a `#[serde(default)]`
+/// there would be a silent no-op, so it panics instead.
+fn skip_attrs_no_serde(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, pos: &str) {
+    let attrs = skip_attrs_and_vis(it);
+    if attrs.default.is_some() {
+        panic!("serde(default) on {pos} is not supported by the shim (named struct fields only)");
+    }
 }
 
 fn parse_tuple_arity(body: TokenStream) -> usize {
     let mut arity = 0;
     let mut it = body.into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut it);
+        skip_attrs_no_serde(&mut it, "a tuple-struct field");
         if it.peek().is_none() {
             break;
         }
@@ -118,7 +276,7 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut it = body.into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut it);
+        skip_attrs_no_serde(&mut it, "an enum variant");
         let name = match it.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -156,10 +314,13 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
 
 fn parse_input(input: TokenStream) -> Input {
     let mut it = input.into_iter().peekable();
+    let mut attrs = ContainerAttrs::default();
     let is_enum = loop {
         match it.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => match it.next() {
-                Some(TokenTree::Group(_)) => {}
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr_group(&g, &mut AttrTarget::Container(&mut attrs));
+                }
                 other => panic!("malformed attribute near {other:?}"),
             },
             Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
@@ -206,18 +367,19 @@ fn parse_input(input: TokenStream) -> Input {
             other => panic!("expected struct body, found {other:?}"),
         }
     };
-    Input { name, kind }
+    Input { name, attrs, kind }
 }
 
 // ---- Serialize -------------------------------------------------------------
 
-fn ser_named(path: &str, fields: &[String], access: impl Fn(&str) -> String) -> String {
+fn ser_named(path: &str, fields: &[Field], access: impl Fn(&str) -> String) -> String {
     let pairs: Vec<String> = fields
         .iter()
         .map(|f| {
+            let name = &f.name;
             format!(
-                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
-                access(f)
+                "(::std::string::String::from(\"{name}\"), ::serde::Serialize::to_value({})),",
+                access(name)
             )
         })
         .collect();
@@ -227,7 +389,7 @@ fn ser_named(path: &str, fields: &[String], access: impl Fn(&str) -> String) -> 
 
 /// `#[derive(Serialize)]`: emits a `serde::Serialize` impl converting the
 /// type into the shim's `Value` model (serde's default JSON layout).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
     let name = &input.name;
@@ -265,7 +427,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         Fields::Named(fields) => {
-                            let binds = fields.join(",");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(",");
                             let inner = ser_named(vname, fields, |f| f.to_string());
                             format!(
                                 "{name}::{vname} {{ {binds} }} => ::serde::Value::Obj(vec![(::std::string::String::from(\"{vname}\"), {inner})]),"
@@ -288,26 +454,68 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 // ---- Deserialize -----------------------------------------------------------
 
-fn de_named(ty: &str, ctor: &str, fields: &[String], source: &str) -> String {
+/// Builds the `Ctor { field: …, }` expression for a named struct or enum
+/// variant, honouring per-field defaults and the container attributes.
+/// When `attrs.default` is set the caller must have a `__serde_default`
+/// binding of the container type in scope.
+fn de_named(ty: &str, ctor: &str, fields: &[Field], source: &str, attrs: ContainerAttrs) -> String {
     let inits: Vec<String> = fields
         .iter()
-        .map(|f| format!("{f}: ::serde::de_field({source}, \"{ty}\", \"{f}\")?,"))
+        .map(|f| {
+            let name = &f.name;
+            let missing = match (&f.default, attrs.default) {
+                (FieldDefault::Path(path), _) => Some(format!("{path}()")),
+                (FieldDefault::TypeDefault, _) => {
+                    Some("::std::default::Default::default()".to_string())
+                }
+                (FieldDefault::Required, true) => Some(format!("__serde_default.{name}")),
+                (FieldDefault::Required, false) => None,
+            };
+            match missing {
+                Some(fallback) => format!(
+                    "{name}: match {source}.get(\"{name}\") {{\n\
+                         ::std::option::Option::Some(__inner) => ::serde::de_field_val(__inner, \"{ty}\", \"{name}\")?,\n\
+                         ::std::option::Option::None => {fallback},\n\
+                     }},"
+                ),
+                None => format!("{name}: ::serde::de_field({source}, \"{ty}\", \"{name}\")?,"),
+            }
+        })
         .collect();
     format!("{ctor} {{ {} }}", inits.join(""))
 }
 
+/// The `check_unknown_fields` guard for a named struct/variant, or an empty
+/// string when the container doesn't ask for it.
+fn de_deny_guard(ty: &str, fields: &[Field], source: &str, attrs: ContainerAttrs) -> String {
+    if !attrs.deny_unknown_fields {
+        return String::new();
+    }
+    let known: Vec<String> = fields.iter().map(|f| format!("\"{}\",", f.name)).collect();
+    format!(
+        "::serde::check_unknown_fields({source}, \"{ty}\", &[{}])?;",
+        known.join("")
+    )
+}
+
 /// `#[derive(Deserialize)]`: emits a `serde::Deserialize` impl rebuilding
 /// the type from the shim's `Value` model, with path-labelled errors.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
     let name = &input.name;
     let body = match &input.kind {
         Kind::Struct(Fields::Named(fields)) => {
-            let build = de_named(name, name, fields, "v");
+            let build = de_named(name, name, fields, "v", input.attrs);
+            let guard = de_deny_guard(name, fields, "v", input.attrs);
+            let default_binding = if input.attrs.default {
+                format!("let __serde_default: {name} = ::std::default::Default::default();")
+            } else {
+                String::new()
+            };
             format!(
                 "match v {{\n\
-                     ::serde::Value::Obj(_) => ::std::result::Result::Ok({build}),\n\
+                     ::serde::Value::Obj(_) => {{ {guard} {default_binding} ::std::result::Result::Ok({build}) }},\n\
                      other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\n\
                  }}"
             )
@@ -358,10 +566,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         Fields::Named(fields) => {
-                            let build = de_named(&full, &full, fields, "inner");
+                            // Enum variants honour field defaults and the
+                            // container's deny_unknown_fields, but not the
+                            // container default (no per-variant Default).
+                            let variant_attrs = ContainerAttrs {
+                                default: false,
+                                ..input.attrs
+                            };
+                            let build = de_named(&full, &full, fields, "inner", variant_attrs);
+                            let guard = de_deny_guard(&full, fields, "inner", variant_attrs);
                             format!(
                                 "\"{vname}\" => match inner {{\n\
-                                     ::serde::Value::Obj(_) => ::std::result::Result::Ok({build}),\n\
+                                     ::serde::Value::Obj(_) => {{ {guard} ::std::result::Result::Ok({build}) }},\n\
                                      other => ::std::result::Result::Err(::serde::DeError::expected(\"object\", other)),\n\
                                  }},"
                             )

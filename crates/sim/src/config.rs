@@ -40,6 +40,7 @@ pub enum Coupling {
 /// The defaults reproduce the paper's methodology (§4): 10 000 warm-up
 /// messages, 100 000 measured messages, 10 000 drain messages.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default, deny_unknown_fields)]
 pub struct SimConfig {
     /// Messages generated before statistics gathering starts.
     pub warmup: u64,

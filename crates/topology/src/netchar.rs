@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 /// (so `β = 1/bandwidth` is the per-byte transmission time of Eq. (11)),
 /// `network_latency` is `α_n`, `switch_latency` is `α_s`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct NetworkCharacteristics {
     /// Link bandwidth (bytes per time unit); `β_n = 1/bandwidth`.
     pub bandwidth: f64,
@@ -29,25 +30,34 @@ impl NetworkCharacteristics {
         network_latency: f64,
         switch_latency: f64,
     ) -> Result<Self, TopologyError> {
-        let ok = |x: f64| x.is_finite() && x > 0.0;
-        if !ok(bandwidth) {
+        let net = Self {
+            bandwidth,
+            network_latency,
+            switch_latency,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Checks the physical invariants (`bandwidth` finite and positive,
+    /// latencies finite and non-negative). Deserialization bypasses
+    /// [`NetworkCharacteristics::new`], so [`crate::SystemSpec::validate`]
+    /// re-checks every network through this.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if !(self.bandwidth.is_finite() && self.bandwidth > 0.0) {
             return Err(TopologyError::BadNetworkCharacteristic { what: "bandwidth" });
         }
-        if !(network_latency.is_finite() && network_latency >= 0.0) {
+        if !(self.network_latency.is_finite() && self.network_latency >= 0.0) {
             return Err(TopologyError::BadNetworkCharacteristic {
                 what: "network_latency",
             });
         }
-        if !(switch_latency.is_finite() && switch_latency >= 0.0) {
+        if !(self.switch_latency.is_finite() && self.switch_latency >= 0.0) {
             return Err(TopologyError::BadNetworkCharacteristic {
                 what: "switch_latency",
             });
         }
-        Ok(Self {
-            bandwidth,
-            network_latency,
-            switch_latency,
-        })
+        Ok(())
     }
 
     /// Per-byte transmission time `β_n = 1 / bandwidth`.

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 /// One cluster: an m-port `n`-tree of compute nodes with its own
 /// intra-cluster (ICN1) and inter-cluster (ECN1) networks.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct ClusterSpec {
     /// Tree height `n_i`; the cluster has `2(m/2)^{n_i}` nodes.
     pub n: u32,
@@ -27,6 +28,7 @@ pub struct ClusterSpec {
 
 /// A complete cluster-of-clusters system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SystemSpec {
     /// Switch arity `m`, shared by all trees in the system.
     pub m: u32,
@@ -60,8 +62,10 @@ impl SystemSpec {
         Ok(spec)
     }
 
-    /// Validates arity, cluster count and per-cluster trees; checks that the
-    /// ICN2 tree height exists for `C` clusters.
+    /// Validates arity, cluster count, per-cluster trees and every
+    /// network's physical characteristics (deserialized specs bypass the
+    /// validating constructors); checks that the ICN2 tree height exists
+    /// for `C` clusters.
     pub fn validate(&self) -> Result<(), TopologyError> {
         if self.m < 2 || !self.m.is_multiple_of(2) {
             return Err(TopologyError::BadPortCount { m: self.m });
@@ -73,7 +77,10 @@ impl SystemSpec {
         }
         for c in &self.clusters {
             MPortNTree::new(self.m, c.n)?;
+            c.icn1.validate()?;
+            c.ecn1.validate()?;
         }
+        self.icn2.validate()?;
         self.icn2_height()?;
         Ok(())
     }

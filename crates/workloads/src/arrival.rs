@@ -127,6 +127,7 @@ impl OnOffArrivals {
 /// Specification of a per-node arrival process (buildable per node so each
 /// node owns independent phase state).
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(deny_unknown_fields)]
 pub enum ArrivalSpec {
     /// Plain Poisson at the given rate (the paper's assumption 1).
     Poisson {

@@ -13,9 +13,11 @@ use serde::{Deserialize, Serialize};
 
 /// A destination distribution over the system's nodes (flat indexing;
 /// cluster `i` owns indices `offset(i)..offset(i)+N_i`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub enum Pattern {
     /// Uniform over all nodes except the source (paper assumption 2).
+    #[default]
     Uniform,
     /// With probability `fraction`, target `hotspot`; otherwise uniform.
     /// The source never targets itself (falls back to uniform if it *is*

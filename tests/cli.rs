@@ -124,6 +124,174 @@ fn figure_subcommand_prints_analysis_series() {
 }
 
 #[test]
+fn list_subcommand_shows_registry() {
+    let (stdout, _, ok) = run(&["list"]);
+    assert!(ok);
+    for name in [
+        "fig3",
+        "table1",
+        "validation",
+        "bench_snapshot",
+        "nonuniform",
+    ] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+    assert!(stdout.contains("scenario"));
+    assert!(stdout.contains("custom"));
+}
+
+#[test]
+fn describe_subcommand_prints_scenario_json() {
+    let (stdout, _, ok) = run(&["describe", "fig5"]);
+    assert!(ok);
+    assert!(stdout.contains("paper:    Fig. 5"));
+    assert!(stdout.contains("scenarios/fig5.json"));
+    assert!(stdout.contains("\"workloads\""));
+    // --json prints the bare scenario (parseable).
+    let (json, _, ok) = run(&["describe", "fig5", "--json"]);
+    assert!(ok);
+    assert!(json.trim_start().starts_with('{'));
+    assert!(json.contains("\"rates\""));
+    // Custom entries have no JSON form.
+    let (_, stderr, ok) = run(&["describe", "table1", "--json"]);
+    assert!(!ok);
+    assert!(stderr.contains("custom"));
+    let (_, stderr, ok) = run(&["describe", "no_such_thing"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown registry entry"));
+}
+
+fn scenarios_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn validate_subcommand_accepts_committed_dir_and_rejects_typos() {
+    let dir = scenarios_dir();
+    let (stdout, _, ok) = run(&["validate", dir.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("ok    "));
+    assert!(!stdout.contains("FAIL"));
+
+    // A file with a typo'd field fails loudly, naming the field.
+    let bad = std::env::temp_dir().join("cocnet_cli_bad_scenario.json");
+    let mut text =
+        std::fs::read_to_string(dir.join("fig5.json")).expect("committed fig5.json exists");
+    text = text.replacen("\"replications\"", "\"replicatoins\"", 1);
+    std::fs::write(&bad, text).unwrap();
+    let (stdout, stderr, ok) = run(&["validate", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("replicatoins"), "{stdout} {stderr}");
+    std::fs::remove_file(&bad).unwrap();
+}
+
+#[test]
+fn run_subcommand_executes_a_brand_new_scenario_file() {
+    // A scenario that exists nowhere in the registry: custom 48-node
+    // system, one workload, explicit rates, test-sized population —
+    // end-to-end through the CLI with no Rust changes.
+    let net = |bw: f64, nl: f64, sl: f64| {
+        format!(r#"{{"bandwidth": {bw}, "network_latency": {nl}, "switch_latency": {sl}}}"#)
+    };
+    let cluster = |n: u32| {
+        format!(
+            r#"{{"n": {n}, "icn1": {}, "ecn1": {}}}"#,
+            net(500.0, 0.01, 0.02),
+            net(250.0, 0.05, 0.01)
+        )
+    };
+    let json = format!(
+        r#"{{
+            "name": "brand-new e2e scenario",
+            "spec": {{"m": 4, "clusters": [{}, {}, {}, {}], "icn2": {}}},
+            "workloads": [
+                {{"label": "Lm=256", "workload": {{"lambda_g": 0.0, "msg_flits": 16, "flit_bytes": 256.0}}}}
+            ],
+            "rates": [2e-4, 4e-4],
+            "sim": {{"warmup": 200, "measured": 2000, "drain": 200, "seed": 11}}
+        }}"#,
+        cluster(1),
+        cluster(1),
+        cluster(2),
+        cluster(2),
+        net(500.0, 0.01, 0.02)
+    );
+    let path = std::env::temp_dir().join("cocnet_cli_new_scenario.json");
+    std::fs::write(&path, &json).unwrap();
+
+    let (stdout, stderr, ok) = run(&["run", path.to_str().unwrap()]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("## brand-new e2e scenario"));
+    assert!(stdout.contains("Analysis (Lm=256)"));
+    assert!(stdout.contains("Simulation (Lm=256)"));
+
+    // The same file through the unified machine writer.
+    let (csv, _, ok) = run(&["run", path.to_str().unwrap(), "--out", "csv"]);
+    assert!(ok);
+    let header = csv.lines().next().unwrap();
+    assert_eq!(header, "rate,Analysis (Lm=256),Simulation (Lm=256)");
+    assert!(csv.lines().count() >= 3);
+
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn run_subcommand_rejects_unknowns() {
+    let (_, stderr, ok) = run(&["run", "not_an_entry_or_file"]);
+    assert!(!ok);
+    assert!(stderr.contains("neither a registry entry nor a scenario file"));
+    let (_, stderr, ok) = run(&["run", "fig5", "--quikc"]);
+    assert!(!ok);
+    assert!(stderr.contains("--quikc"));
+    // Machine output on a custom entry would hand a parser a human table
+    // with exit 0 — rejected loudly instead.
+    let (_, stderr, ok) = run(&["run", "table1", "--out", "json"]);
+    assert!(!ok);
+    assert!(stderr.contains("custom entry"), "{stderr}");
+    // Zero-point overrides are rejected at parse time for every grid kind.
+    let (_, stderr, ok) = run(&["run", "fig5", "--points", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--points"), "{stderr}");
+}
+
+#[test]
+fn run_subcommand_refuses_to_regrid_explicit_rate_lists() {
+    // --points on a range grid re-grids; on an explicit list it must fail
+    // loudly rather than silently truncate the sweep.
+    let dir = scenarios_dir();
+    let mut text = std::fs::read_to_string(dir.join("fig5.json")).unwrap();
+    text = text.replace(
+        r#""rates": {
+    "start": 0.0,
+    "stop": 0.001,
+    "steps": 10
+  }"#,
+        r#""rates": [1e-4, 2e-4, 3e-4]"#,
+    );
+    assert!(text.contains("[1e-4, 2e-4, 3e-4]"), "fixture edit failed");
+    let path = std::env::temp_dir().join("cocnet_cli_list_rates.json");
+    std::fs::write(&path, text).unwrap();
+    let (_, stderr, ok) = run(&["run", path.to_str().unwrap(), "--points", "7", "--no-sim"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot re-grid"), "{stderr}");
+    // Matching --points is fine (a no-op), and so is omitting it.
+    let (_, _, ok) = run(&["run", path.to_str().unwrap(), "--points", "3", "--no-sim"]);
+    assert!(ok);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn run_subcommand_table_entry_matches_binary_output() {
+    // The registry path and the thin `table1` binary share one code path;
+    // spot-check the CLI side produces the table.
+    let (stdout, _, ok) = run(&["run", "table1"]);
+    assert!(ok);
+    assert!(stdout.contains("Table 1. System Organizations for Model Validation"));
+    assert!(stdout.contains("1120"));
+    assert!(stdout.contains("544"));
+}
+
+#[test]
 fn locality_flag_lowers_latency() {
     let get = |extra: &[&str]| {
         let mut args = vec!["model", "--org", "544", "--rate", "4e-4"];

@@ -1,0 +1,107 @@
+//! Golden equivalence between the committed `scenarios/*.json` files and
+//! their hand-coded registry twins: the files must parse to *exactly* the
+//! scenario the registry builds (pinned via the serialised form) and must
+//! produce bit-identical `run_sim` output — so editing either side without
+//! the other fails loudly.
+
+use cocnet::registry;
+use cocnet::runner::Scenario;
+use cocnet::sim::SimConfig;
+use std::path::{Path, PathBuf};
+
+fn scenarios_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn committed_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios/ directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "scenarios/ holds committed files");
+    files
+}
+
+fn load(path: &Path) -> Scenario {
+    let text = std::fs::read_to_string(path).unwrap();
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn every_committed_file_matches_its_registry_twin() {
+    for path in committed_files() {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let entry = registry::find(&stem)
+            .unwrap_or_else(|| panic!("{}: no registry entry named {stem:?}", path.display()));
+        let twin = entry.scenario().unwrap_or_else(|| {
+            panic!(
+                "{}: registry entry {stem:?} is not declarative",
+                path.display()
+            )
+        });
+        let loaded = load(&path);
+        loaded.validate().unwrap();
+        assert_eq!(
+            serde_json::to_string_pretty(&loaded).unwrap(),
+            serde_json::to_string_pretty(&twin).unwrap(),
+            "{}: committed file drifted from its registry twin \
+             (regenerate with `cocnet describe {stem} --json`)",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_declarative_entry_has_a_committed_twin() {
+    for entry in registry::all() {
+        if entry.scenario().is_some() {
+            let path = scenarios_dir().join(format!("{}.json", entry.name));
+            assert!(
+                path.exists(),
+                "registry entry {} has no committed twin {}",
+                entry.name,
+                path.display()
+            );
+        }
+    }
+}
+
+/// A test-sized population: small enough to run every committed scenario,
+/// identical between the two sides being compared.
+fn tiny(sim: &SimConfig) -> SimConfig {
+    SimConfig {
+        warmup: 200,
+        measured: 2_000,
+        drain: 200,
+        ..*sim
+    }
+}
+
+#[test]
+fn committed_files_run_bit_identical_to_their_twins() {
+    for path in committed_files() {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_string();
+        let mut loaded = load(&path);
+        let mut twin = registry::find(&stem).unwrap().scenario().unwrap();
+        for s in [&mut loaded, &mut twin] {
+            s.sim = tiny(&s.sim);
+            s.rates = s.rates.with_steps(3);
+            s.replications = 1;
+        }
+        let from_file = loaded.run_sim();
+        let from_registry = twin.run_sim();
+        assert_eq!(
+            from_file,
+            from_registry,
+            "{}: run_sim output differs from registry twin",
+            path.display()
+        );
+        assert!(
+            from_file.iter().any(|s| !s.is_empty()),
+            "{}: tiny run produced no points at all",
+            path.display()
+        );
+    }
+}
