@@ -12,9 +12,13 @@
 //! cocnet describe <name> [--json]                     one entry (+ scenario JSON)
 //! cocnet validate <path>                              check scenario file(s)
 //! cocnet run <name|path> [--quick] [--points N] [--replications N]
+//!                        [--rel-ci X] [--max-replications N]
 //!                        [--serial] [--json] [--no-sim] [--out json|csv]
 //!                                                     run a registry entry or a
 //!                                                     scenario JSON file
+//!                                                     (--rel-ci X replicates each
+//!                                                     point adaptively until the
+//!                                                     latency CI is within X)
 //!
 //! spec flags:
 //!   --org 1120|544          a Table 1 organization (default: 544), or
@@ -50,7 +54,7 @@ fn usage() -> ! {
          \x20      cocnet describe <name> [--json]\n\
          \x20      cocnet validate <path>\n\
          \x20      cocnet run <name|path> [--quick] [--points N] [--replications N] \
-         [--serial] [--json] [--no-sim] [--out json|csv]"
+         [--rel-ci X] [--max-replications N] [--serial] [--json] [--no-sim] [--out json|csv]"
     );
     exit(2);
 }

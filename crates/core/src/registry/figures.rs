@@ -11,7 +11,7 @@
 use super::RunOpts;
 use crate::experiments::{figure_config, figure_scenario, run_fig7, Figure};
 use crate::report::{render_figure, to_json};
-use crate::runner::{Scenario, Seeding};
+use crate::runner::{PrecisionSpec, Scenario, Seeding};
 use cocnet_sim::SimConfig;
 use cocnet_workloads::Pattern;
 
@@ -64,6 +64,26 @@ pub fn fig3_perpoint() -> Scenario {
         .with_seeding(Seeding::PerPoint)
         .with_replications(3);
     scenario.name = "N=1120, m=8, M=32 (3 reps, per-point seeds)".to_string();
+    scenario
+}
+
+/// Extension: Fig. 5 under a 5 % relative-CI precision target. Instead of
+/// a fixed replication count, every sweep point spends replications in
+/// deterministic waves until its latency CI half-width is within 5 % of
+/// the mean at 95 % confidence (cap 16), with per-point seeds so the
+/// points are statistically independent and MSER-5 warm-up auditing on
+/// every run. The CLI reports CI bounds and per-point replications spent.
+pub fn fig5_precision() -> Scenario {
+    let mut scenario = figure(Figure::Fig5)
+        .with_seeding(Seeding::PerPoint)
+        .with_precision(PrecisionSpec {
+            rel_ci: Some(0.05),
+            max_replications: 16,
+            wave: 2,
+            ..PrecisionSpec::default()
+        });
+    scenario.sim.audit_warmup = true;
+    scenario.name = "N=544, m=4, M=32 (5% rel CI)".to_string();
     scenario
 }
 

@@ -27,7 +27,10 @@ pub mod perf;
 pub mod tables;
 pub mod validation;
 
-use crate::report::{render_figure, render_machine, to_json, OutputFormat};
+use crate::report::{
+    render_figure, render_figure_ci, render_machine, render_machine_ci, to_json, to_json_ci,
+    OutputFormat,
+};
 use crate::runner::Scenario;
 use cocnet_sim::SimConfig;
 use cocnet_topology::{ClusterSpec, SystemSpec};
@@ -83,6 +86,11 @@ pub struct RunOpts {
     pub points: Option<usize>,
     /// Override the per-point replication count.
     pub replications: Option<usize>,
+    /// Relative CI half-width target: switches a declarative scenario to
+    /// adaptive replication control (or overrides its `precision.rel_ci`).
+    pub rel_ci: Option<f64>,
+    /// Override the adaptive replication cap (`precision.max_replications`).
+    pub max_replications: Option<usize>,
     /// Emit *only* machine-readable output in this format.
     pub out: Option<OutputFormat>,
     /// Traffic rate override for single-run diagnostics
@@ -115,6 +123,15 @@ impl RunOpts {
                         "--replications",
                     )?)
                 }
+                "--rel-ci" => {
+                    opts.rel_ci = Some(parse_num(&take("--rel-ci", &mut it)?, "--rel-ci")?)
+                }
+                "--max-replications" => {
+                    opts.max_replications = Some(parse_num(
+                        &take("--max-replications", &mut it)?,
+                        "--max-replications",
+                    )?)
+                }
                 "--out" => opts.out = Some(take("--out", &mut it)?.parse()?),
                 "--rate" => opts.rate = Some(parse_num(&take("--rate", &mut it)?, "--rate")?),
                 "--reps" => opts.reps = Some(parse_num(&take("--reps", &mut it)?, "--reps")?),
@@ -122,8 +139,8 @@ impl RunOpts {
                 other => {
                     return Err(format!(
                         "unknown argument {other:?} (flags: --quick --serial --json --no-sim \
-                         --points N --replications N --out json|csv --rate λ --reps N \
-                         --out-file PATH)"
+                         --points N --replications N --rel-ci X --max-replications N \
+                         --out json|csv --rate λ --reps N --out-file PATH)"
                     ))
                 }
             }
@@ -136,6 +153,14 @@ impl RunOpts {
         }
         if opts.replications == Some(0) {
             return Err("--replications must be >= 1".into());
+        }
+        if let Some(rel) = opts.rel_ci {
+            if !(rel.is_finite() && rel > 0.0) {
+                return Err(format!("--rel-ci must be finite and > 0 (got {rel})"));
+            }
+        }
+        if opts.max_replications == Some(0) {
+            return Err("--max-replications must be >= 1".into());
         }
         Ok(opts)
     }
@@ -297,6 +322,13 @@ pub static ENTRIES: &[Entry] = &[
         kind: Kind::Declarative(figures::fig3_perpoint),
     },
     Entry {
+        name: "fig5_precision",
+        group: Group::Figure,
+        paper_ref: "-",
+        summary: "Fig. 5 with a 5% relative-CI target — adaptive replications per point",
+        kind: Kind::Declarative(figures::fig5_precision),
+    },
+    Entry {
         name: "table1",
         group: Group::Table,
         paper_ref: "Table 1",
@@ -449,6 +481,15 @@ pub fn run(entry: &Entry, opts: &RunOpts) -> Result<(), String> {
                     entry.name
                 ));
             }
+            // Likewise adaptive replication control: a silently ignored
+            // precision flag is a benchmark run with the wrong statistics.
+            if opts.rel_ci.is_some() || opts.max_replications.is_some() {
+                return Err(format!(
+                    "{} is a custom entry: --rel-ci/--max-replications apply only to \
+                     declarative scenarios",
+                    entry.name
+                ));
+            }
             f(opts);
             Ok(())
         }
@@ -479,6 +520,30 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
             crate::runner::RateGrid::List(_) => {}
         }
     }
+    if let Some(rel) = opts.rel_ci {
+        let mut precision = scenario.precision.unwrap_or_default();
+        precision.rel_ci = Some(rel);
+        scenario.precision = Some(precision);
+    }
+    if let Some(cap) = opts.max_replications {
+        match &mut scenario.precision {
+            Some(precision) => precision.max_replications = cap,
+            None => {
+                return Err(
+                    "--max-replications needs a precision target: pass --rel-ci or declare \
+                     a `precision` field in the scenario"
+                        .into(),
+                )
+            }
+        }
+    }
+    if opts.replications.is_some() && scenario.precision.is_some() {
+        return Err(format!(
+            "scenario {:?}: --replications fixes the replication count, which conflicts \
+             with adaptive precision control; use --max-replications to bound the spend",
+            scenario.name
+        ));
+    }
     if let Some(replications) = opts.replications {
         scenario.replications = replications;
     }
@@ -486,6 +551,13 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
     scenario
         .validate()
         .map_err(|e| format!("scenario {:?}: {e}", scenario.name))?;
+
+    // Precision-driven scenarios take the adaptive path: CI-bearing
+    // simulation series and writers. Fixed-replication scenarios keep the
+    // historical (byte-identical) output below.
+    if scenario.precision.is_some() && !opts.no_sim {
+        return run_scenario_adaptive(&scenario, opts);
+    }
 
     let mut series = scenario.run_model();
     if !opts.no_sim {
@@ -515,6 +587,62 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
     println!("{}", cocnet_stats::scatter(&series, 64, 20));
     if opts.json {
         println!("{}", to_json(&series));
+    }
+    Ok(())
+}
+
+/// The adaptive arm of [`run_scenario`]: waves of replications per point
+/// until the precision target converges, then the CI-bearing writers.
+fn run_scenario_adaptive(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
+    let analysis = scenario.run_model();
+    let start = std::time::Instant::now();
+    let detailed = if opts.serial {
+        scenario.run_sim_adaptive_serial()
+    } else {
+        scenario.run_sim_adaptive()
+    };
+    let spent: usize = detailed
+        .iter()
+        .flatten()
+        .map(|point| point.replications())
+        .sum();
+    let converged = detailed.iter().flatten().filter(|p| p.converged).count();
+    let points = detailed.iter().map(Vec::len).sum::<usize>();
+    eprintln!(
+        "[adaptive sweep: {spent} simulations over {points} points ({converged} converged) \
+         in {:.2?} ({})]",
+        start.elapsed(),
+        if opts.serial {
+            "serial".to_string()
+        } else {
+            format!("{} threads", rayon::current_num_threads())
+        },
+    );
+    let flagged: usize = detailed
+        .iter()
+        .flatten()
+        .map(|point| point.warmup_flagged)
+        .sum();
+    if flagged > 0 {
+        eprintln!(
+            "[warning: the MSER-5 audit flagged {flagged} replication(s) whose transient \
+             outlasted the configured warm-up — consider raising sim.warmup]"
+        );
+    }
+    let simulation = scenario.adaptive_series(&detailed);
+    if let Some(format) = opts.out {
+        print!("{}", render_machine_ci(&analysis, &simulation, format));
+        return Ok(());
+    }
+    println!(
+        "{}",
+        render_figure_ci(&scenario.name, &analysis, &simulation)
+    );
+    let mut scatter_series = analysis.clone();
+    scatter_series.extend(simulation.iter().map(cocnet_stats::CiSeries::mean_series));
+    println!("{}", cocnet_stats::scatter(&scatter_series, 64, 20));
+    if opts.json {
+        println!("{}", to_json_ci(&analysis, &simulation));
     }
     Ok(())
 }

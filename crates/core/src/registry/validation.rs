@@ -173,6 +173,9 @@ pub fn baseline(opts: &RunOpts) {
 /// Cross-validation experiment: worm engine vs flit-level reference engine
 /// over a load sweep (store-and-forward boundaries on both so the
 /// comparison isolates the worm engine's within-segment approximation).
+/// Both engines collect exact percentiles, so the comparison covers the
+/// median as well as the mean — a mean can agree by cancellation while the
+/// distributions diverge.
 ///
 /// Deliberately **not** parallelised over the runner: the final column is a
 /// wall-clock cost comparison between the two engines, and concurrent
@@ -187,12 +190,22 @@ pub fn engine_agreement(opts: &RunOpts) {
             drain: 1_000,
             seed: 77,
             coupling: Coupling::StoreAndForward,
+            collect_percentiles: true,
             ..SimConfig::default()
         },
         opts.quick,
     );
     println!("## worm engine vs flit-level reference (N=48, M=32, Lm=256)");
-    let mut table = Table::new(["rate", "worm", "flit", "gap%", "worm events/flit events"]);
+    let mut table = Table::new([
+        "rate",
+        "worm",
+        "flit",
+        "gap%",
+        "worm p50",
+        "flit p50",
+        "p50 gap%",
+        "worm events/flit events",
+    ]);
     for rate in [5e-5, 2e-4, 5e-4, 1e-3, 1.5e-3] {
         let wl = Workload::new(rate, 32, 256.0).unwrap();
         let t0 = std::time::Instant::now();
@@ -202,11 +215,17 @@ pub fn engine_agreement(opts: &RunOpts) {
         let flit = run_simulation_flit(&spec, &wl, Pattern::Uniform, &cfg);
         let t_flit = t1.elapsed();
         let gap = (worm.latency.mean - flit.latency.mean) / flit.latency.mean * 100.0;
+        let (worm_p50, _, _) = worm.percentiles.expect("percentiles collected");
+        let (flit_p50, _, _) = flit.percentiles.expect("percentiles collected");
+        let p50_gap = (worm_p50 - flit_p50) / flit_p50 * 100.0;
         table.push_row([
             format!("{rate:.2e}"),
             format!("{:.2}", worm.latency.mean),
             format!("{:.2}", flit.latency.mean),
             format!("{gap:+.2}"),
+            format!("{worm_p50:.2}"),
+            format!("{flit_p50:.2}"),
+            format!("{p50_gap:+.2}"),
             format!("{:.0?} vs {:.0?}", t_worm, t_flit),
         ]);
     }

@@ -20,9 +20,10 @@
 
 use cocnet_model::{sweep, ModelOptions, Workload};
 use cocnet_sim::{
-    run_simulation_built, summarize, BuiltSystem, ReplicationSummary, SimConfig, SimResults,
+    run_simulation_built, summarize, BuiltSystem, ReplicationAccumulator, ReplicationSummary,
+    SimConfig, SimResults,
 };
-use cocnet_stats::Series;
+use cocnet_stats::{CiPoint, CiSeries, ConfidenceInterval, Precision, Series};
 use cocnet_topology::SystemSpec;
 use cocnet_workloads::Pattern;
 use rayon::prelude::*;
@@ -172,6 +173,116 @@ fn default_replications() -> usize {
     1
 }
 
+/// A precision target for adaptive replication control, as declared in a
+/// scenario file (`"precision": {"rel_ci": 0.05}`) or forced from the CLI
+/// (`cocnet run … --rel-ci 0.05`).
+///
+/// With a `precision`, a scenario stops running a fixed number of
+/// replications per sweep point: the runner adds replications in
+/// deterministic waves until the confidence interval over the replication
+/// means is tight enough ([`Scenario::run_sim_adaptive`]), or the
+/// `max_replications` cap trips. `rel_ci`/`abs_ci` mirror
+/// [`cocnet_stats::Precision`]'s relative/absolute half-width bounds; at
+/// least one must be set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default, deny_unknown_fields)]
+pub struct PrecisionSpec {
+    /// Maximum relative CI half-width (`half_width / mean`), e.g. `0.05`.
+    pub rel_ci: Option<f64>,
+    /// Maximum absolute CI half-width, in latency time units.
+    pub abs_ci: Option<f64>,
+    /// Confidence level of the interval (default 0.95).
+    pub level: f64,
+    /// Replications every point starts with (default 2 — the fewest that
+    /// yield a finite CI).
+    pub min_replications: usize,
+    /// Hard cap per point (default 32): a point still unconverged here is
+    /// reported with `converged = false` rather than run forever.
+    pub max_replications: usize,
+    /// Replications added per wave after the first (default 4). Larger
+    /// waves use wide pools better; smaller waves stop closer to the
+    /// minimum needed.
+    pub wave: usize,
+}
+
+impl Default for PrecisionSpec {
+    fn default() -> Self {
+        PrecisionSpec {
+            rel_ci: None,
+            abs_ci: None,
+            level: 0.95,
+            min_replications: 2,
+            max_replications: 32,
+            wave: 4,
+        }
+    }
+}
+
+impl PrecisionSpec {
+    /// The equivalent [`cocnet_stats::Precision`] stopping rule.
+    pub fn target(&self) -> Precision {
+        Precision {
+            rel: self.rel_ci,
+            abs: self.abs_ci,
+            level: self.level,
+        }
+    }
+
+    /// Checks every invariant a deserialized precision spec must satisfy.
+    pub fn validate(&self) -> Result<(), String> {
+        self.target().validate()?;
+        if self.min_replications < 2 {
+            return Err(format!(
+                "precision: min_replications must be >= 2, a single replication has no CI (got {})",
+                self.min_replications
+            ));
+        }
+        if self.max_replications < self.min_replications {
+            return Err(format!(
+                "precision: max_replications {} below min_replications {}",
+                self.max_replications, self.min_replications
+            ));
+        }
+        if self.wave == 0 {
+            return Err("precision: wave must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// One sweep point's outcome under adaptive replication control: the
+/// cross-replication summary plus how the stopping rule ended.
+#[derive(Debug, Clone)]
+pub struct AdaptivePoint {
+    /// Traffic generation rate of this point.
+    pub rate: f64,
+    /// Base seed the point's replications started from (replication `r`
+    /// ran at `seed + r`, exactly as in fixed mode).
+    pub seed: u64,
+    /// Summary over every replication spent, in seed order.
+    pub summary: ReplicationSummary,
+    /// Confidence interval over the replication means at the precision
+    /// target's level (the interval the stopping decision was made on).
+    pub ci: ConfidenceInterval,
+    /// Whether the point met its precision target (as opposed to tripping
+    /// `max_replications` or saturating).
+    pub converged: bool,
+    /// Whether a replication failed to deliver its measured population
+    /// (saturation) — such points stop immediately: more replications of
+    /// a saturated configuration cannot converge.
+    pub saturated: bool,
+    /// Replications whose MSER-5 warm-up audit flagged a too-short
+    /// warm-up (0 unless `sim.audit_warmup` is set).
+    pub warmup_flagged: usize,
+}
+
+impl AdaptivePoint {
+    /// Replications actually spent on this point.
+    pub fn replications(&self) -> usize {
+        self.summary.attempted
+    }
+}
+
 /// One fully specified experiment: everything needed to regenerate a
 /// latency-vs-load figure (or any rate sweep) from both the analytical
 /// model and the simulator.
@@ -196,9 +307,16 @@ pub struct Scenario {
     pub pattern: Pattern,
     /// The sweep grid: traffic generation rates, in plot order.
     pub rates: RateGrid,
-    /// Independent replications per sweep point (≥ 1, default 1).
+    /// Independent replications per sweep point (≥ 1, default 1). Ignored
+    /// by the adaptive path when `precision` is set.
     #[serde(default = "default_replications")]
     pub replications: usize,
+    /// Optional precision target: when set, `cocnet run` replicates each
+    /// point adaptively until the latency CI meets the target (see
+    /// [`PrecisionSpec`]); when absent, the scenario runs exactly
+    /// `replications` per point as always.
+    #[serde(default)]
+    pub precision: Option<PrecisionSpec>,
     /// Seed-derivation policy (default: the historical shared seed).
     #[serde(default)]
     pub seeding: Seeding,
@@ -230,7 +348,7 @@ impl PointSim {
     }
 
     /// Cross-replication summary (mean of means, CI), identical to what
-    /// [`cocnet_sim::replicate`] would report.
+    /// [`cocnet_sim::replicate()`] would report.
     pub fn summary(&self) -> ReplicationSummary {
         summarize(&self.runs, self.runs.len())
     }
@@ -295,6 +413,7 @@ impl Scenario {
             pattern: Pattern::Uniform,
             rates: RateGrid::default(),
             replications: 1,
+            precision: None,
             seeding: Seeding::default(),
             opts: ModelOptions::default(),
             sim: SimConfig::default(),
@@ -342,6 +461,13 @@ impl Scenario {
     /// Sets the seeding policy.
     pub fn with_seeding(mut self, seeding: Seeding) -> Self {
         self.seeding = seeding;
+        self
+    }
+
+    /// Sets the precision target, switching `cocnet run` (and
+    /// [`Scenario::run_sim_adaptive`]) to adaptive replication control.
+    pub fn with_precision(mut self, precision: PrecisionSpec) -> Self {
+        self.precision = Some(precision);
         self
     }
 
@@ -407,6 +533,9 @@ impl Scenario {
         if self.replications == 0 {
             return Err("replications must be >= 1".into());
         }
+        if let Some(precision) = &self.precision {
+            precision.validate()?;
+        }
         let unit = |x: f64, what: &str| {
             if (0.0..=1.0).contains(&x) {
                 Ok(())
@@ -445,7 +574,7 @@ impl Scenario {
     }
 
     /// The analytical series: one per workload, produced by
-    /// [`cocnet_model::sweep`] over the scenario grid. Rates past the
+    /// [`cocnet_model::sweep()`] over the scenario grid. Rates past the
     /// stability boundary yield no point, as in the paper's figures.
     pub fn run_model(&self) -> Vec<Series> {
         let rates = self.rates.values();
@@ -472,15 +601,15 @@ impl Scenario {
         self.series_from_points(self.run_sim_detailed())
     }
 
-    /// Serial reference for [`run_sim`]: the identical job list evaluated
+    /// Serial reference for [`Scenario::run_sim`]: the identical job list evaluated
     /// with a plain loop. Exists for determinism tests and for measuring
-    /// the parallel speedup; results are bit-identical to [`run_sim`].
+    /// the parallel speedup; results are bit-identical to [`Scenario::run_sim`].
     pub fn run_sim_serial(&self) -> Vec<Series> {
         self.series_from_points(self.run_sim_detailed_serial())
     }
 
     /// Full per-point results (per workload, in grid order), run in
-    /// parallel. Use this instead of [`run_sim`] when a binary needs more
+    /// parallel. Use this instead of [`Scenario::run_sim`] when a binary needs more
     /// than the latency mean.
     pub fn run_sim_detailed(&self) -> Vec<Vec<PointSim>> {
         let rates = self.rates.values();
@@ -493,7 +622,7 @@ impl Scenario {
         self.assemble(&rates, &jobs, results)
     }
 
-    /// Serial reference for [`run_sim_detailed`]; bit-identical results.
+    /// Serial reference for [`Scenario::run_sim_detailed`]; bit-identical results.
     pub fn run_sim_detailed_serial(&self) -> Vec<Vec<PointSim>> {
         let rates = self.rates.values();
         let jobs = self.jobs(&rates);
@@ -570,6 +699,176 @@ impl Scenario {
             out[job.workload][job.point].runs.push(result);
         }
         out
+    }
+
+    /// Adaptive (precision-driven) simulation: per sweep point, runs
+    /// replications in deterministic waves on the rayon pool until the
+    /// latency CI over the replication means meets the scenario's
+    /// [`PrecisionSpec`] or its `max_replications` cap trips, and records
+    /// how many replications each point actually spent.
+    ///
+    /// # Determinism
+    ///
+    /// Replication `r` of a point runs at seed `point_seed + r` — exactly
+    /// the fixed-mode seed schedule — and a wave's results are absorbed in
+    /// job order before any stopping decision is made, so the converged
+    /// result is a pure function of the scenario: independent of core
+    /// count and bit-identical to [`Scenario::run_sim_adaptive_serial`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scenario has no `precision` (callers decide the
+    /// mode; [`crate::registry::run_scenario`] dispatches on the field).
+    pub fn run_sim_adaptive(&self) -> Vec<Vec<AdaptivePoint>> {
+        self.run_adaptive_impl(false)
+    }
+
+    /// Serial reference for [`Scenario::run_sim_adaptive`]: the identical
+    /// wave schedule evaluated with a plain loop; bit-identical results.
+    pub fn run_sim_adaptive_serial(&self) -> Vec<Vec<AdaptivePoint>> {
+        self.run_adaptive_impl(true)
+    }
+
+    fn run_adaptive_impl(&self, serial: bool) -> Vec<Vec<AdaptivePoint>> {
+        let spec = self
+            .precision
+            .expect("adaptive run needs Scenario.precision");
+        let target = spec.target();
+        let rates = self.rates.values();
+        let builts = self.build_all();
+
+        /// Per-point wave state.
+        struct St {
+            acc: ReplicationAccumulator,
+            converged: bool,
+            saturated: bool,
+            stop: bool,
+        }
+        let mut state: Vec<St> = (0..self.workloads.len() * rates.len())
+            .map(|_| St {
+                acc: ReplicationAccumulator::new(),
+                converged: false,
+                saturated: false,
+                stop: false,
+            })
+            .collect();
+        let flat = |w: usize, p: usize| w * rates.len() + p;
+
+        loop {
+            // Schedule the wave: every still-running point contributes its
+            // next replication indices (the first wave seeds each point
+            // with `min_replications`, later waves add `wave` more, capped
+            // at `max_replications`).
+            let mut jobs = Vec::new();
+            for w in 0..self.workloads.len() {
+                for (p, &rate) in rates.iter().enumerate() {
+                    let st = &state[flat(w, p)];
+                    if st.stop {
+                        continue;
+                    }
+                    let have = st.acc.attempted();
+                    let want = if have == 0 {
+                        spec.min_replications
+                    } else {
+                        spec.wave
+                    }
+                    .min(spec.max_replications - have);
+                    let base = self.point_seed(w, p);
+                    for r in have..have + want {
+                        jobs.push(Job {
+                            workload: w,
+                            point: p,
+                            replication: r,
+                            rate,
+                            seed: base.wrapping_add(r as u64),
+                        });
+                    }
+                }
+            }
+            if jobs.is_empty() {
+                break;
+            }
+            let results: Vec<SimResults> = if serial {
+                jobs.iter().map(|job| self.run_job(&builts, job)).collect()
+            } else {
+                jobs.par_iter()
+                    .map(|job| self.run_job(&builts, job))
+                    .collect()
+            };
+            // Absorb the whole wave in job order, then decide stopping —
+            // never mid-wave, so the schedule is independent of completion
+            // order.
+            for (job, result) in jobs.iter().zip(&results) {
+                let st = &mut state[flat(job.workload, job.point)];
+                if !result.completed {
+                    st.saturated = true;
+                }
+                st.acc.absorb(result);
+            }
+            for st in &mut state {
+                if st.stop {
+                    continue;
+                }
+                if st.saturated {
+                    // Replicating a saturated configuration cannot
+                    // converge; stop spending cores on it.
+                    st.stop = true;
+                } else if st.acc.attempted() >= spec.min_replications && st.acc.meets(&target) {
+                    st.converged = true;
+                    st.stop = true;
+                } else if st.acc.attempted() >= spec.max_replications {
+                    st.stop = true;
+                }
+            }
+        }
+
+        (0..self.workloads.len())
+            .map(|w| {
+                rates
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &rate)| {
+                        let st = &state[flat(w, p)];
+                        AdaptivePoint {
+                            rate,
+                            seed: self.point_seed(w, p),
+                            summary: st.acc.summary(),
+                            ci: st.acc.ci(spec.level),
+                            converged: st.converged,
+                            saturated: st.saturated,
+                            warmup_flagged: st.acc.warmup_flagged(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Builds the CI-bearing `Simulation (…)` series from adaptive
+    /// results: one [`CiSeries`] per workload, saturated points omitted
+    /// (mirroring how fixed-mode series stop at saturation).
+    pub fn adaptive_series(&self, detailed: &[Vec<AdaptivePoint>]) -> Vec<CiSeries> {
+        let level = self.precision.map(|p| p.level).unwrap_or(0.95);
+        self.workloads
+            .iter()
+            .zip(detailed)
+            .map(|(entry, points)| {
+                let mut series = CiSeries::new(format!("Simulation ({})", entry.label), level);
+                for point in points {
+                    if !point.saturated {
+                        series.push(CiPoint {
+                            x: point.rate,
+                            y: point.summary.mean,
+                            lo: point.ci.lo(),
+                            hi: point.ci.hi(),
+                            replications: point.summary.attempted,
+                            converged: point.converged,
+                        });
+                    }
+                }
+                series
+            })
+            .collect()
     }
 
     /// Builds the `Simulation (…)` series from detailed results.
@@ -719,5 +1018,155 @@ mod tests {
         let jobs: Vec<u64> = (0..40).collect();
         let out = par_map(&jobs, |&j| j * j);
         assert_eq!(out, jobs.iter().map(|j| j * j).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rate_grid_single_point_and_zero_start_edges() {
+        // A 1-point zero-start range is the 1-point figure grid: just the
+        // stop rate.
+        let one = RateGrid::Range {
+            start: 0.0,
+            stop: 4e-4,
+            steps: 1,
+        };
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+        assert_eq!(one.values(), vec![4e-4]);
+        // A zero-start range must resolve through `rate_grid` bit-for-bit.
+        let grid = RateGrid::Range {
+            start: 0.0,
+            stop: 1e-3,
+            steps: 10,
+        };
+        assert_eq!(grid.values(), cocnet_model::rate_grid(1e-3, 10));
+        // A nonzero start excludes the start itself and includes the stop.
+        let shifted = RateGrid::Range {
+            start: 2e-4,
+            stop: 6e-4,
+            steps: 4,
+        };
+        let vals = shifted.values();
+        assert_eq!(vals.len(), 4);
+        assert!(vals[0] > 2e-4);
+        assert_eq!(*vals.last().unwrap(), 6e-4);
+        // A 1-point explicit list survives with_steps unchanged; lists
+        // never grow.
+        let list = RateGrid::List(vec![3e-4]);
+        assert_eq!(list.with_steps(1).values(), vec![3e-4]);
+        assert_eq!(list.with_steps(5).values(), vec![3e-4]);
+        // Ranges re-grid exactly.
+        assert_eq!(grid.with_steps(1).values(), vec![1e-3]);
+        assert_eq!(
+            grid.with_steps(5).values(),
+            cocnet_model::rate_grid(1e-3, 5)
+        );
+    }
+
+    #[test]
+    fn precision_spec_validation() {
+        assert!(PrecisionSpec::default().validate().is_err(), "no bound set");
+        let rel = PrecisionSpec {
+            rel_ci: Some(0.05),
+            ..PrecisionSpec::default()
+        };
+        assert!(rel.validate().is_ok());
+        assert!(PrecisionSpec {
+            min_replications: 1,
+            ..rel
+        }
+        .validate()
+        .is_err());
+        assert!(PrecisionSpec {
+            max_replications: 1,
+            ..rel
+        }
+        .validate()
+        .is_err());
+        assert!(PrecisionSpec { wave: 0, ..rel }.validate().is_err());
+        assert!(PrecisionSpec { level: 1.5, ..rel }.validate().is_err());
+        // Scenario::validate threads the precision check through.
+        let bad = scenario().with_precision(PrecisionSpec::default());
+        assert!(bad.validate().is_err());
+        let good = scenario().with_precision(rel);
+        assert!(good.validate().is_ok());
+    }
+
+    fn adaptive_scenario(rel: f64, max: usize) -> Scenario {
+        scenario().with_grid(6e-4, 2).with_precision(PrecisionSpec {
+            rel_ci: Some(rel),
+            min_replications: 2,
+            max_replications: max,
+            wave: 2,
+            ..PrecisionSpec::default()
+        })
+    }
+
+    #[test]
+    fn adaptive_parallel_equals_serial_bitwise() {
+        let s = adaptive_scenario(0.1, 12);
+        let par = s.run_sim_adaptive();
+        let ser = s.run_sim_adaptive_serial();
+        assert_eq!(par.len(), ser.len());
+        for (pw, sw) in par.iter().zip(&ser) {
+            assert_eq!(pw.len(), sw.len());
+            for (pp, sp) in pw.iter().zip(sw) {
+                assert_eq!(pp.seed, sp.seed);
+                assert_eq!(pp.replications(), sp.replications());
+                assert_eq!(pp.converged, sp.converged);
+                assert_eq!(pp.summary.replication_means, sp.summary.replication_means);
+                assert_eq!(pp.summary.mean, sp.summary.mean);
+                assert_eq!(pp.ci, sp.ci);
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_converges_within_target_and_reports_spend() {
+        let s = adaptive_scenario(0.2, 16);
+        let detailed = s.run_sim_adaptive();
+        for point in &detailed[0] {
+            assert!(!point.saturated);
+            assert!(point.converged, "rate {} did not converge", point.rate);
+            assert!(point.replications() >= 2);
+            assert!(point.replications() <= 16);
+            assert!(point.ci.half_width / point.summary.mean <= 0.2);
+        }
+        // The CI series carries the spend through to the report layer.
+        let series = s.adaptive_series(&detailed);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].level, 0.95);
+        assert!(series[0].all_converged());
+        for p in &series[0].points {
+            assert!(p.lo <= p.y && p.y <= p.hi);
+            assert!(p.replications >= 2);
+        }
+    }
+
+    #[test]
+    fn adaptive_cap_trips_on_unreachable_target() {
+        // A 0.01% relative target cannot be met in 4 replications: every
+        // point must stop at the cap, unconverged.
+        let s = adaptive_scenario(1e-4, 4);
+        let detailed = s.run_sim_adaptive();
+        for point in &detailed[0] {
+            assert!(!point.converged);
+            assert_eq!(point.replications(), 4);
+        }
+    }
+
+    #[test]
+    fn adaptive_seed_schedule_matches_fixed_mode() {
+        // The first k adaptive replications of a point reuse exactly the
+        // fixed-mode seeds, so adaptive results are comparable with (and
+        // reproducible as) fixed runs.
+        let s = adaptive_scenario(0.2, 8);
+        let detailed = s.run_sim_adaptive();
+        let spent = detailed[0][0].replications();
+        let fixed = s.clone().with_replications(spent);
+        let fixed_detailed = fixed.run_sim_detailed();
+        assert_eq!(
+            detailed[0][0].summary.replication_means,
+            fixed_detailed[0][0].summary().replication_means
+        );
     }
 }

@@ -70,9 +70,15 @@ pub struct SimConfig {
     /// Use oblivious-adaptive routing (random ascent digits per message)
     /// instead of the deterministic Up*/Down* scheme (worm engine only).
     pub adaptive_routing: bool,
-    /// Retain raw latency samples and report exact p50/p95/p99 (worm
-    /// engine only; costs one `f64` per measured message).
+    /// Retain raw latency samples and report exact p50/p95/p99 (both
+    /// engines; costs one `f64` per measured message).
     pub collect_percentiles: bool,
+    /// Record the delivery-ordered latency stream of the warm-up +
+    /// measured populations and run an MSER-5 warm-up audit over it
+    /// ([`crate::WarmupAudit`]): the run is flagged when the detected
+    /// truncation point exceeds the configured `warmup`. Costs one `f64`
+    /// per audited message; never perturbs the simulation itself.
+    pub audit_warmup: bool,
 }
 
 impl Default for SimConfig {
@@ -89,6 +95,7 @@ impl Default for SimConfig {
             trace_messages: 0,
             adaptive_routing: false,
             collect_percentiles: false,
+            audit_warmup: false,
         }
     }
 }
@@ -109,6 +116,7 @@ impl SimConfig {
             trace_messages: 0,
             adaptive_routing: false,
             collect_percentiles: false,
+            audit_warmup: false,
         }
     }
 

@@ -23,7 +23,7 @@
 //!   (channel ids in one flat array, per-segment `sum_t`/`bottleneck_t`
 //!   precomputed at build time), and adaptive messages write their route
 //!   into a per-slot arena whose buffers are reused when the slot is;
-//! * [`Msg`] is a small `Copy` record; delivered messages push their slab
+//! * `Msg` is a small `Copy` record; delivered messages push their slab
 //!   slot onto a free list, so the live-message footprint is bounded by
 //!   the peak in-flight population (reported as
 //!   [`SimResults::peak_live_msgs`]), not by the run length;
@@ -40,7 +40,7 @@
 use crate::build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta};
 use crate::config::{Coupling, SimConfig};
 use crate::events::EventQueue;
-use crate::results::SimResults;
+use crate::results::{exact_percentiles, SimResults, WarmupAudit};
 use crate::trace::{MessageTrace, TraceEvent, TraceEventKind};
 use cocnet_model::Workload;
 use cocnet_stats::{Histogram, OnlineStats, Percentiles};
@@ -103,6 +103,9 @@ struct Msg {
     idx: u16,
     /// Whether this message's latency is recorded (not warm-up/drain).
     recorded: bool,
+    /// Whether this message feeds the warm-up audit stream (warm-up +
+    /// measured populations when `cfg.audit_warmup` is on).
+    audited: bool,
     /// Whether source and destination share a cluster.
     intra: bool,
     src_cluster: u32,
@@ -127,6 +130,7 @@ impl Msg {
         nsegs: 0,
         idx: 0,
         recorded: false,
+        audited: false,
         intra: false,
         src_cluster: 0,
     };
@@ -175,11 +179,9 @@ struct Simulator<'a, const TRACE: bool> {
     traces: Vec<MessageTrace>,
     /// Raw samples for exact percentiles (when enabled).
     percentiles: Option<Percentiles>,
-}
-
-/// Exact latency percentiles once at least one sample is recorded.
-fn exact_percentiles(p: &mut Percentiles) -> Option<(f64, f64, f64)> {
-    Some((p.quantile(0.5)?, p.quantile(0.95)?, p.quantile(0.99)?))
+    /// Delivery-ordered latencies of the warm-up + measured populations,
+    /// for the MSER-5 warm-up audit (when enabled).
+    audit: Option<Vec<f64>>,
 }
 
 impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
@@ -232,6 +234,11 @@ impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
             traces: Vec::new(),
             percentiles: if cfg.collect_percentiles {
                 Some(Percentiles::with_capacity(cfg.measured as usize))
+            } else {
+                None
+            },
+            audit: if cfg.audit_warmup {
+                Some(Vec::with_capacity((cfg.warmup + cfg.measured) as usize))
             } else {
                 None
             },
@@ -324,6 +331,9 @@ impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
             self.busy_total,
             self.traces,
             self.percentiles.as_mut().and_then(exact_percentiles),
+            self.audit
+                .as_deref()
+                .and_then(|stream| WarmupAudit::from_stream(stream, self.cfg.warmup)),
             crate::results::EngineCounters {
                 events_processed: self.events_processed,
                 peak_live_msgs: self.msgs.len() as u64,
@@ -339,6 +349,7 @@ impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
         let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
         let recorded = self.generated >= self.cfg.warmup
             && self.generated < self.cfg.warmup + self.cfg.measured;
+        let audited = self.audit.is_some() && self.generated < self.cfg.warmup + self.cfg.measured;
         let trace_id = if TRACE && self.generated < self.cfg.trace_messages.min(UNTRACED as u64) {
             self.generated as u32
         } else {
@@ -385,6 +396,7 @@ impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
             nsegs,
             idx: 0,
             recorded,
+            audited,
             intra: built.cluster_of(src) == built.cluster_of(dst),
             src_cluster: built.cluster_of(src) as u32,
         };
@@ -476,6 +488,11 @@ impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
         if last_segment {
             let latency = finish - m.gen_time;
             self.trace(m.trace_id, finish, TraceEventKind::Delivered { latency });
+            if m.audited {
+                if let Some(a) = &mut self.audit {
+                    a.push(latency);
+                }
+            }
             if m.recorded {
                 self.latency.push(latency);
                 if m.intra {
@@ -661,6 +678,7 @@ mod tests {
             trace_messages: 0,
             adaptive_routing: false,
             collect_percentiles: false,
+            audit_warmup: false,
         }
     }
 
@@ -899,6 +917,51 @@ mod tests {
         assert!(r2.percentiles.is_none());
         // Collection must not perturb results.
         assert_eq!(r.latency, r2.latency);
+    }
+
+    #[test]
+    fn warmup_audit_reports_without_perturbing() {
+        let base = run_simulation(&spec(), &wl(3e-4), Pattern::Uniform, &tiny_cfg(17));
+        assert!(base.warmup_audit.is_none());
+        let audited = run_simulation(
+            &spec(),
+            &wl(3e-4),
+            Pattern::Uniform,
+            &SimConfig {
+                audit_warmup: true,
+                ..tiny_cfg(17)
+            },
+        );
+        // Auditing is a pure side-channel.
+        assert_eq!(base.latency, audited.latency);
+        assert_eq!(base.sim_time, audited.sim_time);
+        let audit = audited.warmup_audit.unwrap();
+        assert_eq!(audit.configured_warmup, 200);
+        assert!(audit.samples <= 2_200);
+        assert!(audit.samples >= 2_000);
+        assert!(audit.statistic.is_finite());
+        // A 200-message warm-up at this light-to-moderate load is ample:
+        // the detected transient must not outlast it.
+        assert!(!audit.exceeds(), "truncation {}", audit.truncation);
+    }
+
+    #[test]
+    fn zero_warmup_under_load_is_flagged() {
+        // With no warm-up at a heavy load the measured stream starts in
+        // the transient; MSER-5 must ask for a positive truncation.
+        let cfg = SimConfig {
+            warmup: 0,
+            audit_warmup: true,
+            ..tiny_cfg(18)
+        };
+        let r = run_simulation(&spec(), &wl(8e-4), Pattern::Uniform, &cfg);
+        assert!(r.completed);
+        let audit = r.warmup_audit.unwrap();
+        assert!(
+            audit.truncation > 0 && audit.exceeds(),
+            "truncation {}",
+            audit.truncation
+        );
     }
 
     #[test]

@@ -24,16 +24,16 @@
 //!
 //! Like the worm engine, the event loop is allocation-free in steady
 //! state: messages are small `Copy` slab entries referencing the interned
-//! [`RouteTable`](crate::build::RouteTable) (this engine is always
+//! [`RouteTable`](`crate::build::RouteTable`) (this engine is always
 //! deterministic, so every route is interned), delivered slots are
 //! recycled through a free list, and the heap/FIFOs retain capacity.
 
 use crate::build::{BuiltSystem, RouteRef, RouteTable, SegMeta};
 use crate::config::SimConfig;
 use crate::events::EventQueue;
-use crate::results::SimResults;
+use crate::results::{exact_percentiles, SimResults, WarmupAudit};
 use cocnet_model::Workload;
-use cocnet_stats::{Histogram, OnlineStats};
+use cocnet_stats::{Histogram, OnlineStats, Percentiles};
 use cocnet_topology::SystemSpec;
 use cocnet_workloads::{exponential_sample, Pattern};
 use rand::rngs::StdRng;
@@ -87,6 +87,8 @@ struct MsgF {
     /// Flits already injected into the current segment.
     injected: u32,
     recorded: bool,
+    /// Whether this message feeds the warm-up audit stream.
+    audited: bool,
     intra: bool,
     src_cluster: u32,
 }
@@ -106,6 +108,7 @@ impl MsgF {
         nsegs: 0,
         injected: 0,
         recorded: false,
+        audited: false,
         intra: false,
         src_cluster: 0,
     };
@@ -135,6 +138,11 @@ struct FlitSimulator<'a> {
     histogram: Option<Histogram>,
     busy_total: Vec<f64>,
     busy_since: Vec<f64>,
+    /// Raw samples for exact percentiles (when enabled).
+    percentiles: Option<Percentiles>,
+    /// Delivery-ordered latencies of the warm-up + measured populations,
+    /// for the MSER-5 warm-up audit (when enabled).
+    audit: Option<Vec<f64>>,
 }
 
 impl<'a> FlitSimulator<'a> {
@@ -177,6 +185,16 @@ impl<'a> FlitSimulator<'a> {
             histogram,
             busy_total: vec![0.0; built.num_channels()],
             busy_since: vec![0.0; built.num_channels()],
+            percentiles: if cfg.collect_percentiles {
+                Some(Percentiles::with_capacity(cfg.measured as usize))
+            } else {
+                None
+            },
+            audit: if cfg.audit_warmup {
+                Some(Vec::with_capacity((cfg.warmup + cfg.measured) as usize))
+            } else {
+                None
+            },
         }
     }
 
@@ -211,6 +229,11 @@ impl<'a> FlitSimulator<'a> {
                 self.busy_total[chan] += self.now - self.busy_since[chan];
             }
         }
+        let percentiles = self.percentiles.as_mut().and_then(exact_percentiles);
+        let audit = self
+            .audit
+            .as_deref()
+            .and_then(|stream| WarmupAudit::from_stream(stream, self.cfg.warmup));
         SimResults::collect(
             &self.latency,
             &self.intra_lat,
@@ -223,7 +246,8 @@ impl<'a> FlitSimulator<'a> {
             self.histogram,
             self.busy_total,
             Vec::new(),
-            None,
+            percentiles,
+            audit,
             crate::results::EngineCounters {
                 events_processed: self.events_processed,
                 peak_live_msgs: self.msgs.len() as u64,
@@ -239,6 +263,7 @@ impl<'a> FlitSimulator<'a> {
         let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
         let recorded = self.generated >= self.cfg.warmup
             && self.generated < self.cfg.warmup + self.cfg.measured;
+        let audited = self.audit.is_some() && self.generated < self.cfg.warmup + self.cfg.measured;
         self.generated += 1;
         let route = self.routes.route_ref(src, dst);
         let slot = match self.free.pop() {
@@ -257,6 +282,7 @@ impl<'a> FlitSimulator<'a> {
             nsegs: self.routes.num_segments(route) as u8,
             injected: 0,
             recorded,
+            audited,
             intra: self.built.cluster_of(src) == self.built.cluster_of(dst),
             src_cluster: self.built.cluster_of(src) as u32,
         };
@@ -422,6 +448,11 @@ impl<'a> FlitSimulator<'a> {
             return;
         }
         let latency = t - m.gen_time;
+        if m.audited {
+            if let Some(a) = &mut self.audit {
+                a.push(latency);
+            }
+        }
         if m.recorded {
             self.latency.push(latency);
             if m.intra {
@@ -432,6 +463,9 @@ impl<'a> FlitSimulator<'a> {
             self.per_cluster[m.src_cluster as usize].push(latency);
             if let Some(h) = &mut self.histogram {
                 h.record(latency);
+            }
+            if let Some(p) = &mut self.percentiles {
+                p.record(latency);
             }
             self.recorded_done += 1;
         }
@@ -585,6 +619,29 @@ mod tests {
             );
             last = r.latency.mean;
         }
+    }
+
+    #[test]
+    fn percentiles_collected_like_worm_engine() {
+        // Both engines honour `collect_percentiles`; the flit reference
+        // must report coherent order statistics without perturbing the run.
+        let s = spec();
+        let wl = Workload::new(3e-4, 16, 256.0).unwrap();
+        let base = run_simulation_flit(&s, &wl, Pattern::Uniform, &cfg(6));
+        assert!(base.percentiles.is_none());
+        let collected = run_simulation_flit(
+            &s,
+            &wl,
+            Pattern::Uniform,
+            &SimConfig {
+                collect_percentiles: true,
+                ..cfg(6)
+            },
+        );
+        assert_eq!(base.latency, collected.latency);
+        let (p50, p95, p99) = collected.percentiles.unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 >= collected.latency.min && p99 <= collected.latency.max);
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub use build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta, Seg
 pub use config::{Coupling, SimConfig};
 pub use engine::{run_simulation, run_simulation_arrivals, run_simulation_built};
 pub use flit::{run_simulation_flit, run_simulation_flit_built};
-pub use replicate::{replicate, replicate_parallel, summarize, ReplicationSummary};
-pub use results::SimResults;
+pub use replicate::{
+    replicate, replicate_parallel, summarize, ReplicationAccumulator, ReplicationSummary,
+};
+pub use results::{SimResults, WarmupAudit};
 pub use trace::{MessageTrace, TraceEvent, TraceEventKind};

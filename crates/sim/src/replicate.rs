@@ -12,7 +12,7 @@ use crate::config::SimConfig;
 use crate::engine::run_simulation_built;
 use crate::results::SimResults;
 use cocnet_model::Workload;
-use cocnet_stats::{mean_confidence_interval, ConfidenceInterval, OnlineStats};
+use cocnet_stats::{mean_confidence_interval, ConfidenceInterval, OnlineStats, Precision};
 use cocnet_topology::SystemSpec;
 use cocnet_workloads::Pattern;
 use serde::{Deserialize, Serialize};
@@ -90,27 +90,110 @@ pub fn replicate_parallel(
     summarize(&results, replications)
 }
 
+/// Incremental replication merging: absorbs per-replication
+/// [`SimResults`] one at a time and serves the running cross-replication
+/// estimate — mean, CI at any level, convergence against a
+/// [`Precision`] target — without retaining the results themselves.
+///
+/// Absorbing a result slice in order and calling [`summary`] is
+/// bit-identical to [`summarize`] over the same slice (the batch path is
+/// implemented on top of this accumulator), which is what lets the
+/// adaptive runner grow a point's replication set wave by wave while
+/// fixed-replication scenarios keep their historical output.
+///
+/// [`summary`]: ReplicationAccumulator::summary
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationAccumulator {
+    stats: OnlineStats,
+    means: Vec<f64>,
+    completed: usize,
+    attempted: usize,
+    warmup_flagged: usize,
+}
+
+impl ReplicationAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one replication's results. Incomplete runs (event-cap
+    /// aborts, i.e. saturation) count as attempted but contribute no mean,
+    /// exactly as in [`summarize`].
+    pub fn absorb(&mut self, r: &SimResults) {
+        self.attempted += 1;
+        if r.warmup_audit.is_some_and(|a| a.exceeds()) {
+            self.warmup_flagged += 1;
+        }
+        if r.completed {
+            self.stats.push(r.latency.mean);
+            self.means.push(r.latency.mean);
+            self.completed += 1;
+        }
+    }
+
+    /// Replications absorbed so far.
+    pub fn attempted(&self) -> usize {
+        self.attempted
+    }
+
+    /// Absorbed replications that delivered their measured population.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Whether every absorbed replication completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.attempted
+    }
+
+    /// Absorbed replications whose MSER-5 warm-up audit flagged a
+    /// transient outlasting the configured warm-up (always 0 when runs
+    /// were not audited).
+    pub fn warmup_flagged(&self) -> usize {
+        self.warmup_flagged
+    }
+
+    /// Running mean of the completed replications' mean latencies.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Confidence interval over the replication means at `level`.
+    pub fn ci(&self, level: f64) -> ConfidenceInterval {
+        mean_confidence_interval(&self.stats, level)
+    }
+
+    /// Whether the cross-replication estimate already satisfies `target`
+    /// — the adaptive runner's stopping test.
+    pub fn meets(&self, target: &Precision) -> bool {
+        target.met_by(&self.ci(target.level))
+    }
+
+    /// The summary over everything absorbed so far — bit-identical to
+    /// [`summarize`] over the same results in the same order.
+    pub fn summary(&self) -> ReplicationSummary {
+        ReplicationSummary {
+            mean: self.stats.mean(),
+            ci95: self.ci(0.95),
+            replication_means: self.means.clone(),
+            completed: self.completed,
+            attempted: self.attempted,
+        }
+    }
+}
+
 /// Merges per-replication results into a [`ReplicationSummary`]. Kept
 /// public so harnesses that schedule their own runs (e.g. the `cocnet`
 /// scenario runner) can reuse the exact same summary arithmetic.
 pub fn summarize(results: &[SimResults], attempted: usize) -> ReplicationSummary {
-    let mut stats = OnlineStats::new();
-    let mut means = Vec::with_capacity(results.len());
-    let mut completed = 0;
+    let mut acc = ReplicationAccumulator::new();
     for r in results {
-        if r.completed {
-            stats.push(r.latency.mean);
-            means.push(r.latency.mean);
-            completed += 1;
-        }
+        acc.absorb(r);
     }
-    ReplicationSummary {
-        mean: stats.mean(),
-        ci95: mean_confidence_interval(&stats, 0.95),
-        replication_means: means,
-        completed,
-        attempted,
-    }
+    let mut summary = acc.summary();
+    summary.attempted = attempted;
+    summary
 }
 
 #[cfg(test)]
@@ -192,6 +275,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
             crate::results::EngineCounters {
                 events_processed: 2,
                 peak_live_msgs: 1,
@@ -204,5 +288,68 @@ mod tests {
         assert_eq!(s.attempted, 2);
         assert!(!s.all_completed());
         assert_eq!(s.mean, 11.0);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_summarize_bitwise() {
+        let wl = Workload::new(2e-4, 16, 256.0).unwrap();
+        let built = BuiltSystem::build(&spec(), wl.flit_bytes);
+        let results: Vec<SimResults> = (0..5)
+            .map(|r| {
+                let run_cfg = SimConfig {
+                    seed: cfg().seed.wrapping_add(r),
+                    ..cfg()
+                };
+                run_simulation_built(&built, &wl, Pattern::Uniform, &run_cfg)
+            })
+            .collect();
+        let batch = summarize(&results, 5);
+        let mut acc = ReplicationAccumulator::new();
+        for (absorbed, r) in results.iter().enumerate() {
+            acc.absorb(r);
+            assert_eq!(acc.attempted(), absorbed + 1);
+        }
+        let incremental = acc.summary();
+        assert_eq!(incremental.mean, batch.mean);
+        assert_eq!(incremental.ci95, batch.ci95);
+        assert_eq!(incremental.replication_means, batch.replication_means);
+        assert_eq!(incremental.completed, batch.completed);
+        assert_eq!(incremental.attempted, batch.attempted);
+        assert!(acc.all_completed());
+        assert_eq!(acc.warmup_flagged(), 0);
+    }
+
+    #[test]
+    fn accumulator_convergence_tightens_with_replications() {
+        use cocnet_stats::Precision;
+        let wl = Workload::new(2e-4, 16, 256.0).unwrap();
+        let built = BuiltSystem::build(&spec(), wl.flit_bytes);
+        let mut acc = ReplicationAccumulator::new();
+        // A loose 20 % relative target: unmet with one replication
+        // (infinite half-width), met once a few independent means agree.
+        let target = Precision::relative(0.2, 0.95);
+        let mut converged_at = None;
+        for r in 0..8u64 {
+            let run_cfg = SimConfig {
+                seed: cfg().seed.wrapping_add(r),
+                ..cfg()
+            };
+            acc.absorb(&run_simulation_built(
+                &built,
+                &wl,
+                Pattern::Uniform,
+                &run_cfg,
+            ));
+            if r == 0 {
+                assert!(!acc.meets(&target), "one replication can never converge");
+            }
+            if converged_at.is_none() && acc.meets(&target) {
+                converged_at = Some(acc.attempted());
+            }
+        }
+        let spent = converged_at.expect("a 20% target converges within 8 replications");
+        assert!(spent >= 2);
+        // The CI the decision was made on is the one reported.
+        assert!(acc.ci(0.95).half_width / acc.mean() <= 0.2);
     }
 }

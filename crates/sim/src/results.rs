@@ -1,8 +1,59 @@
 //! Simulation result collection.
 
 use crate::trace::MessageTrace;
-use cocnet_stats::{Histogram, OnlineStats, Summary};
+use cocnet_stats::{mser5, Histogram, OnlineStats, Percentiles, Summary};
 use serde::{Deserialize, Serialize};
+
+/// Post-hoc check that a run's configured warm-up was long enough.
+///
+/// The paper fixes the warm-up population; MSER-5 finds the truncation
+/// point that the *data* asks for. When [`SimConfig::audit_warmup`] is
+/// set, the engine records the delivery-ordered latency stream of the
+/// warm-up + measured populations, scans it with
+/// [`cocnet_stats::mser5`], and reports the comparison here — a run whose
+/// detected truncation point lands beyond the configured warm-up was
+/// still in its initial transient when measurement started, so its mean
+/// is biased.
+///
+/// [`SimConfig::audit_warmup`]: crate::SimConfig::audit_warmup
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmupAudit {
+    /// MSER-5 truncation point, in delivered messages since the start of
+    /// the run (a multiple of 5).
+    pub truncation: u64,
+    /// The minimised MSER statistic at the truncation point.
+    pub statistic: f64,
+    /// The warm-up population the run was configured with.
+    pub configured_warmup: u64,
+    /// Number of delivered messages the audit scanned.
+    pub samples: u64,
+}
+
+impl WarmupAudit {
+    /// Whether the detected transient outlasts the configured warm-up —
+    /// the "this run's warm-up was too short" flag.
+    pub fn exceeds(&self) -> bool {
+        self.truncation > self.configured_warmup
+    }
+
+    /// Scans a delivery-ordered latency stream; `None` when the stream is
+    /// too short for MSER-5 (fewer than 40 samples).
+    pub(crate) fn from_stream(stream: &[f64], configured_warmup: u64) -> Option<WarmupAudit> {
+        let r = mser5(stream)?;
+        Some(WarmupAudit {
+            truncation: r.truncation as u64,
+            statistic: r.statistic,
+            configured_warmup,
+            samples: stream.len() as u64,
+        })
+    }
+}
+
+/// Exact `(p50, p95, p99)` once at least one sample is recorded — the
+/// shared percentile extraction of both engines' sinks.
+pub(crate) fn exact_percentiles(p: &mut Percentiles) -> Option<(f64, f64, f64)> {
+    Some((p.quantile(0.5)?, p.quantile(0.95)?, p.quantile(0.99)?))
+}
 
 /// Everything a simulation run reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -34,8 +85,11 @@ pub struct SimResults {
     /// (worm engine only; empty when tracing is off).
     pub traces: Vec<MessageTrace>,
     /// Exact latency percentiles `(p50, p95, p99)` when
-    /// `collect_percentiles` was set (worm engine only).
+    /// `collect_percentiles` was set (both engines).
     pub percentiles: Option<(f64, f64, f64)>,
+    /// MSER-5 warm-up audit when `audit_warmup` was set and the run
+    /// delivered enough messages to scan (see [`WarmupAudit`]).
+    pub warmup_audit: Option<WarmupAudit>,
     /// Total events the engine processed (one heap pop each) — the
     /// numerator of the events/sec throughput metric.
     pub events_processed: u64,
@@ -72,6 +126,7 @@ impl SimResults {
         channel_busy: Vec<f64>,
         traces: Vec<MessageTrace>,
         percentiles: Option<(f64, f64, f64)>,
+        warmup_audit: Option<WarmupAudit>,
         counters: EngineCounters,
     ) -> Self {
         Self {
@@ -87,6 +142,7 @@ impl SimResults {
             channel_busy,
             traces,
             percentiles,
+            warmup_audit,
             events_processed: counters.events_processed,
             peak_live_msgs: counters.peak_live_msgs,
         }
@@ -123,6 +179,7 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
             EngineCounters::default(),
         );
         assert_eq!(r.inter_fraction(), 0.0);
@@ -154,11 +211,42 @@ mod tests {
             Vec::new(),
             Vec::new(),
             None,
+            None,
             EngineCounters {
                 events_processed: 100,
                 peak_live_msgs: 4,
             },
         );
         assert!((r.inter_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmup_audit_flags_long_transients_only() {
+        // 100 transient samples then a stationary phase: MSER-5 detects a
+        // truncation near 100, so a 50-message warm-up is flagged and a
+        // 500-message warm-up is not.
+        let mut stream = Vec::new();
+        for i in 0..100 {
+            stream.push(200.0 * (-(i as f64) / 25.0).exp() + 10.0);
+        }
+        for i in 0..900 {
+            stream.push(10.0 + if i % 2 == 0 { 0.3 } else { -0.3 });
+        }
+        let audit = WarmupAudit::from_stream(&stream, 50).unwrap();
+        assert_eq!(audit.samples, 1000);
+        assert!(audit.truncation.is_multiple_of(5));
+        assert!(
+            (60..=150).contains(&audit.truncation),
+            "truncation {}",
+            audit.truncation
+        );
+        assert!(audit.exceeds());
+        let ok = WarmupAudit {
+            configured_warmup: 500,
+            ..audit
+        };
+        assert!(!ok.exceeds());
+        // Too short a stream yields no audit at all.
+        assert!(WarmupAudit::from_stream(&stream[..39], 10).is_none());
     }
 }

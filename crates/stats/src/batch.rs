@@ -62,11 +62,25 @@ impl BatchMeans {
     /// 95 % confidence interval built from the batch means. Requires at
     /// least two completed batches (else the half-width is infinite).
     pub fn ci95(&self) -> ConfidenceInterval {
+        self.ci(0.95)
+    }
+
+    /// Confidence interval at `level` built from the batch means (the
+    /// interval's *mean* is the batch-means mean, which differs from
+    /// [`BatchMeans::mean`] while a batch is unfinished).
+    pub fn ci(&self, level: f64) -> ConfidenceInterval {
         let mut stats = OnlineStats::new();
         for &m in &self.batch_means {
             stats.push(m);
         }
-        mean_confidence_interval(&stats, 0.95)
+        mean_confidence_interval(&stats, level)
+    }
+
+    /// Whether the batch-means estimate already satisfies `target` — the
+    /// convergence test of a sequential-stopping loop over one long
+    /// autocorrelated run.
+    pub fn meets(&self, target: &crate::Precision) -> bool {
+        target.met_by(&self.ci(target.level))
     }
 
     /// Lag-1 autocorrelation of the batch means; `None` with < 3 batches.

@@ -21,6 +21,7 @@ pub mod histogram;
 pub mod online;
 pub mod percentile;
 pub mod plot;
+pub mod precision;
 pub mod series;
 pub mod summary;
 pub mod table;
@@ -33,7 +34,8 @@ pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use percentile::Percentiles;
 pub use plot::scatter;
-pub use series::{Point, Series};
+pub use precision::Precision;
+pub use series::{CiPoint, CiSeries, Point, Series};
 pub use summary::Summary;
 pub use table::Table;
 pub use warmup::{mser, mser5, MserResult};

@@ -110,6 +110,19 @@ impl OnlineStats {
         self.max
     }
 
+    /// Two-sided confidence interval for the mean at `level` (see
+    /// [`crate::mean_confidence_interval`] for the level handling).
+    pub fn confidence_interval(&self, level: f64) -> crate::ConfidenceInterval {
+        crate::mean_confidence_interval(self, level)
+    }
+
+    /// Whether the mean estimate already satisfies `target` — the
+    /// convergence test of a sequential-stopping loop over i.i.d. samples
+    /// (for autocorrelated streams use [`crate::BatchMeans::meets`]).
+    pub fn meets(&self, target: &crate::Precision) -> bool {
+        target.met_by(&self.confidence_interval(target.level))
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     ///
     /// Uses the Chan et al. pairwise update so that

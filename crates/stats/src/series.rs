@@ -106,6 +106,78 @@ impl Series {
     }
 }
 
+/// One data point of a CI-bearing sweep: the estimate plus the interval
+/// it is known to, and how much work (replications) it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CiPoint {
+    /// Independent variable (traffic generation rate λ_g in the paper).
+    pub x: f64,
+    /// Point estimate (mean over replication means).
+    pub y: f64,
+    /// Lower bound of the confidence interval.
+    pub lo: f64,
+    /// Upper bound of the confidence interval.
+    pub hi: f64,
+    /// Independent replications actually spent on this point.
+    pub replications: usize,
+    /// Whether the point met its precision target (as opposed to tripping
+    /// the replication cap).
+    pub converged: bool,
+}
+
+/// A labelled series of CI-bearing points — what a precision-driven sweep
+/// produces instead of a bare [`Series`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CiSeries {
+    /// Legend label, e.g. `"Simulation (Lm=256)"`.
+    pub label: String,
+    /// Confidence level of every point's `[lo, hi]`, e.g. `0.95`.
+    pub level: f64,
+    /// The data points, in the order produced by the sweep.
+    pub points: Vec<CiPoint>,
+}
+
+impl CiSeries {
+    /// Creates an empty CI-bearing series.
+    pub fn new(label: impl Into<String>, level: f64) -> Self {
+        Self {
+            label: label.into(),
+            level,
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, point: CiPoint) {
+        self.points.push(point);
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point estimates as a plain [`Series`] (same label) — for
+    /// renderers that only understand `(x, y)` data, e.g. scatter plots.
+    pub fn mean_series(&self) -> Series {
+        let mut out = Series::new(self.label.clone());
+        for p in &self.points {
+            out.push(p.x, p.y);
+        }
+        out
+    }
+
+    /// Whether every point met its precision target.
+    pub fn all_converged(&self) -> bool {
+        self.points.iter().all(|p| p.converged)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +235,35 @@ mod tests {
         let json = serde_json::to_string(&se).unwrap();
         let back: Series = serde_json::from_str(&json).unwrap();
         assert_eq!(se, back);
+    }
+
+    #[test]
+    fn ci_series_mean_projection_and_convergence() {
+        let mut cs = CiSeries::new("Simulation", 0.95);
+        cs.push(CiPoint {
+            x: 1e-4,
+            y: 40.0,
+            lo: 39.0,
+            hi: 41.0,
+            replications: 4,
+            converged: true,
+        });
+        cs.push(CiPoint {
+            x: 2e-4,
+            y: 44.0,
+            lo: 40.0,
+            hi: 48.0,
+            replications: 16,
+            converged: false,
+        });
+        assert_eq!(cs.len(), 2);
+        assert!(!cs.is_empty());
+        assert!(!cs.all_converged());
+        let means = cs.mean_series();
+        assert_eq!(means.label, "Simulation");
+        assert_eq!(means.ys(), vec![40.0, 44.0]);
+        let json = serde_json::to_string(&cs).unwrap();
+        let back: CiSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(cs, back);
     }
 }

@@ -130,3 +130,106 @@ proptest! {
         }
     }
 }
+
+// ---- constructed-sequence tests (deterministic, no proptest) ---------------
+//
+// The adaptive runner's stopping rule leans on `mser`/`mser5` (warm-up
+// audits) and `BatchMeans::lag1_autocorrelation` (batch-length
+// diagnostics); these tests pin their behaviour on sequences with known
+// structure: AR(1)-style positively/negatively correlated streams and a
+// transient-then-stationary stream with a known truncation point.
+
+/// Deterministic noise in [-0.5, 0.5): a multiplicative-congruential
+/// chain, good enough to act as the AR(1) innovation sequence.
+fn noise(i: u64) -> f64 {
+    let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^= z >> 33;
+    (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+/// x_{t+1} = phi * x_t + noise: the textbook autocorrelated process.
+fn ar1(phi: f64, n: usize) -> Vec<f64> {
+    let mut xs = Vec::with_capacity(n);
+    let mut x = 0.0f64;
+    for i in 0..n {
+        x = phi * x + noise(i as u64);
+        xs.push(x);
+    }
+    xs
+}
+
+#[test]
+fn lag1_autocorrelation_sign_tracks_the_ar1_coefficient() {
+    // Batch size 1 keeps the batch means equal to the raw samples, so the
+    // statistic estimates the process's own lag-1 autocorrelation: the
+    // sign (and rough magnitude) must follow phi.
+    for (phi, lo, hi) in [
+        (0.9, 0.6, 1.0),    // strongly positive
+        (0.0, -0.2, 0.2),   // i.i.d.: near zero
+        (-0.8, -1.0, -0.4), // alternating: negative
+    ] {
+        let mut b = BatchMeans::new(1);
+        for x in ar1(phi, 4_000) {
+            b.push(x);
+        }
+        let rho = b.lag1_autocorrelation().unwrap();
+        assert!(
+            (lo..=hi).contains(&rho),
+            "phi {phi}: rho {rho} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn batching_washes_out_ar1_autocorrelation() {
+    // The batch-length diagnostic in practice: the same phi = 0.9 stream
+    // that is heavily correlated at batch size 1 must decorrelate once
+    // batches far exceed the correlation length (~1/(1-phi) = 10).
+    let xs = ar1(0.9, 40_000);
+    let rho_of = |size: u64| {
+        let mut b = BatchMeans::new(size);
+        for &x in &xs {
+            b.push(x);
+        }
+        b.lag1_autocorrelation().unwrap()
+    };
+    let raw = rho_of(1);
+    let batched = rho_of(400);
+    assert!(raw > 0.6, "raw rho {raw}");
+    assert!(batched.abs() < 0.3, "batched rho {batched}");
+    assert!(batched < raw);
+}
+
+#[test]
+fn mser_recovers_a_known_truncation_point_on_ar1_noise() {
+    // A decaying transient of ~150 samples riding on stationary AR(1)
+    // noise: the scan must land near the end of the transient — neither 0
+    // (missing it) nor deep into the stationary phase (over-truncating).
+    let mut xs = ar1(0.5, 2_000);
+    for (i, x) in xs.iter_mut().enumerate() {
+        *x += 30.0 * (-(i as f64) / 40.0).exp();
+    }
+    let r = mser(&xs).unwrap();
+    assert!(
+        (60..=350).contains(&r.truncation),
+        "truncation {}",
+        r.truncation
+    );
+    // MSER-5 agrees in original-sample units (multiples of 5).
+    let r5 = cocnet_stats::mser5(&xs).unwrap();
+    assert_eq!(r5.truncation % 5, 0);
+    assert!(
+        (60..=400).contains(&r5.truncation),
+        "mser5 truncation {}",
+        r5.truncation
+    );
+}
+
+#[test]
+fn mser_on_stationary_ar1_keeps_nearly_everything() {
+    let xs = ar1(0.5, 2_000);
+    let r = mser(&xs).unwrap();
+    assert!(r.truncation <= 100, "truncation {}", r.truncation);
+}

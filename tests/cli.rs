@@ -281,6 +281,99 @@ fn run_subcommand_refuses_to_regrid_explicit_rate_lists() {
 }
 
 #[test]
+fn run_subcommand_adaptive_reports_ci_and_spend() {
+    // The precision-preset entry through the CLI: the text table gains CI
+    // bounds and a replications-spent column.
+    let (stdout, stderr, ok) = run(&["run", "fig5_precision", "--quick", "--points", "2"]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("ci lo"), "{stdout}");
+    assert!(stdout.contains("ci hi"));
+    assert!(stdout.contains("reps"));
+    assert!(stdout.contains("replications spent"));
+    assert!(stderr.contains("adaptive sweep"), "{stderr}");
+
+    // The CSV writer threads the same columns through with full precision.
+    let (csv, _, ok) = run(&[
+        "run",
+        "fig5_precision",
+        "--quick",
+        "--points",
+        "2",
+        "--out",
+        "csv",
+    ]);
+    assert!(ok);
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("Simulation (Lm=256) ci_lo"), "{header}");
+    assert!(header.contains("Simulation (Lm=256) reps"));
+    assert!(header.contains("Simulation (Lm=512) converged"));
+
+    // And the JSON writer emits the {analysis, simulation} report shape.
+    let (json, _, ok) = run(&[
+        "run",
+        "fig5_precision",
+        "--quick",
+        "--points",
+        "2",
+        "--out",
+        "json",
+    ]);
+    assert!(ok);
+    assert!(json.contains("\"analysis\""));
+    assert!(json.contains("\"simulation\""));
+    assert!(json.contains("\"replications\""));
+    assert!(json.contains("\"converged\""));
+    assert!(json.contains("\"lo\""));
+}
+
+#[test]
+fn run_subcommand_rel_ci_flag_switches_any_scenario_adaptive() {
+    // `describe` surfaces an entry's precision preset…
+    let (stdout, _, ok) = run(&["describe", "fig5_precision"]);
+    assert!(ok);
+    assert!(stdout.contains("\"precision\""), "{stdout}");
+    assert!(stdout.contains("\"rel_ci\": 0.05"));
+    // …and --rel-ci forces adaptive mode onto a plain fixed entry.
+    let (stdout, stderr, ok) = run(&[
+        "run",
+        "fig5",
+        "--quick",
+        "--points",
+        "2",
+        "--rel-ci",
+        "0.2",
+        "--max-replications",
+        "6",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("reps"));
+    assert!(stderr.contains("adaptive sweep"));
+}
+
+#[test]
+fn run_subcommand_rejects_misused_precision_flags() {
+    // Fixed replication count and adaptive precision are contradictory.
+    let (_, stderr, ok) = run(&["run", "fig5_precision", "--quick", "--replications", "3"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-replications"), "{stderr}");
+    // A cap without a target has nothing to bound.
+    let (_, stderr, ok) = run(&["run", "fig5", "--max-replications", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("precision target"), "{stderr}");
+    // Custom entries reject the flags loudly instead of ignoring them.
+    let (_, stderr, ok) = run(&["run", "table1", "--rel-ci", "0.05"]);
+    assert!(!ok);
+    assert!(stderr.contains("custom entry"), "{stderr}");
+    // Nonsense bounds die at parse time.
+    let (_, stderr, ok) = run(&["run", "fig5", "--rel-ci", "-0.1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--rel-ci"), "{stderr}");
+    let (_, stderr, ok) = run(&["run", "fig5", "--max-replications", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-replications"), "{stderr}");
+}
+
+#[test]
 fn run_subcommand_table_entry_matches_binary_output() {
     // The registry path and the thin `table1` binary share one code path;
     // spot-check the CLI side produces the table.
