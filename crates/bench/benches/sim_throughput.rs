@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 use cocnet::model::Workload;
 use cocnet::presets;
-use cocnet::sim::{run_simulation, run_simulation_built, BuiltSystem, SimConfig};
+use cocnet::sim::{run_simulation, run_simulation_built, BuiltSystem, SchedulerKind, SimConfig};
 use cocnet::topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
 use cocnet_workloads::Pattern;
 
@@ -55,28 +55,34 @@ fn bench_sim_run(c: &mut Criterion) {
 }
 
 /// Near-saturation load: chained blocking dominates, so most events are
-/// channel handoffs under contention rather than message generations. This
-/// is where the hot-path rework has to pay off.
+/// channel handoffs under contention rather than message generations.
+/// This is where the hot-path rework has to pay off — each case runs
+/// under both event-scheduler backends so the heap-vs-calendar delta is
+/// measurable per contention regime.
 fn bench_sim_load(c: &mut Criterion) {
     let spec = small_spec();
-    let cfg = bench_cfg();
     let mut group = c.benchmark_group("sim_load");
     group.sample_size(10);
 
     let heavy = Workload::new(1e-3, 32, 256.0).unwrap();
     let built = BuiltSystem::build(&spec, heavy.flit_bytes);
-    group.bench_function("high_load_near_saturation", |b| {
-        b.iter(|| run_simulation_built(black_box(&built), &heavy, Pattern::Uniform, &cfg))
-    });
-
     // Every message leaves its cluster: three segments per message, all
     // contending for the ECN1 ascent/descent and ICN2 crossing channels.
     let inter = Workload::new(4e-4, 32, 256.0).unwrap();
     let built_inter = BuiltSystem::build(&spec, inter.flit_bytes);
     let pattern = Pattern::ClusterLocal { locality: 0.0 };
-    group.bench_function("inter_cluster_heavy", |b| {
-        b.iter(|| run_simulation_built(black_box(&built_inter), &inter, pattern, &cfg))
-    });
+    for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        let cfg = SimConfig {
+            scheduler,
+            ..bench_cfg()
+        };
+        group.bench_function(format!("high_load_near_saturation/{scheduler}"), |b| {
+            b.iter(|| run_simulation_built(black_box(&built), &heavy, Pattern::Uniform, &cfg))
+        });
+        group.bench_function(format!("inter_cluster_heavy/{scheduler}"), |b| {
+            b.iter(|| run_simulation_built(black_box(&built_inter), &inter, pattern, &cfg))
+        });
+    }
     group.finish();
 }
 

@@ -1,0 +1,12 @@
+//! CI perf-regression gate.
+//!
+//! Thin wrapper over the scenario registry — the gate itself lives in
+//! `cocnet::registry::perf` and is equally reachable as
+//! `cocnet run perf_gate`. Runs the quick snapshot cases twice (warm-up +
+//! measure) and fails on a >30% events/sec regression against the last
+//! full-mode `BENCH_sim.json` entry. See `cocnet::registry::RunOpts` for
+//! `--baseline`, `--threshold`, `--reps`.
+
+fn main() {
+    cocnet::registry::bin_main("perf_gate");
+}

@@ -13,12 +13,17 @@
 //! cocnet validate <path>                              check scenario file(s)
 //! cocnet run <name|path> [--quick] [--points N] [--replications N]
 //!                        [--rel-ci X] [--max-replications N]
+//!                        [--scheduler heap|calendar]
 //!                        [--serial] [--json] [--no-sim] [--out json|csv]
 //!                                                     run a registry entry or a
 //!                                                     scenario JSON file
 //!                                                     (--rel-ci X replicates each
 //!                                                     point adaptively until the
-//!                                                     latency CI is within X)
+//!                                                     latency CI is within X;
+//!                                                     --scheduler picks the
+//!                                                     future-event-list backend —
+//!                                                     results are bit-identical,
+//!                                                     only speed changes)
 //!
 //! spec flags:
 //!   --org 1120|544          a Table 1 organization (default: 544), or
@@ -54,7 +59,8 @@ fn usage() -> ! {
          \x20      cocnet describe <name> [--json]\n\
          \x20      cocnet validate <path>\n\
          \x20      cocnet run <name|path> [--quick] [--points N] [--replications N] \
-         [--rel-ci X] [--max-replications N] [--serial] [--json] [--no-sim] [--out json|csv]"
+         [--rel-ci X] [--max-replications N] [--scheduler heap|calendar] [--serial] \
+         [--json] [--no-sim] [--out json|csv]"
     );
     exit(2);
 }

@@ -31,7 +31,7 @@ pub fn ablation_relax(opts: &RunOpts) {
             seed: 17,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     for (name, spec, wl, rates) in [
         (
@@ -110,7 +110,7 @@ pub fn ablation_routing(opts: &RunOpts) {
             seed: 9,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     println!("## N=1120, M=32, Lm=256 — ascent-policy ablation");
     let mut table = Table::new([
@@ -245,7 +245,7 @@ pub fn coupling_modes(opts: &RunOpts) {
             seed: 31,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     let rates = [1e-4, 2e-4, 4e-4, 6e-4, 8e-4];
     let couplings = [

@@ -28,7 +28,7 @@ pub fn hotspots(opts: &RunOpts) {
             max_events: 2_000_000_000,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     let built = BuiltSystem::build(&spec, wl.flit_bytes);
     let r = run_simulation_built(&built, &wl, Pattern::Uniform, &cfg);
@@ -81,7 +81,7 @@ pub fn utilization(opts: &RunOpts) {
             seed: 3,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     let built = BuiltSystem::build(&spec, wl.flit_bytes);
     let sim = run_simulation_built(&built, &wl, Pattern::Uniform, &cfg);

@@ -44,7 +44,7 @@ pub fn buffer_depth(opts: &RunOpts) {
             coupling: Coupling::StoreAndForward,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     let results = par_map(&jobs, |&(rate, depth)| {
         let wl = Workload::new(rate, 32, 256.0).unwrap();
@@ -108,7 +108,7 @@ pub fn bursty(opts: &RunOpts) {
             seed: 99,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     println!(
         "## N=544, M=32, Lm=256, mean rate {rate:.1e} — burstiness sweep\n\
@@ -166,7 +166,7 @@ pub fn nonuniform(opts: &RunOpts) {
             seed: 55,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     let built = BuiltSystem::build(&spec, wl.flit_bytes);
     println!("## N=544, M=32, Lm=256, rate={rate:.1e} — locality sweep");

@@ -32,7 +32,7 @@ use crate::report::{
     OutputFormat,
 };
 use crate::runner::Scenario;
-use cocnet_sim::SimConfig;
+use cocnet_sim::{SchedulerKind, SimConfig};
 use cocnet_topology::{ClusterSpec, SystemSpec};
 use cocnet_workloads::presets;
 
@@ -100,6 +100,19 @@ pub struct RunOpts {
     pub reps: Option<usize>,
     /// Output path override for `bench_snapshot`.
     pub out_file: Option<String>,
+    /// Future-event-list backend override (`--scheduler heap|calendar`):
+    /// applied to the simulation config wherever one is run. Never
+    /// changes results — both backends pop in the identical order.
+    pub scheduler: Option<SchedulerKind>,
+    /// Baseline trajectory path for `perf_gate` (default `BENCH_sim.json`).
+    pub baseline: Option<String>,
+    /// Relative events/sec regression tolerance for `perf_gate`
+    /// (default 0.30 = fail on >30% slowdown).
+    pub threshold: Option<f64>,
+    /// Measurement date (`YYYY-MM-DD`) stamped into `bench_snapshot`
+    /// entries — pass `--stamp $(date -u +%F)` (or let CI do it) so the
+    /// committed trajectory never records a `null` date.
+    pub stamp: Option<String>,
 }
 
 impl RunOpts {
@@ -136,11 +149,20 @@ impl RunOpts {
                 "--rate" => opts.rate = Some(parse_num(&take("--rate", &mut it)?, "--rate")?),
                 "--reps" => opts.reps = Some(parse_num(&take("--reps", &mut it)?, "--reps")?),
                 "--out-file" => opts.out_file = Some(take("--out-file", &mut it)?),
+                "--scheduler" => {
+                    opts.scheduler = Some(take("--scheduler", &mut it)?.parse()?);
+                }
+                "--baseline" => opts.baseline = Some(take("--baseline", &mut it)?),
+                "--threshold" => {
+                    opts.threshold = Some(parse_num(&take("--threshold", &mut it)?, "--threshold")?)
+                }
+                "--stamp" => opts.stamp = Some(take("--stamp", &mut it)?),
                 other => {
                     return Err(format!(
                         "unknown argument {other:?} (flags: --quick --serial --json --no-sim \
                          --points N --replications N --rel-ci X --max-replications N \
-                         --out json|csv --rate λ --reps N --out-file PATH)"
+                         --out json|csv --rate λ --reps N --out-file PATH \
+                         --scheduler heap|calendar --baseline PATH --threshold X --stamp DATE)"
                     ))
                 }
             }
@@ -162,18 +184,40 @@ impl RunOpts {
         if opts.max_replications == Some(0) {
             return Err("--max-replications must be >= 1".into());
         }
+        if let Some(threshold) = opts.threshold {
+            // A relative slowdown is bounded by -100%, so a threshold of
+            // 1.0 or more can never trip — a silently vacuous gate.
+            if !(threshold.is_finite() && threshold > 0.0 && threshold < 1.0) {
+                return Err(format!(
+                    "--threshold is a regression fraction in (0, 1), e.g. 0.3 \
+                     for 30% (got {threshold})"
+                ));
+            }
+        }
+        if let Some(stamp) = &opts.stamp {
+            let bytes = stamp.as_bytes();
+            let shaped = bytes.len() == 10
+                && bytes.iter().enumerate().all(|(i, b)| match i {
+                    4 | 7 => *b == b'-',
+                    _ => b.is_ascii_digit(),
+                });
+            if !shaped {
+                return Err(format!("--stamp must be YYYY-MM-DD (got {stamp:?})"));
+            }
+        }
         Ok(opts)
     }
 
-    /// The `--quick` transformation of a simulation config: population
-    /// sizes capped at the historical 2k/20k/2k smoke values, everything
-    /// else (seed, coupling…) untouched.
+    /// The flag transformation of a simulation config: `--quick` caps the
+    /// population sizes at the historical 2k/20k/2k smoke values and
+    /// `--scheduler` selects the future-event-list backend; everything
+    /// else (seed, coupling…) stays untouched.
     pub fn sim_config(&self, base: &SimConfig) -> SimConfig {
-        if self.quick {
-            quick_sim(base)
-        } else {
-            *base
+        let mut cfg = if self.quick { quick_sim(base) } else { *base };
+        if let Some(scheduler) = self.scheduler {
+            cfg.scheduler = scheduler;
         }
+        cfg
     }
 }
 
@@ -204,9 +248,10 @@ pub fn quick_sim(base: &SimConfig) -> SimConfig {
 
 /// Scales a custom experiment's fixed simulation config down 10× under
 /// `--quick` (the custom entries already run reduced populations by
-/// default; `--quick` makes them CI-smoke cheap).
-pub fn scaled(base: &SimConfig, quick: bool) -> SimConfig {
-    if quick {
+/// default; `--quick` makes them CI-smoke cheap) and applies the
+/// `--scheduler` backend override.
+pub fn scaled(base: &SimConfig, opts: &RunOpts) -> SimConfig {
+    let mut cfg = if opts.quick {
         SimConfig {
             warmup: (base.warmup / 10).max(1),
             measured: (base.measured / 10).max(1),
@@ -215,7 +260,11 @@ pub fn scaled(base: &SimConfig, quick: bool) -> SimConfig {
         }
     } else {
         *base
+    };
+    if let Some(scheduler) = opts.scheduler {
+        cfg.scheduler = scheduler;
     }
+    cfg
 }
 
 /// The 48-node benchmark system shared by `engine_agreement`,
@@ -453,6 +502,13 @@ pub static ENTRIES: &[Entry] = &[
         paper_ref: "-",
         summary: "events/sec snapshot appended to the BENCH_sim.json trajectory",
         kind: Kind::Custom(perf::bench_snapshot),
+    },
+    Entry {
+        name: "perf_gate",
+        group: Group::Perf,
+        paper_ref: "-",
+        summary: "CI regression gate: quick snapshot vs the last full BENCH_sim.json entry",
+        kind: Kind::Custom(perf::perf_gate),
     },
 ];
 
@@ -715,9 +771,53 @@ mod tests {
             ..SimConfig::default()
         };
         assert_eq!(quick_sim(&small), small);
-        let s = scaled(&base, true);
+        let quick = RunOpts {
+            quick: true,
+            ..RunOpts::default()
+        };
+        let s = scaled(&base, &quick);
         assert_eq!((s.warmup, s.measured, s.drain), (1_000, 10_000, 1_000));
-        assert_eq!(scaled(&base, false), base);
+        assert_eq!(scaled(&base, &RunOpts::default()), base);
+    }
+
+    #[test]
+    fn scheduler_flag_threads_into_sim_configs() {
+        let opts = RunOpts::parse(&["--scheduler".into(), "calendar".into()]).unwrap();
+        assert_eq!(opts.scheduler, Some(SchedulerKind::Calendar));
+        let base = SimConfig::default();
+        assert_eq!(opts.sim_config(&base).scheduler, SchedulerKind::Calendar);
+        assert_eq!(scaled(&base, &opts).scheduler, SchedulerKind::Calendar);
+        // Everything else stays untouched, and no flag means no override.
+        assert_eq!(opts.sim_config(&base).seed, base.seed);
+        assert_eq!(
+            RunOpts::default().sim_config(&base).scheduler,
+            SchedulerKind::Heap
+        );
+        assert!(RunOpts::parse(&["--scheduler".into(), "ladder".into()]).is_err());
+    }
+
+    #[test]
+    fn gate_flags_validate_at_parse_time() {
+        let ok = RunOpts::parse(&[
+            "--baseline".into(),
+            "BENCH_sim.json".into(),
+            "--threshold".into(),
+            "0.3".into(),
+            "--stamp".into(),
+            "2026-07-30".into(),
+        ])
+        .unwrap();
+        assert_eq!(ok.baseline.as_deref(), Some("BENCH_sim.json"));
+        assert_eq!(ok.threshold, Some(0.3));
+        assert_eq!(ok.stamp.as_deref(), Some("2026-07-30"));
+        assert!(RunOpts::parse(&["--threshold".into(), "0".into()]).is_err());
+        assert!(RunOpts::parse(&["--threshold".into(), "nan".into()]).is_err());
+        // A threshold >= 1.0 could never trip (slowdowns bottom out at
+        // -100%) — reject the vacuous gate instead of running it.
+        assert!(RunOpts::parse(&["--threshold".into(), "1.0".into()]).is_err());
+        assert!(RunOpts::parse(&["--threshold".into(), "30".into()]).is_err());
+        assert!(RunOpts::parse(&["--stamp".into(), "July 30".into()]).is_err());
+        assert!(RunOpts::parse(&["--stamp".into(), "2026-7-30".into()]).is_err());
     }
 
     #[test]

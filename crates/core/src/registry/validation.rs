@@ -26,7 +26,7 @@ pub fn validation(opts: &RunOpts) {
             seed: 42,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     for (name, spec, wl, rates) in [
         (
@@ -119,7 +119,7 @@ pub fn baseline(opts: &RunOpts) {
             seed: 12,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     for (name, spec, rates) in [
         ("N=1120 (Table 1)", presets::org_1120(), [1e-4, 2e-4, 3e-4]),
@@ -193,7 +193,7 @@ pub fn engine_agreement(opts: &RunOpts) {
             collect_percentiles: true,
             ..SimConfig::default()
         },
-        opts.quick,
+        opts,
     );
     println!("## worm engine vs flit-level reference (N=48, M=32, Lm=256)");
     let mut table = Table::new([

@@ -35,6 +35,47 @@ pub enum Coupling {
     CutThrough,
 }
 
+/// Which future-event-list backend the engines run on.
+///
+/// Both backends pop events in the identical `(time, seq)` earliest-first
+/// order (see [`crate::events`]), so the choice never changes a seeded
+/// run's results — only its wall-clock cost. Selectable per scenario
+/// (`"sim": {"scheduler": "Calendar"}`) or from the CLI
+/// (`cocnet run … --scheduler calendar`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Binary-heap future-event list: O(log n) push/pop (default, the
+    /// historical backend).
+    #[default]
+    Heap,
+    /// Self-resizing calendar queue: amortized O(1) push/pop on banded
+    /// timestamp distributions.
+    Calendar,
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "heap" => Ok(SchedulerKind::Heap),
+            "calendar" => Ok(SchedulerKind::Calendar),
+            other => Err(format!(
+                "unknown scheduler {other:?} (use \"heap\" or \"calendar\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        })
+    }
+}
+
 /// Configuration of one simulation run.
 ///
 /// The defaults reproduce the paper's methodology (§4): 10 000 warm-up
@@ -79,6 +120,9 @@ pub struct SimConfig {
     /// truncation point exceeds the configured `warmup`. Costs one `f64`
     /// per audited message; never perturbs the simulation itself.
     pub audit_warmup: bool,
+    /// Future-event-list backend (see [`SchedulerKind`]). Never changes
+    /// results — both backends pop in the identical order — only speed.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SimConfig {
@@ -96,6 +140,7 @@ impl Default for SimConfig {
             adaptive_routing: false,
             collect_percentiles: false,
             audit_warmup: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 }
@@ -117,6 +162,7 @@ impl SimConfig {
             adaptive_routing: false,
             collect_percentiles: false,
             audit_warmup: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -137,6 +183,19 @@ mod tests {
         assert_eq!(c.measured, 100_000);
         assert_eq!(c.drain, 10_000);
         assert_eq!(c.total_messages(), 120_000);
+    }
+
+    #[test]
+    fn scheduler_kind_parses_cli_names() {
+        assert_eq!("heap".parse::<SchedulerKind>(), Ok(SchedulerKind::Heap));
+        assert_eq!(
+            "calendar".parse::<SchedulerKind>(),
+            Ok(SchedulerKind::Calendar)
+        );
+        assert!("Heap".parse::<SchedulerKind>().is_err());
+        assert!("ladder".parse::<SchedulerKind>().is_err());
+        assert_eq!(SchedulerKind::Calendar.to_string(), "calendar");
+        assert_eq!(SimConfig::default().scheduler, SchedulerKind::Heap);
     }
 
     #[test]

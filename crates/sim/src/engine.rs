@@ -38,8 +38,8 @@
 //! [`SimResults::peak_live_msgs`]: crate::results::SimResults::peak_live_msgs
 
 use crate::build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta};
-use crate::config::{Coupling, SimConfig};
-use crate::events::EventQueue;
+use crate::config::{Coupling, SchedulerKind, SimConfig};
+use crate::events::{CalendarQueue, EventQueue, Scheduler};
 use crate::results::{exact_percentiles, SimResults, WarmupAudit};
 use crate::trace::{MessageTrace, TraceEvent, TraceEventKind};
 use cocnet_model::Workload;
@@ -145,7 +145,7 @@ struct DynRoute {
     segs: [SegMeta; 3],
 }
 
-struct Simulator<'a, const TRACE: bool> {
+struct Simulator<'a, S: Scheduler<EventKind>, const TRACE: bool> {
     built: &'a BuiltSystem,
     routes: &'a RouteTable,
     cfg: SimConfig,
@@ -154,7 +154,9 @@ struct Simulator<'a, const TRACE: bool> {
     arrivals: Vec<ArrivalProcess>,
     pattern: Pattern,
     rng: StdRng,
-    queue: EventQueue<EventKind>,
+    /// The future-event list — monomorphized per backend, no dyn
+    /// dispatch in the hot loop.
+    queue: S,
     chans: Vec<Chan>,
     /// Message slab; `free` holds the slots of delivered messages.
     msgs: Vec<Msg>,
@@ -184,7 +186,7 @@ struct Simulator<'a, const TRACE: bool> {
     audit: Option<Vec<f64>>,
 }
 
-impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
+impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
     fn new(
         built: &'a BuiltSystem,
         wl: &Workload,
@@ -214,7 +216,7 @@ impl<'a, const TRACE: bool> Simulator<'a, TRACE> {
             arrivals: vec![arrival.build(); built.total_nodes()],
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
-            queue: EventQueue::new(),
+            queue: S::new(),
             chans,
             msgs: Vec::new(),
             free: Vec::new(),
@@ -597,8 +599,10 @@ pub fn run_simulation(
     run_simulation_built(&built, wl, pattern, cfg)
 }
 
-/// Dispatches over the `TRACE` monomorphisation: runs with tracing code
-/// compiled in only when the configuration asks for traces.
+/// Dispatches over the `TRACE` and scheduler monomorphisations: tracing
+/// code is compiled in only when the configuration asks for traces, and
+/// the selected future-event-list backend is a concrete type in the hot
+/// loop (no dyn dispatch).
 fn dispatch(
     built: &BuiltSystem,
     wl: &Workload,
@@ -606,10 +610,21 @@ fn dispatch(
     cfg: SimConfig,
     arrival: ArrivalSpec,
 ) -> SimResults {
-    if cfg.trace_messages > 0 {
-        Simulator::<true>::new(built, wl, pattern, cfg, arrival).run()
-    } else {
-        Simulator::<false>::new(built, wl, pattern, cfg, arrival).run()
+    type Heap = EventQueue<EventKind>;
+    type Calendar = CalendarQueue<EventKind>;
+    match (cfg.scheduler, cfg.trace_messages > 0) {
+        (SchedulerKind::Heap, true) => {
+            Simulator::<Heap, true>::new(built, wl, pattern, cfg, arrival).run()
+        }
+        (SchedulerKind::Heap, false) => {
+            Simulator::<Heap, false>::new(built, wl, pattern, cfg, arrival).run()
+        }
+        (SchedulerKind::Calendar, true) => {
+            Simulator::<Calendar, true>::new(built, wl, pattern, cfg, arrival).run()
+        }
+        (SchedulerKind::Calendar, false) => {
+            Simulator::<Calendar, false>::new(built, wl, pattern, cfg, arrival).run()
+        }
     }
 }
 
@@ -679,6 +694,7 @@ mod tests {
             adaptive_routing: false,
             collect_percentiles: false,
             audit_warmup: false,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -705,6 +721,41 @@ mod tests {
             .t_cn(256.0);
         assert!(r.latency.mean > (m - 1.0) * t_fast);
         assert!(r.latency.mean < 150.0, "mean {} too high", r.latency.mean);
+    }
+
+    #[test]
+    fn calendar_scheduler_bit_identical_to_heap() {
+        // The scheduler backend must never change results: same seed,
+        // both couplings, adaptive routing, traced and untraced — every
+        // statistic f64-bit-equal between the heap and the calendar.
+        for adaptive in [false, true] {
+            for coupling in [
+                Coupling::VirtualCutThrough,
+                Coupling::StoreAndForward,
+                Coupling::CutThrough,
+            ] {
+                let base = SimConfig {
+                    coupling,
+                    adaptive_routing: adaptive,
+                    ..tiny_cfg(23)
+                };
+                let heap = run_simulation(&spec(), &wl(6e-4), Pattern::Uniform, &base);
+                let cal = run_simulation(
+                    &spec(),
+                    &wl(6e-4),
+                    Pattern::Uniform,
+                    &SimConfig {
+                        scheduler: SchedulerKind::Calendar,
+                        ..base
+                    },
+                );
+                assert!(heap.completed && cal.completed);
+                assert_eq!(heap.latency, cal.latency, "{coupling:?}/{adaptive}");
+                assert_eq!(heap.sim_time.to_bits(), cal.sim_time.to_bits());
+                assert_eq!(heap.events_processed, cal.events_processed);
+                assert_eq!(heap.channel_busy, cal.channel_busy);
+            }
+        }
     }
 
     #[test]

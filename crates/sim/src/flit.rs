@@ -29,8 +29,8 @@
 //! recycled through a free list, and the heap/FIFOs retain capacity.
 
 use crate::build::{BuiltSystem, RouteRef, RouteTable, SegMeta};
-use crate::config::SimConfig;
-use crate::events::EventQueue;
+use crate::config::{SchedulerKind, SimConfig};
+use crate::events::{CalendarQueue, EventQueue, Scheduler};
 use crate::results::{exact_percentiles, SimResults, WarmupAudit};
 use cocnet_model::Workload;
 use cocnet_stats::{Histogram, OnlineStats, Percentiles};
@@ -114,7 +114,7 @@ impl MsgF {
     };
 }
 
-struct FlitSimulator<'a> {
+struct FlitSimulator<'a, S: Scheduler<EventKind>> {
     built: &'a BuiltSystem,
     routes: &'a RouteTable,
     cfg: SimConfig,
@@ -123,7 +123,8 @@ struct FlitSimulator<'a> {
     lambda: f64,
     pattern: Pattern,
     rng: StdRng,
-    queue: EventQueue<EventKind>,
+    /// The future-event list — monomorphized per backend.
+    queue: S,
     chans: Vec<ChanF>,
     msgs: Vec<MsgF>,
     free: Vec<u32>,
@@ -145,7 +146,7 @@ struct FlitSimulator<'a> {
     audit: Option<Vec<f64>>,
 }
 
-impl<'a> FlitSimulator<'a> {
+impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
     fn new(built: &'a BuiltSystem, wl: &Workload, pattern: Pattern, cfg: SimConfig) -> Self {
         assert!(wl.lambda_g > 0.0, "simulation needs a positive rate");
         let chans = (0..built.num_channels())
@@ -170,7 +171,7 @@ impl<'a> FlitSimulator<'a> {
             lambda: wl.lambda_g,
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
-            queue: EventQueue::new(),
+            queue: S::new(),
             chans,
             msgs: Vec::new(),
             free: Vec::new(),
@@ -494,7 +495,14 @@ pub fn run_simulation_flit_built(
     pattern: Pattern,
     cfg: &SimConfig,
 ) -> SimResults {
-    FlitSimulator::new(built, wl, pattern, *cfg).run()
+    match cfg.scheduler {
+        SchedulerKind::Heap => {
+            FlitSimulator::<EventQueue<EventKind>>::new(built, wl, pattern, *cfg).run()
+        }
+        SchedulerKind::Calendar => {
+            FlitSimulator::<CalendarQueue<EventKind>>::new(built, wl, pattern, *cfg).run()
+        }
+    }
 }
 #[cfg(test)]
 mod tests {
@@ -533,6 +541,25 @@ mod tests {
         assert!(a.completed);
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.delivered_recorded, 3_000);
+    }
+
+    #[test]
+    fn calendar_scheduler_bit_identical_to_heap() {
+        let wl = Workload::new(4e-4, 8, 256.0).unwrap();
+        let heap = run_simulation_flit(&spec(), &wl, Pattern::Uniform, &cfg(2));
+        let cal = run_simulation_flit(
+            &spec(),
+            &wl,
+            Pattern::Uniform,
+            &SimConfig {
+                scheduler: SchedulerKind::Calendar,
+                ..cfg(2)
+            },
+        );
+        assert!(heap.completed && cal.completed);
+        assert_eq!(heap.latency, cal.latency);
+        assert_eq!(heap.sim_time.to_bits(), cal.sim_time.to_bits());
+        assert_eq!(heap.events_processed, cal.events_processed);
     }
 
     #[test]

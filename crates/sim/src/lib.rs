@@ -31,15 +31,16 @@
 pub mod build;
 pub mod config;
 pub mod engine;
-mod events;
+pub mod events;
 pub mod flit;
 pub mod replicate;
 pub mod results;
 pub mod trace;
 
 pub use build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta, Segment};
-pub use config::{Coupling, SimConfig};
+pub use config::{Coupling, SchedulerKind, SimConfig};
 pub use engine::{run_simulation, run_simulation_arrivals, run_simulation_built};
+pub use events::{CalendarQueue, EventQueue, Scheduler, Timed};
 pub use flit::{run_simulation_flit, run_simulation_flit_built};
 pub use replicate::{
     replicate, replicate_parallel, summarize, ReplicationAccumulator, ReplicationSummary,

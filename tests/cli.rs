@@ -374,6 +374,94 @@ fn run_subcommand_rejects_misused_precision_flags() {
 }
 
 #[test]
+fn run_subcommand_scheduler_flag_is_output_invariant() {
+    // The calendar backend must not change a single byte of the figures:
+    // same entry, both schedulers, identical stdout (the sweep banner on
+    // stderr differs only in timing).
+    let heap = run(&["run", "fig5", "--quick", "--points", "2", "--out", "csv"]);
+    let calendar = run(&[
+        "run",
+        "fig5",
+        "--quick",
+        "--points",
+        "2",
+        "--out",
+        "csv",
+        "--scheduler",
+        "calendar",
+    ]);
+    assert!(heap.2 && calendar.2, "{} {}", heap.1, calendar.1);
+    assert_eq!(heap.0, calendar.0, "scheduler changed published numbers");
+    // An unknown backend dies at parse time, naming the valid ones.
+    let (_, stderr, ok) = run(&["run", "fig5", "--scheduler", "ladder"]);
+    assert!(!ok);
+    assert!(stderr.contains("heap"), "{stderr}");
+    assert!(stderr.contains("calendar"), "{stderr}");
+}
+
+#[test]
+fn perf_gate_fails_on_synthetic_slowdown_and_passes_against_itself() {
+    // A baseline claiming absurdly high events/sec makes every measured
+    // case a >30% regression: the gate must print the delta table and
+    // exit non-zero. (This is the committed workflow's failure mode,
+    // tested locally with a doctored baseline.)
+    let dir = std::env::temp_dir().join("cocnet_cli_perf_gate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let inflated = dir.join("inflated.json");
+    let case = |name: &str| {
+        format!(
+            r#"{{"name":"{name}","messages":1,"events":1,"wall_s":1.0,
+                 "events_per_sec":1e15,"messages_per_sec":1.0,"peak_live_msgs":1}}"#
+        )
+    };
+    std::fs::write(
+        &inflated,
+        format!(
+            r#"{{"trajectory":[{{"mode":"full","reps":1,"cases":[{},{}]}}]}}"#,
+            case("high_load/heap"),
+            case("high_load/calendar"),
+        ),
+    )
+    .unwrap();
+    let (stdout, stderr, ok) = run(&[
+        "run",
+        "perf_gate",
+        "--quick",
+        "--baseline",
+        inflated.to_str().unwrap(),
+        "--reps",
+        "1",
+    ]);
+    assert!(!ok, "inflated baseline must trip the gate");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("high_load/heap"), "{stdout}");
+    assert!(stderr.contains("regressed"), "{stderr}");
+    // A baseline with no case in common is a vacuous gate — also fatal.
+    let alien = dir.join("alien.json");
+    std::fs::write(
+        &alien,
+        format!(
+            r#"{{"trajectory":[{{"mode":"full","reps":1,"cases":[{}]}}]}}"#,
+            case("no_such_case")
+        ),
+    )
+    .unwrap();
+    let (_, stderr, ok) = run(&[
+        "run",
+        "perf_gate",
+        "--quick",
+        "--baseline",
+        alien.to_str().unwrap(),
+        "--reps",
+        "1",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("no case in common"), "{stderr}");
+    std::fs::remove_file(&inflated).unwrap();
+    std::fs::remove_file(&alien).unwrap();
+}
+
+#[test]
 fn run_subcommand_table_entry_matches_binary_output() {
     // The registry path and the thin `table1` binary share one code path;
     // spot-check the CLI side produces the table.

@@ -1,7 +1,10 @@
 //! Seed-pinned golden statistics: the interned-route/slab rework of the
 //! simulators must be **bit-identical** to the PR-1 seed behaviour. Each
 //! case pins `latency.mean` (as raw f64 bits), the recorded count, the
-//! generated population and the final simulation clock for a fixed seed.
+//! generated population and the final simulation clock for a fixed seed —
+//! and every case is checked under **both** event-scheduler backends
+//! (binary heap and calendar queue), so a backend can never drift from
+//! the pinned seed behaviour.
 //!
 //! If a change legitimately alters simulation semantics (not just its
 //! implementation), regenerate the constants with
@@ -9,7 +12,7 @@
 //! and say so loudly in the PR.
 
 use cocnet::prelude::*;
-use cocnet::sim::{run_simulation_flit, Coupling};
+use cocnet::sim::{run_simulation_flit, Coupling, SchedulerKind};
 
 fn hetero_spec() -> SystemSpec {
     let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
@@ -34,12 +37,13 @@ fn wide_spec() -> SystemSpec {
     SystemSpec::new(8, clusters, net2).unwrap()
 }
 
-fn cfg(seed: u64) -> SimConfig {
+fn cfg_with(seed: u64, scheduler: SchedulerKind) -> SimConfig {
     SimConfig {
         warmup: 500,
         measured: 5_000,
         drain: 500,
         seed,
+        scheduler,
         ..SimConfig::default()
     }
 }
@@ -53,14 +57,14 @@ struct Golden {
     sim_time_bits: u64,
 }
 
-fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
+fn observe(scheduler: SchedulerKind) -> Vec<(&'static str, cocnet::sim::SimResults)> {
     let wl = Workload::new(2e-4, 32, 256.0).unwrap();
     let hetero = hetero_spec();
     let wide = wide_spec();
     vec![
         (
             "vct_uniform",
-            run_simulation(&hetero, &wl, Pattern::Uniform, &cfg(99)),
+            run_simulation(&hetero, &wl, Pattern::Uniform, &cfg_with(99, scheduler)),
         ),
         (
             "saf_uniform",
@@ -70,7 +74,7 @@ fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
                 Pattern::Uniform,
                 &SimConfig {
                     coupling: Coupling::StoreAndForward,
-                    ..cfg(99)
+                    ..cfg_with(99, scheduler)
                 },
             ),
         ),
@@ -82,7 +86,7 @@ fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
                 Pattern::Uniform,
                 &SimConfig {
                     coupling: Coupling::CutThrough,
-                    ..cfg(99)
+                    ..cfg_with(99, scheduler)
                 },
             ),
         ),
@@ -94,7 +98,7 @@ fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
                 Pattern::Uniform,
                 &SimConfig {
                     adaptive_routing: true,
-                    ..cfg(99)
+                    ..cfg_with(99, scheduler)
                 },
             ),
         ),
@@ -106,7 +110,7 @@ fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
                 Pattern::Uniform,
                 &SimConfig {
                     coupling: Coupling::StoreAndForward,
-                    ..cfg(99)
+                    ..cfg_with(99, scheduler)
                 },
             ),
         ),
@@ -116,12 +120,12 @@ fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
                 &hetero,
                 &wl,
                 Pattern::ClusterLocal { locality: 0.8 },
-                &cfg(7),
+                &cfg_with(7, scheduler),
             ),
         ),
         (
             "vct_wide_m8_complement",
-            run_simulation(&wide, &wl, Pattern::Complement, &cfg(1234)),
+            run_simulation(&wide, &wl, Pattern::Complement, &cfg_with(1234, scheduler)),
         ),
     ]
 }
@@ -130,7 +134,7 @@ fn observe() -> Vec<(&'static str, cocnet::sim::SimResults)> {
 #[test]
 #[ignore]
 fn print_golden_values() {
-    for (name, r) in observe() {
+    for (name, r) in observe(SchedulerKind::Heap) {
         println!(
             "    Golden {{ name: \"{name}\", mean_bits: 0x{:016x}, count: {}, generated: {}, sim_time_bits: 0x{:016x} }},",
             r.latency.mean.to_bits(),
@@ -194,32 +198,51 @@ const GOLDEN: &[Golden] = &[
     },
 ];
 
+/// Checks one backend's observations against the pinned constants.
+fn assert_matches_golden(scheduler: SchedulerKind) {
+    let observed = observe(scheduler);
+    assert_eq!(observed.len(), GOLDEN.len());
+    for (g, (name, r)) in GOLDEN.iter().zip(&observed) {
+        assert_eq!(g.name, *name, "case order changed");
+        assert!(r.completed, "{name} [{scheduler}]: run must complete");
+        assert_eq!(
+            g.mean_bits,
+            r.latency.mean.to_bits(),
+            "{name} [{scheduler}]: latency.mean drifted ({} vs expected {})",
+            r.latency.mean,
+            f64::from_bits(g.mean_bits),
+        );
+        assert_eq!(
+            g.count, r.latency.count,
+            "{name} [{scheduler}]: latency.count drifted"
+        );
+        assert_eq!(
+            g.generated, r.generated,
+            "{name} [{scheduler}]: generated drifted"
+        );
+        assert_eq!(
+            g.sim_time_bits,
+            r.sim_time.to_bits(),
+            "{name} [{scheduler}]: sim_time drifted ({} vs expected {})",
+            r.sim_time,
+            f64::from_bits(g.sim_time_bits),
+        );
+    }
+}
+
 #[test]
 fn statistics_bit_identical_to_seed_behaviour() {
     assert!(
         !GOLDEN.is_empty(),
         "golden table is empty; regenerate with print_golden_values"
     );
-    let observed = observe();
-    assert_eq!(observed.len(), GOLDEN.len());
-    for (g, (name, r)) in GOLDEN.iter().zip(&observed) {
-        assert_eq!(g.name, *name, "case order changed");
-        assert!(r.completed, "{name}: run must complete");
-        assert_eq!(
-            g.mean_bits,
-            r.latency.mean.to_bits(),
-            "{name}: latency.mean drifted ({} vs expected {})",
-            r.latency.mean,
-            f64::from_bits(g.mean_bits),
-        );
-        assert_eq!(g.count, r.latency.count, "{name}: latency.count drifted");
-        assert_eq!(g.generated, r.generated, "{name}: generated drifted");
-        assert_eq!(
-            g.sim_time_bits,
-            r.sim_time.to_bits(),
-            "{name}: sim_time drifted ({} vs expected {})",
-            r.sim_time,
-            f64::from_bits(g.sim_time_bits),
-        );
-    }
+    assert_matches_golden(SchedulerKind::Heap);
+}
+
+#[test]
+fn calendar_scheduler_matches_the_same_goldens() {
+    // The scheduler backend is pure mechanism: the calendar queue must
+    // reproduce the PR-1 seed statistics f64-bit-exactly, same as the
+    // heap — across couplings, adaptive routing and the flit engine.
+    assert_matches_golden(SchedulerKind::Calendar);
 }

@@ -94,6 +94,20 @@ fn table_paths_still_hold() {
 }
 
 #[test]
+fn calendar_scheduler_sweep_bit_identical_to_heap() {
+    // The whole scenario path — parallel sweep included — must be
+    // backend-invariant: a fig5 sweep under the calendar queue produces
+    // the exact series the heap does, point for point.
+    let cfg = figure_config(Figure::Fig5);
+    let heap = figure_scenario(&cfg, &tiny_sim(), 3);
+    let mut calendar = heap.clone();
+    calendar.sim.scheduler = cocnet::sim::SchedulerKind::Calendar;
+    assert_eq!(heap.run_sim(), calendar.run_sim());
+    // And the serial reference agrees too, closing the square.
+    assert_eq!(calendar.run_sim(), calendar.run_sim_serial());
+}
+
+#[test]
 fn parallel_sweep_bit_identical_to_serial_reference() {
     let cfg = figure_config(Figure::Fig5);
     let scenario = figure_scenario(&cfg, &tiny_sim(), 3).with_replications(2);
