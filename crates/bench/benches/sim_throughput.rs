@@ -13,7 +13,10 @@ use std::hint::black_box;
 
 use cocnet::model::Workload;
 use cocnet::presets;
-use cocnet::sim::{run_simulation, run_simulation_built, BuiltSystem, SchedulerKind, SimConfig};
+use cocnet::sim::{
+    run_simulation, run_simulation_built, BuiltSystem, FaultAction, FaultEvent, FaultSchedule,
+    SchedulerKind, SimConfig,
+};
 use cocnet::topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
 use cocnet_workloads::Pattern;
 
@@ -71,6 +74,32 @@ fn bench_sim_load(c: &mut Criterion) {
     let inter = Workload::new(4e-4, 32, 256.0).unwrap();
     let built_inter = BuiltSystem::build(&spec, inter.flit_bytes);
     let pattern = Pattern::ClusterLocal { locality: 0.0 };
+    // Fault path: a timed fail/repair pulse on node 0's injection link —
+    // measures drop/retry/backoff overhead against the zero-fault cases.
+    let light = Workload::new(2e-4, 32, 256.0).unwrap();
+    let injection_link = {
+        let routes = built.route_table();
+        let r = routes.route_ref(0, 1);
+        routes.chans()[routes.seg_meta(r, 0).start as usize]
+    };
+    let faults = FaultSchedule {
+        events: vec![
+            FaultEvent {
+                time: 0.0,
+                link: injection_link,
+                action: FaultAction::Fail,
+            },
+            FaultEvent {
+                time: 10_000.0,
+                link: injection_link,
+                action: FaultAction::Repair,
+            },
+        ],
+        max_attempts: 64,
+        retry_timeout: 100.0,
+        max_timeout: 800.0,
+        ..FaultSchedule::default()
+    };
     for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
         let cfg = SimConfig {
             scheduler,
@@ -81,6 +110,15 @@ fn bench_sim_load(c: &mut Criterion) {
         });
         group.bench_function(format!("inter_cluster_heavy/{scheduler}"), |b| {
             b.iter(|| run_simulation_built(black_box(&built_inter), &inter, pattern, &cfg))
+        });
+        let cfg_faulted = SimConfig {
+            faults: faults.clone(),
+            ..cfg
+        };
+        group.bench_function(format!("faulted_pulse_retry/{scheduler}"), |b| {
+            b.iter(|| {
+                run_simulation_built(black_box(&built), &light, Pattern::Uniform, &cfg_faulted)
+            })
         });
     }
     group.finish();

@@ -86,7 +86,7 @@ pub fn figure_config(fig: Figure) -> FigureConfig {
 pub fn figure_scenario(cfg: &FigureConfig, sim: &cocnet_sim::SimConfig, points: usize) -> Scenario {
     let mut scenario = Scenario::new(cfg.title.clone(), cfg.spec.clone())
         .with_grid(cfg.max_rate, points)
-        .with_sim(*sim);
+        .with_sim(sim.clone());
     for (suffix, wl) in &cfg.workloads {
         scenario = scenario.with_workload(suffix.clone(), *wl);
     }

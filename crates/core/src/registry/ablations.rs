@@ -58,7 +58,7 @@ pub fn ablation_relax(opts: &RunOpts) {
         let scenario = Scenario::new(name, spec.clone())
             .with_workload("Lm=256", wl)
             .with_rates(rates.to_vec())
-            .with_sim(sim_cfg);
+            .with_sim(sim_cfg.clone());
         let points = scenario.run_sim_detailed().remove(0);
         for point in points {
             let rate = point.rate;
@@ -149,7 +149,7 @@ pub fn ablation_routing(opts: &RunOpts) {
         let built = BuiltSystem::build(&spec, wl.flit_bytes);
         let adaptive_cfg = SimConfig {
             adaptive_routing: true,
-            ..cfg
+            ..cfg.clone()
         };
         push_run(&built, &adaptive_cfg, &mut cells);
         cells
@@ -263,7 +263,10 @@ pub fn coupling_modes(opts: &RunOpts) {
             lambda_g: rate,
             ..wl
         };
-        let cfg = SimConfig { coupling, ..base };
+        let cfg = SimConfig {
+            coupling,
+            ..base.clone()
+        };
         let r = run_simulation(&spec, &w, Pattern::Uniform, &cfg);
         if r.completed {
             format!("{:.2}", r.latency.mean)

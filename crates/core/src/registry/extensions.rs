@@ -9,10 +9,10 @@ use cocnet_model::{
 };
 use cocnet_sim::{
     run_simulation_arrivals, run_simulation_built, run_simulation_flit_built, BuiltSystem,
-    Coupling, SimConfig,
+    Coupling, FaultAction, FaultEvent, FaultSchedule, SimConfig,
 };
 use cocnet_stats::Table;
-use cocnet_topology::{ClusterSpec, SystemSpec};
+use cocnet_topology::{AscentPolicy, ClusterSpec, SystemSpec};
 use cocnet_workloads::{presets, ArrivalSpec, Pattern};
 
 /// Extension experiment: relaxing assumption 6 (single-flit buffers).
@@ -50,7 +50,7 @@ pub fn buffer_depth(opts: &RunOpts) {
         let wl = Workload::new(rate, 32, 256.0).unwrap();
         let cfg = SimConfig {
             flit_buffer_depth: depth,
-            ..base
+            ..base.clone()
         };
         let r = run_simulation_flit_built(&built, &wl, Pattern::Uniform, &cfg);
         if r.completed {
@@ -199,6 +199,157 @@ pub fn nonuniform(opts: &RunOpts) {
          bypasses the concentrators: latency falls and the model error shrinks\n\
          (the documented inter-cluster offset applies only to outgoing traffic)."
     );
+}
+
+/// Robustness extension: graceful degradation under link failures.
+///
+/// Sweeps the statically failed-link fraction on the 48-node system and
+/// reports, for each fraction, the latency of what still gets through and
+/// the delivered fraction — the graceful-degradation curve. The fault
+/// masks are nested prefixes of one seeded permutation
+/// ([`FaultSchedule::link_fraction`]), so the delivered fraction is
+/// monotone non-increasing by construction and the entry asserts it.
+/// Surviving traffic reroutes around the failed links at build time
+/// (fault-aware Up*/Down*); statically partitioned pairs are written off
+/// as unreachable at generation, so even the 100 % row terminates by
+/// draining its event queue rather than hanging.
+///
+/// A second mini-table exercises the *timed* fault path: one fail/repair
+/// pulse on a live link mid-run, showing drop → retry-with-backoff →
+/// recovery with nothing silently lost.
+///
+/// The fraction points run concurrently via the runner's [`par_map`].
+pub fn degradation(opts: &RunOpts) {
+    let spec = small_spec_48();
+    let wl = Workload::new(2e-4, 32, 256.0).unwrap();
+    let base = scaled(
+        &SimConfig {
+            warmup: 1_000,
+            measured: 10_000,
+            drain: 1_000,
+            seed: 31,
+            ..SimConfig::default()
+        },
+        opts,
+    );
+    let fractions = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0];
+    let runs = par_map(&fractions, |&fraction| {
+        let faults = FaultSchedule {
+            link_fraction: fraction,
+            ..FaultSchedule::default()
+        };
+        let built =
+            BuiltSystem::try_build_with(&spec, wl.flit_bytes, AscentPolicy::default(), &faults)
+                .unwrap();
+        let cfg = SimConfig {
+            faults,
+            ..base.clone()
+        };
+        let failed = built.static_failed().iter().filter(|&&f| f).count();
+        (
+            failed,
+            run_simulation_built(&built, &wl, Pattern::Uniform, &cfg),
+        )
+    });
+
+    println!("## N=48, M=32, Lm=256 — graceful degradation vs failed-link fraction");
+    let mut table = Table::new([
+        "failed frac",
+        "failed links",
+        "latency",
+        "delivered frac",
+        "unreachable",
+        "stop reason",
+    ]);
+    for (&fraction, (failed, r)) in fractions.iter().zip(&runs) {
+        table.push_row([
+            format!("{fraction:.2}"),
+            failed.to_string(),
+            if r.delivered_total > 0 {
+                format!("{:.2}", r.latency.mean)
+            } else {
+                "-".into()
+            },
+            format!("{:.3}", r.delivered_fraction()),
+            r.unreachable.to_string(),
+            r.stop.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    for w in runs.windows(2) {
+        assert!(
+            w[1].1.delivered_fraction() <= w[0].1.delivered_fraction() + 1e-12,
+            "nested fault masks must degrade delivery monotonically"
+        );
+    }
+    for (_, r) in &runs {
+        assert_eq!(
+            r.generated,
+            r.delivered_total + r.unreachable,
+            "no message may be silently lost"
+        );
+    }
+
+    // Timed-fault pulse: fail node 0's injection link at t=0, repair it
+    // mid-run. Routing does not know about timed faults, so traffic runs
+    // into the dead link and exercises the drop/retry/backoff machinery;
+    // after the repair everything still completes.
+    let pulse = FaultSchedule {
+        events: vec![
+            FaultEvent {
+                time: 0.0,
+                link: node0_injection_link(&spec, &wl),
+                action: FaultAction::Fail,
+            },
+            FaultEvent {
+                time: 50_000.0,
+                link: node0_injection_link(&spec, &wl),
+                action: FaultAction::Repair,
+            },
+        ],
+        max_attempts: 64,
+        retry_timeout: 100.0,
+        max_timeout: 800.0,
+        ..FaultSchedule::default()
+    };
+    let built =
+        BuiltSystem::try_build_with(&spec, wl.flit_bytes, AscentPolicy::default(), &pulse).unwrap();
+    let cfg = SimConfig {
+        faults: pulse,
+        ..base.clone()
+    };
+    let r = run_simulation_built(&built, &wl, Pattern::Uniform, &cfg);
+    println!("\n## timed fault pulse on node 0's injection link (fail @0, repair @5e4)");
+    let mut table = Table::new(["dropped", "retransmits", "unreachable", "delivered frac"]);
+    table.push_row([
+        r.dropped.to_string(),
+        r.retransmits.to_string(),
+        r.unreachable.to_string(),
+        format!("{:.3}", r.delivered_fraction()),
+    ]);
+    println!("{}", table.render());
+    assert_eq!(
+        r.dropped,
+        r.retransmits + r.unreachable,
+        "every drop is either retried or written off"
+    );
+    println!(
+        "static failures degrade gracefully: surviving pairs reroute around the\n\
+         failed links at the cost of longer Up*/Down* detours, partitioned pairs\n\
+         are written off deterministically, and even a fully partitioned network\n\
+         drains its event queue instead of hanging. Timed faults are invisible\n\
+         to routing, so they exercise the message-level retry/backoff path."
+    );
+}
+
+/// First channel of node 0's interned route to node 1 — a link every
+/// uniform-traffic run exercises, used by the timed-fault pulse.
+fn node0_injection_link(spec: &SystemSpec, wl: &Workload) -> u32 {
+    let built = BuiltSystem::build(spec, wl.flit_bytes);
+    let routes = built.route_table();
+    let r = routes.route_ref(0, 1);
+    let seg = routes.seg_meta(r, 0);
+    routes.chans()[seg.start as usize]
 }
 
 /// Scaling study (beyond the paper): how latency and the saturation rate

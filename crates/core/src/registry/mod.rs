@@ -113,6 +113,10 @@ pub struct RunOpts {
     /// entries — pass `--stamp $(date -u +%F)` (or let CI do it) so the
     /// committed trajectory never records a `null` date.
     pub stamp: Option<String>,
+    /// Static fault injection: fail this fraction of links (drawn
+    /// deterministically from the schedule's `fault_seed`) in every
+    /// simulation the entry runs (`--fail-links 0.1`).
+    pub fail_links: Option<f64>,
 }
 
 impl RunOpts {
@@ -157,12 +161,17 @@ impl RunOpts {
                     opts.threshold = Some(parse_num(&take("--threshold", &mut it)?, "--threshold")?)
                 }
                 "--stamp" => opts.stamp = Some(take("--stamp", &mut it)?),
+                "--fail-links" => {
+                    opts.fail_links =
+                        Some(parse_num(&take("--fail-links", &mut it)?, "--fail-links")?)
+                }
                 other => {
                     return Err(format!(
                         "unknown argument {other:?} (flags: --quick --serial --json --no-sim \
                          --points N --replications N --rel-ci X --max-replications N \
                          --out json|csv --rate λ --reps N --out-file PATH \
-                         --scheduler heap|calendar --baseline PATH --threshold X --stamp DATE)"
+                         --scheduler heap|calendar --baseline PATH --threshold X --stamp DATE \
+                         --fail-links F)"
                     ))
                 }
             }
@@ -194,6 +203,13 @@ impl RunOpts {
                 ));
             }
         }
+        if let Some(f) = opts.fail_links {
+            if !(f.is_finite() && (0.0..=1.0).contains(&f)) {
+                return Err(format!(
+                    "--fail-links is a link fraction in [0, 1] (got {f})"
+                ));
+            }
+        }
         if let Some(stamp) = &opts.stamp {
             let bytes = stamp.as_bytes();
             let shaped = bytes.len() == 10
@@ -213,9 +229,16 @@ impl RunOpts {
     /// `--scheduler` selects the future-event-list backend; everything
     /// else (seed, coupling…) stays untouched.
     pub fn sim_config(&self, base: &SimConfig) -> SimConfig {
-        let mut cfg = if self.quick { quick_sim(base) } else { *base };
+        let mut cfg = if self.quick {
+            quick_sim(base)
+        } else {
+            base.clone()
+        };
         if let Some(scheduler) = self.scheduler {
             cfg.scheduler = scheduler;
+        }
+        if let Some(fraction) = self.fail_links {
+            cfg.faults.link_fraction = fraction;
         }
         cfg
     }
@@ -242,7 +265,7 @@ pub fn quick_sim(base: &SimConfig) -> SimConfig {
         warmup: base.warmup.min(2_000),
         measured: base.measured.min(20_000),
         drain: base.drain.min(2_000),
-        ..*base
+        ..base.clone()
     }
 }
 
@@ -256,13 +279,16 @@ pub fn scaled(base: &SimConfig, opts: &RunOpts) -> SimConfig {
             warmup: (base.warmup / 10).max(1),
             measured: (base.measured / 10).max(1),
             drain: (base.drain / 10).max(1),
-            ..*base
+            ..base.clone()
         }
     } else {
-        *base
+        base.clone()
     };
     if let Some(scheduler) = opts.scheduler {
         cfg.scheduler = scheduler;
+    }
+    if let Some(fraction) = opts.fail_links {
+        cfg.faults.link_fraction = fraction;
     }
     cfg
 }
@@ -469,6 +495,13 @@ pub static ENTRIES: &[Entry] = &[
         kind: Kind::Custom(extensions::scaling),
     },
     Entry {
+        name: "degradation",
+        group: Group::Extension,
+        paper_ref: "-",
+        summary: "graceful degradation: latency and delivered fraction vs failed-link fraction",
+        kind: Kind::Custom(extensions::degradation),
+    },
+    Entry {
         name: "hotspots",
         group: Group::Diagnostic,
         paper_ref: "§4",
@@ -616,12 +649,13 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
     }
 
     let mut series = scenario.run_model();
+    let mut detailed = Vec::new();
     if !opts.no_sim {
         let start = std::time::Instant::now();
-        let sim_series = if opts.serial {
-            scenario.run_sim_serial()
+        detailed = if opts.serial {
+            scenario.run_sim_detailed_serial()
         } else {
-            scenario.run_sim()
+            scenario.run_sim_detailed()
         };
         let jobs = scenario.workloads.len() * scenario.rates.len() * scenario.replications;
         eprintln!(
@@ -633,7 +667,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
                 format!("{} threads", rayon::current_num_threads())
             },
         );
-        series.extend(sim_series);
+        series.extend(scenario.sim_series(&detailed));
     }
     if let Some(format) = opts.out {
         print!("{}", render_machine(&series, format));
@@ -641,10 +675,44 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
     }
     println!("{}", render_figure(&scenario.name, &series));
     println!("{}", cocnet_stats::scatter(&series, 64, 20));
+    if !scenario.sim.faults.is_inert() && !detailed.is_empty() {
+        println!("{}", fault_report(&scenario, &detailed));
+    }
     if opts.json {
         println!("{}", to_json(&series));
     }
     Ok(())
+}
+
+/// Fault-accounting table for a faulted scenario run: one row per
+/// (workload, rate) point with the delivered fraction and the
+/// drop/retry/write-off counters — the graceful-degradation view the
+/// latency series alone cannot show (undelivered messages have no
+/// latency).
+fn fault_report(scenario: &Scenario, detailed: &[Vec<crate::runner::PointSim>]) -> String {
+    let mut table = cocnet_stats::Table::new([
+        "workload",
+        "rate",
+        "delivered frac",
+        "dropped",
+        "retransmits",
+        "unreachable",
+        "stop",
+    ]);
+    for (entry, points) in scenario.workloads.iter().zip(detailed) {
+        for point in points {
+            table.push_row([
+                entry.label.clone(),
+                format!("{:.3e}", point.rate),
+                format!("{:.3}", point.delivered_fraction()),
+                point.dropped_total().to_string(),
+                point.retransmits_total().to_string(),
+                point.unreachable_total().to_string(),
+                point.first().stop.to_string(),
+            ]);
+        }
+    }
+    format!("fault accounting (per sweep point):\n{}", table.render())
 }
 
 /// The adaptive arm of [`run_scenario`]: waves of replications per point

@@ -59,7 +59,7 @@ pub fn validation(opts: &RunOpts) {
         let scenario = Scenario::new(name, spec.clone())
             .with_workload("Lm=256", wl)
             .with_rates(rates)
-            .with_sim(cfg);
+            .with_sim(cfg.clone());
         let points = scenario.run_sim_detailed().remove(0);
         for point in points {
             let rate = point.rate;
@@ -137,7 +137,7 @@ pub fn baseline(opts: &RunOpts) {
         let scenario = Scenario::new(name, spec.clone())
             .with_workload("Lm=256", presets::wl_m32_l256())
             .with_rates(rates.to_vec())
-            .with_sim(cfg);
+            .with_sim(cfg.clone());
         let points = scenario.run_sim_detailed().remove(0);
         for point in points {
             let rate = point.rate;

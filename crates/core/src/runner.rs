@@ -20,8 +20,8 @@
 
 use cocnet_model::{sweep, ModelOptions, Workload};
 use cocnet_sim::{
-    run_simulation_built, summarize, BuiltSystem, ReplicationAccumulator, ReplicationSummary,
-    SimConfig, SimResults,
+    run_simulation_built, summarize, validate_faults, BuiltSystem, FaultSchedule,
+    ReplicationAccumulator, ReplicationSummary, SimConfig, SimResults,
 };
 use cocnet_stats::{CiPoint, CiSeries, ConfidenceInterval, Precision, Series};
 use cocnet_topology::SystemSpec;
@@ -379,6 +379,32 @@ impl PointSim {
             .max()
             .unwrap_or(0)
     }
+
+    /// Total transmissions dropped at failed channels across replications.
+    pub fn dropped_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total retransmissions across the point's replications.
+    pub fn retransmits_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.retransmits).sum()
+    }
+
+    /// Total messages written off as unreachable across replications.
+    pub fn unreachable_total(&self) -> u64 {
+        self.runs.iter().map(|r| r.unreachable).sum()
+    }
+
+    /// Fraction of generated messages fully delivered, pooled over the
+    /// point's replications — the degradation sweep's y-axis.
+    pub fn delivered_fraction(&self) -> f64 {
+        let gen: u64 = self.runs.iter().map(|r| r.generated).sum();
+        if gen == 0 {
+            1.0
+        } else {
+            self.runs.iter().map(|r| r.delivered_total).sum::<u64>() as f64 / gen as f64
+        }
+    }
 }
 
 /// A single schedulable unit: one simulation run.
@@ -483,6 +509,12 @@ impl Scenario {
         self
     }
 
+    /// Sets the fault-injection schedule (see [`FaultSchedule`]).
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.sim.faults = faults;
+        self
+    }
+
     /// The base seed of one (workload, point) pair under the scenario's
     /// seeding policy. Replication `r` runs at `point_seed + r`.
     pub fn point_seed(&self, workload: usize, point: usize) -> u64 {
@@ -570,6 +602,7 @@ impl Scenario {
         if self.sim.max_events == 0 {
             return Err("sim: max_events of 0 can never terminate a run".into());
         }
+        validate_faults(&self.spec, &self.sim.faults).map_err(|e| format!("faults: {e}"))?;
         Ok(())
     }
 
@@ -598,14 +631,14 @@ impl Scenario {
     /// simulation points stop at saturation. All (workload × rate ×
     /// replication) runs execute concurrently on the rayon pool.
     pub fn run_sim(&self) -> Vec<Series> {
-        self.series_from_points(self.run_sim_detailed())
+        self.sim_series(&self.run_sim_detailed())
     }
 
     /// Serial reference for [`Scenario::run_sim`]: the identical job list evaluated
     /// with a plain loop. Exists for determinism tests and for measuring
     /// the parallel speedup; results are bit-identical to [`Scenario::run_sim`].
     pub fn run_sim_serial(&self) -> Vec<Series> {
-        self.series_from_points(self.run_sim_detailed_serial())
+        self.sim_series(&self.run_sim_detailed_serial())
     }
 
     /// Full per-point results (per workload, in grid order), run in
@@ -657,7 +690,17 @@ impl Scenario {
     fn build_all(&self) -> Vec<BuiltSystem> {
         self.workloads
             .iter()
-            .map(|entry| BuiltSystem::build(&self.spec, entry.workload.flit_bytes))
+            .map(|entry| {
+                BuiltSystem::try_build_with(
+                    &self.spec,
+                    entry.workload.flit_bytes,
+                    cocnet_topology::AscentPolicy::default(),
+                    &self.sim.faults,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("scenario fault schedule invalid (validate() catches this): {e}")
+                })
+            })
             .collect()
     }
 
@@ -666,7 +709,7 @@ impl Scenario {
         let wl = &self.workloads[job.workload].workload;
         let cfg = SimConfig {
             seed: job.seed,
-            ..self.sim
+            ..self.sim.clone()
         };
         run_simulation_built(
             &builts[job.workload],
@@ -871,8 +914,10 @@ impl Scenario {
             .collect()
     }
 
-    /// Builds the `Simulation (…)` series from detailed results.
-    fn series_from_points(&self, detailed: Vec<Vec<PointSim>>) -> Vec<Series> {
+    /// Builds the `Simulation (…)` series from detailed results — public
+    /// so harnesses that need both the per-point counters (fault
+    /// accounting) and the latency series can run the sweep once.
+    pub fn sim_series(&self, detailed: &[Vec<PointSim>]) -> Vec<Series> {
         self.workloads
             .iter()
             .zip(detailed)

@@ -6,8 +6,125 @@
 //! each cluster's ECN1, then the ICN2 network. The ICN2 tree's "processing
 //! nodes" are the `C` concentrator/dispatcher devices, one per cluster.
 
-use cocnet_topology::{AscentPolicy, ChannelId, ChannelKind, Graph, MPortNTree, SystemSpec};
+use crate::config::FaultSchedule;
+use cocnet_topology::{
+    AscentPolicy, ChannelId, ChannelKind, FaultSet, Graph, MPortNTree, SystemSpec, TopologyError,
+};
 use rand::Rng;
+
+/// Typed errors from materialising a [`SystemSpec`] into a [`BuiltSystem`]
+/// (see [`BuiltSystem::try_build_with`]). A malformed spec or fault
+/// schedule reaching the build now fails loudly with one of these instead
+/// of aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Interning a route between spec-valid endpoints failed with a
+    /// topology error other than fault disconnection — the spec and the
+    /// built graphs disagree structurally.
+    Route {
+        /// Which route family was being interned.
+        context: &'static str,
+        /// The underlying topology error.
+        err: TopologyError,
+    },
+    /// A fault schedule references a global channel id outside the system.
+    FaultLinkOutOfRange {
+        /// The offending channel id.
+        link: u32,
+        /// Number of global channels in the built system.
+        num_channels: usize,
+    },
+    /// `link_fraction` is not a finite value in `[0, 1]`.
+    BadFaultFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Route { context, err } => {
+                write!(f, "building {context} route failed: {err}")
+            }
+            Self::FaultLinkOutOfRange { link, num_channels } => write!(
+                f,
+                "fault link {link} out of range (system has {num_channels} channels)"
+            ),
+            Self::BadFaultFraction { fraction } => {
+                write!(f, "fault link_fraction {fraction} must be in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// SplitMix64 step — the deterministic generator behind the
+/// `link_fraction` permutation (self-contained so fault placement never
+/// depends on the traffic RNG).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Total global channels the built system of `spec` will have, from tree
+/// arithmetic alone (no graphs built): `Σ_i 2·(2·n_i·N_i) + 2·n_c·C`.
+fn expected_channels(spec: &SystemSpec) -> usize {
+    let mut total = 0usize;
+    for i in 0..spec.num_clusters() {
+        let t = spec.cluster_tree(i);
+        total += 2 * 2 * t.n() as usize * t.num_nodes();
+    }
+    let icn2 = spec.icn2_tree();
+    total + 2 * icn2.n() as usize * icn2.num_nodes()
+}
+
+/// Spec-level validation of a fault schedule: field ranges
+/// ([`FaultSchedule::validate`]) plus channel-id range checks against the
+/// system `spec` describes — computed from tree arithmetic without
+/// building any graphs, so `Scenario::validate()` can call it cheaply.
+pub fn validate_faults(spec: &SystemSpec, faults: &FaultSchedule) -> Result<(), String> {
+    faults.validate()?;
+    let total = expected_channels(spec);
+    for &l in &faults.links {
+        if l as usize >= total {
+            return Err(format!(
+                "faults.links: channel id {l} out of range (system has {total} channels)"
+            ));
+        }
+    }
+    for (i, e) in faults.events.iter().enumerate() {
+        if e.link as usize >= total {
+            return Err(format!(
+                "faults.events[{i}]: channel id {} out of range (system has {total} channels)",
+                e.link
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Per-graph projection of the static global fault mask, consumed by the
+/// fault-aware route interning.
+struct GraphFaults {
+    icn1: Vec<FaultSet>,
+    ecn1: Vec<FaultSet>,
+    icn2: FaultSet,
+}
+
+impl GraphFaults {
+    fn empty(c: usize) -> Self {
+        Self {
+            icn1: vec![FaultSet::new(); c],
+            ecn1: vec![FaultSet::new(); c],
+            icn2: FaultSet::new(),
+        }
+    }
+}
 
 /// One wormhole segment: a maximal run of channels between rate-decoupling
 /// buffers (source, concentrator, dispatcher, sink).
@@ -91,6 +208,10 @@ pub struct RouteTable {
     cross_seg: Vec<u32>,
     /// Per cluster: first segment id of its `N_i × N_i` intra block.
     intra_base: Vec<u32>,
+    /// Per interned segment: whether static faults disconnected it (the
+    /// fault-aware reroute found no path). Empty — the fast path — when
+    /// every segment routed.
+    dead_segs: Vec<bool>,
     /// Flat-node → cluster / local lookups (copies, so the table resolves
     /// routes without touching the rest of [`BuiltSystem`]).
     node_cluster: Vec<u32>,
@@ -178,7 +299,8 @@ impl RouteTable {
         node_local: &[u32],
         cluster_nodes: &[u32],
         policy: AscentPolicy,
-    ) -> Self {
+        faults: &GraphFaults,
+    ) -> Result<Self, BuildError> {
         let total_nodes = node_cluster.len();
         assert!(
             total_nodes <= u16::MAX as usize,
@@ -187,20 +309,48 @@ impl RouteTable {
         let c = cluster_nodes.len();
         let mut b = TableBuilder::new();
         let mut scratch: Vec<ChannelId> = Vec::new();
+        let mut dead_flags: Vec<bool> = Vec::new();
+
+        // Disconnection under static faults is not a build error: the
+        // segment is interned empty, marked dead, and the engines account
+        // the affected messages as unreachable. Any other route failure is.
+        fn routed(
+            r: Result<u32, TopologyError>,
+            context: &'static str,
+        ) -> Result<bool, BuildError> {
+            match r {
+                Ok(_) => Ok(true),
+                Err(TopologyError::Disconnected { .. }) => Ok(false),
+                Err(err) => Err(BuildError::Route { context, err }),
+            }
+        }
 
         let mut up_seg = Vec::with_capacity(total_nodes);
         let mut down_seg = Vec::with_capacity(total_nodes);
         for f in 0..total_nodes {
             let ci = node_cluster[f] as usize;
             let li = node_local[f] as usize;
-            ecn1[ci]
-                .route_to_root_into(li, policy, &mut scratch)
-                .expect("valid local id");
-            up_seg.push(b.push_seg(&scratch, ecn1_off[ci], chan_time));
-            ecn1[ci]
-                .route_from_root_into(li, policy, &mut scratch)
-                .expect("valid local id");
-            down_seg.push(b.push_seg(&scratch, ecn1_off[ci], chan_time));
+            let fs = &faults.ecn1[ci];
+            let ok = routed(
+                ecn1[ci].route_to_root_into_avoiding(li, policy, fs, &mut scratch),
+                "ECN1 ascent",
+            )?;
+            up_seg.push(if ok {
+                b.push_seg(&scratch, ecn1_off[ci], chan_time)
+            } else {
+                b.push_empty()
+            });
+            dead_flags.push(!ok);
+            let ok = routed(
+                ecn1[ci].route_from_root_into_avoiding(li, policy, fs, &mut scratch),
+                "ECN1 descent",
+            )?;
+            down_seg.push(if ok {
+                b.push_seg(&scratch, ecn1_off[ci], chan_time)
+            } else {
+                b.push_empty()
+            });
+            dead_flags.push(!ok);
         }
 
         let mut cross_seg = Vec::with_capacity(c * c);
@@ -210,9 +360,16 @@ impl RouteTable {
                     cross_seg.push(u32::MAX);
                     continue;
                 }
-                icn2.route_into(ci, cj, policy, &mut scratch)
-                    .expect("valid cluster ids");
-                cross_seg.push(b.push_seg(&scratch, icn2_off, chan_time));
+                let ok = routed(
+                    icn2.route_into_avoiding(ci, cj, policy, &faults.icn2, &mut scratch),
+                    "ICN2 crossing",
+                )?;
+                cross_seg.push(if ok {
+                    b.push_seg(&scratch, icn2_off, chan_time)
+                } else {
+                    b.push_empty()
+                });
+                dead_flags.push(!ok);
             }
         }
 
@@ -224,17 +381,38 @@ impl RouteTable {
                 for lj in 0..ni {
                     if li == lj {
                         b.push_empty();
+                        dead_flags.push(false);
                         continue;
                     }
-                    icn1[ci]
-                        .route_into(li, lj, policy, &mut scratch)
-                        .expect("valid local ids");
-                    b.push_seg(&scratch, icn1_off[ci], chan_time);
+                    let ok = routed(
+                        icn1[ci].route_into_avoiding(
+                            li,
+                            lj,
+                            policy,
+                            &faults.icn1[ci],
+                            &mut scratch,
+                        ),
+                        "ICN1 intra",
+                    )?;
+                    if ok {
+                        b.push_seg(&scratch, icn1_off[ci], chan_time);
+                    } else {
+                        b.push_empty();
+                    }
+                    dead_flags.push(!ok);
                 }
             }
         }
 
-        RouteTable {
+        // Keep the flags only when something actually died: the empty vec
+        // is the zero-fault fast path of `is_unreachable`.
+        let dead_segs = if dead_flags.contains(&true) {
+            dead_flags
+        } else {
+            Vec::new()
+        };
+
+        Ok(RouteTable {
             chans: b.chans,
             seg_off: b.seg_off,
             seg_sum: b.seg_sum,
@@ -243,12 +421,13 @@ impl RouteTable {
             down_seg,
             cross_seg,
             intra_base,
+            dead_segs,
             node_cluster: node_cluster.to_vec(),
             node_local: node_local.to_vec(),
             cluster_nodes: cluster_nodes.to_vec(),
             total_nodes: total_nodes as u32,
             num_clusters: c as u32,
-        }
+        })
     }
 
     #[inline]
@@ -296,6 +475,25 @@ impl RouteTable {
                 _ => self.down_seg[dst],
             }
         }
+    }
+
+    /// Whether static faults disconnected the (src, dst) pair: some
+    /// segment of its deterministic route found no fault-free Up*/Down*
+    /// path at build time. `false` for every pair of a zero-fault build
+    /// (one branch on an empty vec). The answer also covers adaptive
+    /// routing — adaptive ascents explore a subset of the same path space
+    /// the fault-aware search exhausts.
+    #[inline]
+    pub fn is_unreachable(&self, src: usize, dst: usize) -> bool {
+        if self.dead_segs.is_empty() {
+            return false;
+        }
+        let r = self.route_ref(src, dst);
+        let n = self.num_segments(r);
+        (0..n).any(|k| {
+            let s = self.seg_id(r, k);
+            self.dead_segs[s as usize]
+        })
     }
 
     /// Metadata of segment `k` (0-based) of route `r`.
@@ -358,6 +556,9 @@ pub struct BuiltSystem {
     policy: AscentPolicy,
     /// Every deterministic route, interned once (see [`RouteTable`]).
     routes: RouteTable,
+    /// Static (build-time) fault mask: one bool per global channel, both
+    /// directions of a failed link set. Empty for zero-fault builds.
+    failed: Vec<bool>,
 }
 
 impl BuiltSystem {
@@ -370,7 +571,41 @@ impl BuiltSystem {
 
     /// [`BuiltSystem::build`] with an explicit Up*/Down* ascent policy
     /// (see the `ablation_routing` experiment).
+    ///
+    /// # Panics
+    /// A zero-fault build of a spec that passed [`SystemSpec`] validation
+    /// cannot fail; any residual error panics with its typed message.
     pub fn build_with_policy(spec: &SystemSpec, flit_bytes: f64, policy: AscentPolicy) -> Self {
+        Self::try_build_with(spec, flit_bytes, policy, &FaultSchedule::default())
+            .unwrap_or_else(|e| panic!("zero-fault build of a validated spec failed: {e}"))
+    }
+
+    /// Fallible form of [`BuiltSystem::build`] with the default policy and
+    /// no faults.
+    pub fn try_build(spec: &SystemSpec, flit_bytes: f64) -> Result<Self, BuildError> {
+        Self::try_build_with(
+            spec,
+            flit_bytes,
+            AscentPolicy::default(),
+            &FaultSchedule::default(),
+        )
+    }
+
+    /// The full build: explicit ascent policy plus a fault schedule whose
+    /// *static* part (`links`, `link_fraction`) is applied here — failed
+    /// links are masked out of every interned route (fault-aware Up*/Down*
+    /// reroute), disconnected pairs are recorded for
+    /// [`RouteTable::is_unreachable`], and the resulting channel mask is
+    /// exposed through [`BuiltSystem::static_failed`] for the engines.
+    /// Timed `events` are range-checked here but applied by the engines.
+    ///
+    /// With an inert schedule this is byte-for-byte the historical build.
+    pub fn try_build_with(
+        spec: &SystemSpec,
+        flit_bytes: f64,
+        policy: AscentPolicy,
+        faults: &FaultSchedule,
+    ) -> Result<Self, BuildError> {
         let c = spec.num_clusters();
         let mut icn1 = Vec::with_capacity(c);
         let mut ecn1 = Vec::with_capacity(c);
@@ -433,6 +668,84 @@ impl BuiltSystem {
             }
         }
 
+        // Each graph holds 2·n·N channels — an even count — so every
+        // network offset is even and the global reverse of channel `g` is
+        // `g ^ 1`, exactly as within one graph. The fault mask relies on it.
+        debug_assert!(
+            icn1_off.iter().chain(ecn1_off.iter()).all(|&o| o % 2 == 0) && icn2_off % 2 == 0,
+            "network offsets must be even for global reverse = id ^ 1"
+        );
+
+        let num_channels = chan_time.len();
+        if !(faults.link_fraction.is_finite() && (0.0..=1.0).contains(&faults.link_fraction)) {
+            return Err(BuildError::BadFaultFraction {
+                fraction: faults.link_fraction,
+            });
+        }
+        for &l in &faults.links {
+            if l as usize >= num_channels {
+                return Err(BuildError::FaultLinkOutOfRange {
+                    link: l,
+                    num_channels,
+                });
+            }
+        }
+        for e in &faults.events {
+            if e.link as usize >= num_channels {
+                return Err(BuildError::FaultLinkOutOfRange {
+                    link: e.link,
+                    num_channels,
+                });
+            }
+        }
+
+        // Static fault mask: explicit links plus the first ⌊fraction·L⌋
+        // links of one fixed SplitMix64 Fisher–Yates permutation — nested
+        // across fractions, so degradation sweeps decline monotonically.
+        let mut failed: Vec<bool> = Vec::new();
+        if !faults.links.is_empty() || faults.link_fraction > 0.0 {
+            failed = vec![false; num_channels];
+            for &l in &faults.links {
+                failed[l as usize] = true;
+                failed[(l ^ 1) as usize] = true;
+            }
+            if faults.link_fraction > 0.0 {
+                let nlinks = num_channels / 2;
+                let mut perm: Vec<u32> = (0..nlinks as u32).collect();
+                let mut state = faults.fault_seed;
+                for i in (1..nlinks).rev() {
+                    let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+                    perm.swap(i, j);
+                }
+                let take = ((faults.link_fraction * nlinks as f64).floor() as usize).min(nlinks);
+                for &l in &perm[..take] {
+                    failed[2 * l as usize] = true;
+                    failed[2 * l as usize + 1] = true;
+                }
+            }
+        }
+
+        // Project the global mask into per-graph fault sets for the
+        // fault-aware route interning.
+        let mut gf = GraphFaults::empty(c);
+        for g in (0..failed.len()).step_by(2) {
+            if !failed[g] {
+                continue;
+            }
+            let g32 = g as u32;
+            if g32 >= icn2_off {
+                gf.icn2.fail_link(ChannelId(g32 - icn2_off));
+            } else if let Some(i) = (0..c).rev().find(|&i| g32 >= ecn1_off[i]) {
+                gf.ecn1[i].fail_link(ChannelId(g32 - ecn1_off[i]));
+            } else {
+                let i = (0..c)
+                    .rev()
+                    .find(|&i| g32 >= icn1_off[i])
+                    .expect("channel below every offset");
+                gf.icn1[i].fail_link(ChannelId(g32 - icn1_off[i]));
+            }
+        }
+
         let cluster_nodes: Vec<u32> = (0..c).map(|i| spec.cluster_nodes(i) as u32).collect();
         let routes = RouteTable::build(
             &icn1,
@@ -446,9 +759,10 @@ impl BuiltSystem {
             &node_local,
             &cluster_nodes,
             policy,
-        );
+            &gf,
+        )?;
 
-        Self {
+        Ok(Self {
             spec: spec.clone(),
             icn1,
             ecn1,
@@ -461,7 +775,16 @@ impl BuiltSystem {
             node_local,
             policy,
             routes,
-        }
+            failed,
+        })
+    }
+
+    /// The static (build-time) failed-channel mask: one bool per global
+    /// channel, both directions of a failed link set. Empty — no mask at
+    /// all — for zero-fault builds; the engines seed their live fault
+    /// state from it.
+    pub fn static_failed(&self) -> &[bool] {
+        &self.failed
     }
 
     /// The underlying system specification.
@@ -894,6 +1217,159 @@ mod tests {
                 assert_eq!(bot.to_bits(), m.bottleneck_t.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn faulted_build_is_identical_when_inert() {
+        let b0 = BuiltSystem::build(&spec(), 256.0);
+        let b1 = BuiltSystem::try_build_with(
+            &spec(),
+            256.0,
+            AscentPolicy::default(),
+            &Default::default(),
+        )
+        .unwrap();
+        assert!(b1.static_failed().is_empty());
+        let (r0, r1) = (b0.route_table(), b1.route_table());
+        for src in 0..b0.total_nodes() {
+            for dst in 0..b0.total_nodes() {
+                if src == dst {
+                    continue;
+                }
+                assert!(!r1.is_unreachable(src, dst));
+                let (a, b) = (r0.route_ref(src, dst), r1.route_ref(src, dst));
+                for k in 0..r0.num_segments(a) {
+                    assert_eq!(
+                        r0.segment_channels(r0.seg_meta(a, k)),
+                        r1.segment_channels(r1.seg_meta(b, k))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_build_reroutes_or_marks_unreachable() {
+        // Fail one intra-cluster injection link: the source node of that
+        // link cannot reach its cluster peers (injection has no alternate),
+        // while everything else stays routable or reroutes.
+        let s = spec();
+        let b0 = BuiltSystem::build(&s, 256.0);
+        // Node 8 is in cluster 2 (n=2): its ICN1 injection channel.
+        let inj = b0.segments_for(8, 9)[0].chans[0];
+        let faults = FaultSchedule {
+            links: vec![inj],
+            ..Default::default()
+        };
+        let b = BuiltSystem::try_build_with(&s, 256.0, AscentPolicy::default(), &faults).unwrap();
+        assert!(b.static_failed()[inj as usize]);
+        assert!(b.static_failed()[(inj ^ 1) as usize], "tandem reverse");
+        let rt = b.route_table();
+        assert!(rt.is_unreachable(8, 9));
+        assert!(rt.is_unreachable(8, 15));
+        assert!(rt.is_unreachable(9, 8), "ejection = reverse of injection");
+        assert!(!rt.is_unreachable(9, 10));
+        // Inter-cluster routes of node 8 use the ECN1 network — unaffected.
+        assert!(!rt.is_unreachable(8, 0));
+    }
+
+    #[test]
+    fn faulted_build_reroutes_around_switch_fabric_links() {
+        // Fail one switch-to-switch link on an intra route of the n=2
+        // cluster: the pair must still be reachable via the alternate
+        // ascent, and the rerouted segment must avoid the failed channels.
+        let s = spec();
+        let b0 = BuiltSystem::build(&s, 256.0);
+        let seg = &b0.segments_for(8, 15)[0];
+        assert!(seg.chans.len() >= 4, "need a switch-fabric hop");
+        let up = seg.chans[1]; // first switch-to-switch channel
+        let faults = FaultSchedule {
+            links: vec![up],
+            ..Default::default()
+        };
+        let b = BuiltSystem::try_build_with(&s, 256.0, AscentPolicy::default(), &faults).unwrap();
+        let rt = b.route_table();
+        assert!(!rt.is_unreachable(8, 15));
+        let r = rt.route_ref(8, 15);
+        let chans = rt.segment_channels(rt.seg_meta(r, 0));
+        assert!(!chans.contains(&up));
+        assert!(!chans.contains(&(up ^ 1)));
+        assert!(!chans.is_empty());
+    }
+
+    #[test]
+    fn link_fraction_sets_are_nested_and_full_fraction_kills_everything() {
+        let s = spec();
+        let frac = |f: f64| FaultSchedule {
+            link_fraction: f,
+            ..Default::default()
+        };
+        let masks: Vec<Vec<bool>> = [0.1, 0.3, 0.7, 1.0]
+            .iter()
+            .map(|&f| {
+                BuiltSystem::try_build_with(&s, 256.0, AscentPolicy::default(), &frac(f))
+                    .unwrap()
+                    .static_failed()
+                    .to_vec()
+            })
+            .collect();
+        for w in masks.windows(2) {
+            for (a, b) in w[0].iter().zip(&w[1]) {
+                assert!(!a || *b, "fault sets must be nested across fractions");
+            }
+        }
+        assert!(masks[3].iter().all(|&x| x), "fraction 1.0 fails every link");
+        let full =
+            BuiltSystem::try_build_with(&s, 256.0, AscentPolicy::default(), &frac(1.0)).unwrap();
+        assert!(full.route_table().is_unreachable(0, 1));
+        assert!(full.route_table().is_unreachable(0, 23));
+    }
+
+    #[test]
+    fn fault_validation_rejects_bad_inputs() {
+        let s = spec();
+        let nchan = BuiltSystem::build(&s, 256.0).num_channels();
+        let bad_link = FaultSchedule {
+            links: vec![nchan as u32],
+            ..Default::default()
+        };
+        assert!(matches!(
+            BuiltSystem::try_build_with(&s, 256.0, AscentPolicy::default(), &bad_link),
+            Err(BuildError::FaultLinkOutOfRange { .. })
+        ));
+        assert!(validate_faults(&s, &bad_link)
+            .unwrap_err()
+            .contains("out of range"));
+        let bad_frac = FaultSchedule {
+            link_fraction: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            BuiltSystem::try_build_with(&s, 256.0, AscentPolicy::default(), &bad_frac),
+            Err(BuildError::BadFaultFraction { .. })
+        ));
+        assert!(validate_faults(&s, &bad_frac).is_err());
+        let bad_event = FaultSchedule {
+            events: vec![crate::config::FaultEvent {
+                time: -1.0,
+                link: 0,
+                action: crate::config::FaultAction::Fail,
+            }],
+            ..Default::default()
+        };
+        assert!(validate_faults(&s, &bad_event)
+            .unwrap_err()
+            .contains("time"));
+        assert!(validate_faults(&s, &FaultSchedule::default()).is_ok());
+    }
+
+    #[test]
+    fn expected_channels_matches_built_system() {
+        let s = spec();
+        assert_eq!(
+            expected_channels(&s),
+            BuiltSystem::build(&s, 256.0).num_channels()
+        );
     }
 
     #[test]

@@ -76,11 +76,148 @@ impl std::fmt::Display for SchedulerKind {
     }
 }
 
+/// What a timed fault event does to its link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// The link goes down: both directions refuse new acquisitions.
+    Fail,
+    /// The link comes back up.
+    Repair,
+}
+
+/// One deterministic timed fault: at simulation time `time`, the physical
+/// link carrying global channel `link` fails or repairs (both directions
+/// in tandem). Scheduled through the engine's future-event list, so the
+/// ordering relative to message events is exact and deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FaultEvent {
+    /// Simulation time at which the event fires.
+    pub time: f64,
+    /// Global channel id of the affected link (either direction selects
+    /// the physical link; see [`crate::BuiltSystem`]'s channel table).
+    pub link: u32,
+    /// Fail or repair.
+    pub action: FaultAction,
+}
+
+/// Deterministic fault injection for one simulation run.
+///
+/// Static faults (`links`, `link_fraction`) are applied at build time and
+/// also rewire the route tables (fault-aware Up*/Down* reroute); timed
+/// `events` flip links mid-run through the event list without rerouting —
+/// messages that hit a downed link are dropped and retransmitted from
+/// their source after a timeout with capped exponential backoff
+/// (`retry_timeout`, `backoff`, `max_timeout`) and a bounded attempt
+/// budget (`max_attempts`). The default schedule is inert: no faults, and
+/// zero-fault runs are bit-identical to a build without this subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default, deny_unknown_fields)]
+pub struct FaultSchedule {
+    /// Global channel ids failed from time 0. Either direction of a link
+    /// selects the whole physical link: the reverse channel fails in
+    /// tandem.
+    pub links: Vec<u32>,
+    /// Fraction of all physical links failed from time 0, in `[0, 1]`.
+    /// The failed set is the first `⌊fraction · L⌋` links of one fixed
+    /// pseudorandom permutation of all `L` links drawn from `fault_seed`,
+    /// so sweeping the fraction produces *nested* fault sets — delivered
+    /// throughput declines monotonically along the sweep.
+    pub link_fraction: f64,
+    /// Seed of the `link_fraction` permutation (independent of the
+    /// traffic seed so fault placement is stable across replications).
+    pub fault_seed: u64,
+    /// Deterministic timed fail/repair events.
+    pub events: Vec<FaultEvent>,
+    /// Total transmission attempts per message (first try included);
+    /// a message dropped on its last attempt counts as unreachable.
+    pub max_attempts: u32,
+    /// Timeout before the first retransmission, in simulation time units.
+    pub retry_timeout: f64,
+    /// Multiplier applied to the timeout after every failed attempt
+    /// (capped exponential backoff); must be ≥ 1.
+    pub backoff: f64,
+    /// Upper bound on the per-attempt timeout.
+    pub max_timeout: f64,
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        Self {
+            links: Vec::new(),
+            link_fraction: 0.0,
+            fault_seed: 0xfa_17,
+            events: Vec::new(),
+            max_attempts: 8,
+            retry_timeout: 1_000.0,
+            backoff: 2.0,
+            max_timeout: 16_000.0,
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// Whether the schedule injects no faults at all — the zero-overhead
+    /// fast path where runs stay bit-identical to a fault-free build.
+    pub fn is_inert(&self) -> bool {
+        self.links.is_empty() && self.link_fraction == 0.0 && self.events.is_empty()
+    }
+
+    /// The retransmission delay after `attempt` failed attempts
+    /// (0-based): `retry_timeout · backoff^attempt`, capped at
+    /// `max_timeout`.
+    pub fn retry_delay(&self, attempt: u32) -> f64 {
+        (self.retry_timeout * self.backoff.powi(attempt.min(64) as i32)).min(self.max_timeout)
+    }
+
+    /// Field-level validation (ranges and finiteness). Link-id range
+    /// checks against a concrete system live in
+    /// [`crate::validate_faults`], which knows the channel count.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.link_fraction.is_finite() || !(0.0..=1.0).contains(&self.link_fraction) {
+            return Err(format!(
+                "faults.link_fraction must be in [0, 1], got {}",
+                self.link_fraction
+            ));
+        }
+        if self.max_attempts == 0 {
+            return Err("faults.max_attempts must be >= 1 (the first try counts)".into());
+        }
+        if !(self.retry_timeout.is_finite() && self.retry_timeout > 0.0) {
+            return Err(format!(
+                "faults.retry_timeout must be finite and > 0, got {}",
+                self.retry_timeout
+            ));
+        }
+        if !(self.backoff.is_finite() && self.backoff >= 1.0) {
+            return Err(format!(
+                "faults.backoff must be finite and >= 1, got {}",
+                self.backoff
+            ));
+        }
+        if !(self.max_timeout.is_finite() && self.max_timeout >= self.retry_timeout) {
+            return Err(format!(
+                "faults.max_timeout must be finite and >= retry_timeout, got {}",
+                self.max_timeout
+            ));
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if !(e.time.is_finite() && e.time >= 0.0) {
+                return Err(format!(
+                    "faults.events[{i}].time must be finite and >= 0, got {}",
+                    e.time
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of one simulation run.
 ///
 /// The defaults reproduce the paper's methodology (§4): 10 000 warm-up
 /// messages, 100 000 measured messages, 10 000 drain messages.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(default, deny_unknown_fields)]
 pub struct SimConfig {
     /// Messages generated before statistics gathering starts.
@@ -123,6 +260,8 @@ pub struct SimConfig {
     /// Future-event-list backend (see [`SchedulerKind`]). Never changes
     /// results — both backends pop in the identical order — only speed.
     pub scheduler: SchedulerKind,
+    /// Fault injection (see [`FaultSchedule`]); inert by default.
+    pub faults: FaultSchedule,
 }
 
 impl Default for SimConfig {
@@ -141,6 +280,7 @@ impl Default for SimConfig {
             collect_percentiles: false,
             audit_warmup: false,
             scheduler: SchedulerKind::default(),
+            faults: FaultSchedule::default(),
         }
     }
 }
@@ -163,6 +303,7 @@ impl SimConfig {
             collect_percentiles: false,
             audit_warmup: false,
             scheduler: SchedulerKind::default(),
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -196,6 +337,32 @@ mod tests {
         assert!("ladder".parse::<SchedulerKind>().is_err());
         assert_eq!(SchedulerKind::Calendar.to_string(), "calendar");
         assert_eq!(SimConfig::default().scheduler, SchedulerKind::Heap);
+    }
+
+    #[test]
+    fn fault_schedule_default_is_inert() {
+        let f = FaultSchedule::default();
+        assert!(f.is_inert());
+        assert!(SimConfig::default().faults.is_inert());
+        let failed = FaultSchedule {
+            link_fraction: 0.25,
+            ..FaultSchedule::default()
+        };
+        assert!(!failed.is_inert());
+    }
+
+    #[test]
+    fn retry_delay_backs_off_and_caps() {
+        let f = FaultSchedule {
+            retry_timeout: 100.0,
+            backoff: 2.0,
+            max_timeout: 350.0,
+            ..FaultSchedule::default()
+        };
+        assert_eq!(f.retry_delay(0), 100.0);
+        assert_eq!(f.retry_delay(1), 200.0);
+        assert_eq!(f.retry_delay(2), 350.0, "capped");
+        assert_eq!(f.retry_delay(200), 350.0, "huge attempt counts stay finite");
     }
 
     #[test]

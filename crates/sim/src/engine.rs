@@ -38,9 +38,9 @@
 //! [`SimResults::peak_live_msgs`]: crate::results::SimResults::peak_live_msgs
 
 use crate::build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta};
-use crate::config::{Coupling, SchedulerKind, SimConfig};
+use crate::config::{Coupling, FaultAction, SchedulerKind, SimConfig};
 use crate::events::{CalendarQueue, EventQueue, Scheduler};
-use crate::results::{exact_percentiles, SimResults, WarmupAudit};
+use crate::results::{exact_percentiles, SimResults, StopReason, WarmupAudit};
 use crate::trace::{MessageTrace, TraceEvent, TraceEventKind};
 use cocnet_model::Workload;
 use cocnet_stats::{Histogram, OnlineStats, Percentiles};
@@ -65,6 +65,16 @@ enum EventKind {
     /// time (store-and-forward buffering completes) and then contends for
     /// the channel under its header cursor.
     Request {
+        msg: u32,
+    },
+    /// Timed fault-schedule entry: the link (and its reverse) fails or is
+    /// repaired at the event's time.
+    Fault {
+        link: u32,
+        fail: bool,
+    },
+    /// A dropped message's retry timeout expired: re-enter from source.
+    Retransmit {
         msg: u32,
     },
 }
@@ -109,6 +119,12 @@ struct Msg {
     /// Whether source and destination share a cluster.
     intra: bool,
     src_cluster: u32,
+    /// Flat source node id (retransmissions re-enter here).
+    src: u32,
+    /// Flat destination node id.
+    dst: u32,
+    /// Completed transmission attempts that hit a failed channel.
+    attempt: u32,
 }
 
 const UNTRACED: u32 = u32::MAX;
@@ -133,6 +149,9 @@ impl Msg {
         audited: false,
         intra: false,
         src_cluster: 0,
+        src: 0,
+        dst: 0,
+        attempt: 0,
     };
 }
 
@@ -168,6 +187,14 @@ struct Simulator<'a, S: Scheduler<EventKind>, const TRACE: bool> {
     recorded_done: u64,
     events_processed: u64,
     now: f64,
+    /// Per-channel failure mask. Empty means "no faults anywhere" — the
+    /// zero-fault fast path adds a single `is_empty` branch per check and
+    /// leaves every run bit-identical to the pre-fault engine.
+    failed: Vec<bool>,
+    delivered_total: u64,
+    dropped: u64,
+    retransmits: u64,
+    unreachable: u64,
     // Sinks.
     latency: OnlineStats,
     intra_lat: OnlineStats,
@@ -208,6 +235,25 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
         let histogram = cfg
             .histogram
             .map(|(hi, bins)| Histogram::new(0.0, hi, bins));
+        let percentiles = if cfg.collect_percentiles {
+            Some(Percentiles::with_capacity(cfg.measured as usize))
+        } else {
+            None
+        };
+        let audit = if cfg.audit_warmup {
+            Some(Vec::with_capacity((cfg.warmup + cfg.measured) as usize))
+        } else {
+            None
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        // Static faults arrive pre-resolved in the built system; timed
+        // fault events need a full-size mask to flip even when no link is
+        // down at t = 0.
+        let failed = if built.static_failed().is_empty() && !cfg.faults.events.is_empty() {
+            vec![false; built.num_channels()]
+        } else {
+            built.static_failed().to_vec()
+        };
         Self {
             built,
             routes: built.route_table(),
@@ -215,7 +261,7 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             m_flits: wl.msg_flits as f64,
             arrivals: vec![arrival.build(); built.total_nodes()],
             pattern,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng,
             queue: S::new(),
             chans,
             msgs: Vec::new(),
@@ -226,6 +272,11 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             recorded_done: 0,
             events_processed: 0,
             now: 0.0,
+            failed,
+            delivered_total: 0,
+            dropped: 0,
+            retransmits: 0,
+            unreachable: 0,
             latency: OnlineStats::new(),
             intra_lat: OnlineStats::new(),
             inter_lat: OnlineStats::new(),
@@ -234,16 +285,8 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             busy_total: vec![0.0; built.num_channels()],
             busy_since: vec![0.0; built.num_channels()],
             traces: Vec::new(),
-            percentiles: if cfg.collect_percentiles {
-                Some(Percentiles::with_capacity(cfg.measured as usize))
-            } else {
-                None
-            },
-            audit: if cfg.audit_warmup {
-                Some(Vec::with_capacity((cfg.warmup + cfg.measured) as usize))
-            } else {
-                None
-            },
+            percentiles,
+            audit,
         }
     }
 
@@ -282,8 +325,19 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
         }
     }
 
-    /// Seeds the initial Generate event of every node.
+    /// Seeds the fault schedule and the initial Generate event of every
+    /// node. Faults are scheduled first so a `t = 0` failure is in force
+    /// before any traffic moves.
     fn prime(&mut self) {
+        for ev in &self.cfg.faults.events {
+            self.queue.schedule(
+                ev.time,
+                EventKind::Fault {
+                    link: ev.link,
+                    fail: matches!(ev.action, FaultAction::Fail),
+                },
+            );
+        }
         for node in 0..self.built.total_nodes() {
             let t = self.arrivals[node].next_arrival(&mut self.rng);
             self.queue
@@ -294,9 +348,14 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
     fn run(mut self) -> SimResults {
         self.prime();
         let mut completed = false;
+        // If the loop exits any other way, the queue ran dry: every
+        // message was delivered or written off — graceful degradation,
+        // not a hang.
+        let mut stop = StopReason::Drained;
         while let Some(ev) = self.queue.pop() {
             self.events_processed += 1;
             if self.events_processed > self.cfg.max_events {
+                stop = StopReason::EventCap;
                 break;
             }
             debug_assert!(ev.time >= self.now - 1e-9, "time must not run backwards");
@@ -306,9 +365,12 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
                 EventKind::Advance { msg } => self.on_advance(msg, ev.time),
                 EventKind::Release { chan } => self.on_release(chan, ev.time),
                 EventKind::Request { msg } => self.request_current(msg, ev.time),
+                EventKind::Fault { link, fail } => self.on_fault(link, fail),
+                EventKind::Retransmit { msg } => self.on_retransmit(msg, ev.time),
             }
             if self.recorded_done >= self.cfg.measured {
                 completed = true;
+                stop = StopReason::MeasuredComplete;
                 break;
             }
         }
@@ -339,8 +401,90 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             crate::results::EngineCounters {
                 events_processed: self.events_processed,
                 peak_live_msgs: self.msgs.len() as u64,
+                delivered_total: self.delivered_total,
+                dropped: self.dropped,
+                retransmits: self.retransmits,
+                unreachable: self.unreachable,
+                stop,
             },
         )
+    }
+
+    /// Whether a channel is currently failed (empty mask = zero-fault
+    /// fast path).
+    #[inline]
+    fn is_failed(&self, chan: u32) -> bool {
+        !self.failed.is_empty() && self.failed[chan as usize]
+    }
+
+    /// Applies a timed fault-schedule entry; the reverse channel fails and
+    /// recovers in tandem (a dead cable kills both directions). In-flight
+    /// crossings complete — a fault affects acquisitions, not transfers.
+    fn on_fault(&mut self, link: u32, fail: bool) {
+        debug_assert!(!self.failed.is_empty(), "fault events imply a full mask");
+        self.failed[link as usize] = fail;
+        self.failed[(link ^ 1) as usize] = fail;
+    }
+
+    /// Drops an in-flight message whose header ran into the failed channel
+    /// `chan`: every channel it still holds in the current segment is
+    /// released now (earlier segments released at their boundaries), and
+    /// the message re-enters from its source after the retry timeout — or,
+    /// with the attempt budget exhausted, is written off as unreachable.
+    fn drop_msg(&mut self, msg_id: u32, chan: u32, t: f64) {
+        let m = self.msgs[msg_id as usize];
+        self.dropped += 1;
+        self.trace(m.trace_id, t, TraceEventKind::Dropped { chan });
+        for k in 0..m.idx {
+            let held = self.seg_chan(msg_id, k as u32);
+            self.queue.schedule(t, EventKind::Release { chan: held });
+        }
+        if m.attempt + 1 >= self.cfg.faults.max_attempts {
+            self.unreachable += 1;
+            self.free.push(msg_id);
+        } else {
+            let delay = self.cfg.faults.retry_delay(m.attempt);
+            self.queue
+                .schedule(t + delay, EventKind::Retransmit { msg: msg_id });
+        }
+    }
+
+    /// A dropped message's retry timeout expired: re-enter from the source
+    /// with the original generation time-stamp (latency includes every
+    /// retry delay). Adaptive messages re-draw their ascent digits, so an
+    /// oblivious retry may dodge the fault; interned routes are fixed.
+    fn on_retransmit(&mut self, msg_id: u32, t: f64) {
+        self.retransmits += 1;
+        let m = self.msgs[msg_id as usize];
+        self.trace(
+            m.trace_id,
+            t,
+            TraceEventKind::Retransmitted {
+                attempt: m.attempt + 1,
+            },
+        );
+        let cur = if m.route.is_dynamic() {
+            let dr = &mut self.dyn_routes[msg_id as usize];
+            let (segs, n) = self.built.adaptive_route_into(
+                m.src as usize,
+                m.dst as usize,
+                &mut self.rng,
+                &mut self.scratch,
+                &mut dr.chans,
+            );
+            dr.segs = segs;
+            self.msgs[msg_id as usize].nsegs = n;
+            segs[0]
+        } else {
+            self.routes.seg_meta(m.route, 0)
+        };
+        let mm = &mut self.msgs[msg_id as usize];
+        mm.attempt += 1;
+        mm.seg = 0;
+        mm.idx = 0;
+        mm.prev_finish = t;
+        mm.cur = cur;
+        self.request_current(msg_id, t);
     }
 
     fn on_generate(&mut self, node: u32, t: f64) {
@@ -349,6 +493,19 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
         }
         let src = node as usize;
         let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
+        if self.routes.is_unreachable(src, dst) {
+            // The destination is statically partitioned away: account the
+            // message (generated + unreachable, never silently lost)
+            // without allocating a slab slot, and keep the arrival stream
+            // going so the node's later destinations still get traffic.
+            self.generated += 1;
+            self.unreachable += 1;
+            if self.generated < self.cfg.total_messages() {
+                let next = self.arrivals[node as usize].next_arrival(&mut self.rng);
+                self.queue.schedule(next, EventKind::Generate { node });
+            }
+            return;
+        }
         let recorded = self.generated >= self.cfg.warmup
             && self.generated < self.cfg.warmup + self.cfg.measured;
         let audited = self.audit.is_some() && self.generated < self.cfg.warmup + self.cfg.measured;
@@ -401,6 +558,9 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             audited,
             intra: built.cluster_of(src) == built.cluster_of(dst),
             src_cluster: built.cluster_of(src) as u32,
+            src: src as u32,
+            dst: dst as u32,
+            attempt: 0,
         };
         self.trace(
             trace_id,
@@ -424,6 +584,10 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
     fn request_current(&mut self, msg_id: u32, t: f64) {
         let idx = self.msgs[msg_id as usize].idx;
         let chan = self.seg_chan(msg_id, idx as u32);
+        if self.is_failed(chan) {
+            self.drop_msg(msg_id, chan, t);
+            return;
+        }
         let c = &mut self.chans[chan as usize];
         if c.busy {
             c.queue.push_back(msg_id);
@@ -488,6 +652,7 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
         );
         let last_segment = m.seg + 1 == m.nsegs;
         if last_segment {
+            self.delivered_total += 1;
             let latency = finish - m.gen_time;
             self.trace(m.trace_id, finish, TraceEventKind::Delivered { latency });
             if m.audited {
@@ -550,11 +715,21 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
 
     fn on_release(&mut self, chan: u32, t: f64) {
         self.busy_total[chan as usize] += t - self.busy_since[chan as usize];
-        let c = &mut self.chans[chan as usize];
-        debug_assert!(c.busy, "releasing a free channel");
-        if let Some(next) = c.queue.pop_front() {
+        debug_assert!(self.chans[chan as usize].busy, "releasing a free channel");
+        loop {
+            let Some(next) = self.chans[chan as usize].queue.pop_front() else {
+                self.chans[chan as usize].busy = false;
+                return;
+            };
+            if self.is_failed(chan) {
+                // The link died while this header was queued on it: the
+                // grant would start a crossing on a failed channel, so the
+                // waiter is dropped for retransmission instead.
+                self.drop_msg(next, chan, t);
+                continue;
+            }
             // Grant to the next waiting header; channel stays busy.
-            let cross = c.t;
+            let cross = self.chans[chan as usize].t;
             self.busy_since[chan as usize] = t;
             self.queue
                 .schedule(t + cross, EventKind::Advance { msg: next });
@@ -562,8 +737,7 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
                 let trace_id = self.msgs[next as usize].trace_id;
                 self.trace(trace_id, t, TraceEventKind::Acquired { chan });
             }
-        } else {
-            c.busy = false;
+            return;
         }
     }
 }
@@ -595,7 +769,13 @@ pub fn run_simulation(
     pattern: Pattern,
     cfg: &SimConfig,
 ) -> SimResults {
-    let built = BuiltSystem::build(spec, wl.flit_bytes);
+    let built = BuiltSystem::try_build_with(
+        spec,
+        wl.flit_bytes,
+        cocnet_topology::AscentPolicy::default(),
+        &cfg.faults,
+    )
+    .unwrap_or_else(|e| panic!("invalid fault schedule (validate it first): {e}"));
     run_simulation_built(&built, wl, pattern, cfg)
 }
 
@@ -641,7 +821,7 @@ pub fn run_simulation_built(
         built,
         wl,
         pattern,
-        *cfg,
+        cfg.clone(),
         ArrivalSpec::Poisson { rate: wl.lambda_g },
     )
 }
@@ -657,7 +837,7 @@ pub fn run_simulation_arrivals(
     cfg: &SimConfig,
     arrival: ArrivalSpec,
 ) -> SimResults {
-    dispatch(built, wl, pattern, *cfg, arrival)
+    dispatch(built, wl, pattern, cfg.clone(), arrival)
 }
 
 #[cfg(test)]
@@ -695,6 +875,7 @@ mod tests {
             collect_percentiles: false,
             audit_warmup: false,
             scheduler: SchedulerKind::default(),
+            faults: crate::config::FaultSchedule::default(),
         }
     }
 
@@ -1136,5 +1317,192 @@ mod tests {
         }
         let total: f64 = r.channel_busy.iter().sum();
         assert!(total > 0.0);
+    }
+
+    /// The injection channel of node 0's interned routes: failing it cuts
+    /// node 0 off without rebuilding (timed faults bypass rerouting).
+    fn node0_injection_channel(built: &BuiltSystem) -> u32 {
+        let routes = built.route_table();
+        let r = routes.route_ref(0, 1);
+        let seg = routes.seg_meta(r, 0);
+        routes.chans()[seg.start as usize]
+    }
+
+    #[test]
+    fn timed_fault_retry_accounting_is_exact() {
+        // Permanently fail node 0's injection link at t = 0 via the timed
+        // schedule (routes stay fault-free, so traffic keeps running into
+        // it). The run cannot complete its measured population — it must
+        // drain gracefully with every message accounted for.
+        let spec = spec();
+        let wl = wl(2e-4);
+        let built = BuiltSystem::build(&spec, wl.flit_bytes);
+        let dead = node0_injection_channel(&built);
+        let mut cfg = tiny_cfg(3);
+        cfg.faults.events = vec![crate::config::FaultEvent {
+            time: 0.0,
+            link: dead,
+            action: FaultAction::Fail,
+        }];
+        cfg.faults.max_attempts = 3;
+        cfg.faults.retry_timeout = 50.0;
+        cfg.faults.max_timeout = 200.0;
+        let r = dispatch(
+            &built,
+            &wl,
+            Pattern::Uniform,
+            cfg.clone(),
+            ArrivalSpec::Poisson { rate: wl.lambda_g },
+        );
+        assert!(!r.completed);
+        assert_eq!(r.stop, crate::results::StopReason::Drained);
+        assert!(r.dropped > 0);
+        assert!(r.retransmits > 0);
+        assert!(r.unreachable > 0);
+        // Drained run: every generated message was delivered or written
+        // off, and every drop became a retransmission or a write-off.
+        assert_eq!(r.generated, r.delivered_total + r.unreachable);
+        assert_eq!(r.dropped, r.retransmits + r.unreachable);
+        // Each unreachable message burned exactly max_attempts drops.
+        assert_eq!(r.dropped, r.unreachable * cfg.faults.max_attempts as u64);
+    }
+
+    #[test]
+    fn repair_event_restores_delivery() {
+        // Fail the same link but repair it early: with a generous retry
+        // budget every dropped message eventually gets through, so the
+        // run completes with retransmissions and zero write-offs.
+        let spec = spec();
+        let wl = wl(2e-4);
+        let built = BuiltSystem::build(&spec, wl.flit_bytes);
+        let dead = node0_injection_channel(&built);
+        let mut cfg = tiny_cfg(4);
+        cfg.faults.events = vec![
+            crate::config::FaultEvent {
+                time: 0.0,
+                link: dead,
+                action: FaultAction::Fail,
+            },
+            crate::config::FaultEvent {
+                time: 50_000.0,
+                link: dead,
+                action: crate::config::FaultAction::Repair,
+            },
+        ];
+        cfg.faults.max_attempts = 64;
+        cfg.faults.retry_timeout = 100.0;
+        cfg.faults.max_timeout = 800.0;
+        let r = dispatch(
+            &built,
+            &wl,
+            Pattern::Uniform,
+            cfg,
+            ArrivalSpec::Poisson { rate: wl.lambda_g },
+        );
+        assert!(r.completed, "repaired link must let the run complete");
+        assert!(r.retransmits > 0, "pre-repair traffic must have retried");
+        assert_eq!(r.unreachable, 0);
+        assert_eq!(r.dropped, r.retransmits);
+    }
+
+    #[test]
+    fn full_partition_terminates_gracefully() {
+        // 100% static link failures: every destination is unreachable.
+        // The run must drain (no spinning to the event cap) with all
+        // messages written off at generation time.
+        let mut cfg = tiny_cfg(5);
+        cfg.faults.link_fraction = 1.0;
+        let r = run_simulation(&spec(), &wl(1e-4), Pattern::Uniform, &cfg);
+        assert!(!r.completed);
+        assert_eq!(r.stop, crate::results::StopReason::Drained);
+        assert!(r.generated > 0);
+        assert_eq!(r.unreachable, r.generated);
+        assert_eq!(r.delivered_total, 0);
+        assert_eq!(r.dropped, 0, "statically dead pairs never enter the net");
+        assert!(r.events_processed < cfg.max_events);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_across_schedulers() {
+        // A mixed static + timed fault schedule must give bit-identical
+        // results under both future-event-list backends.
+        let spec = spec();
+        let wl = wl(3e-4);
+        let mut base = tiny_cfg(6);
+        base.faults.link_fraction = 0.15;
+        base.faults.fault_seed = 99;
+        base.faults.max_attempts = 4;
+        base.faults.retry_timeout = 50.0;
+        let built = BuiltSystem::try_build_with(
+            &spec,
+            wl.flit_bytes,
+            cocnet_topology::AscentPolicy::default(),
+            &base.faults,
+        )
+        .unwrap();
+        // Fail the injection link of the first still-reachable pair at
+        // t = 2000 (the static mask may already have killed (0, 1)).
+        let routes = built.route_table();
+        let live = (0..24)
+            .flat_map(|s| (0..24).map(move |d| (s, d)))
+            .find(|&(s, d)| s != d && !routes.is_unreachable(s, d))
+            .expect("15% faults leave live pairs");
+        let seg = routes.seg_meta(routes.route_ref(live.0, live.1), 0);
+        let dead = routes.chans()[seg.start as usize];
+        base.faults.events = vec![crate::config::FaultEvent {
+            time: 2_000.0,
+            link: dead,
+            action: FaultAction::Fail,
+        }];
+        let mut results = Vec::new();
+        for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let cfg = SimConfig {
+                scheduler,
+                ..base.clone()
+            };
+            results.push(run_simulation_built(&built, &wl, Pattern::Uniform, &cfg));
+        }
+        let (a, b) = (&results[0], &results[1]);
+        assert_eq!(a.latency.mean.to_bits(), b.latency.mean.to_bits());
+        assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+        assert_eq!(a.generated, b.generated);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.retransmits, b.retransmits);
+        assert_eq!(a.unreachable, b.unreachable);
+        assert_eq!(a.delivered_total, b.delivered_total);
+    }
+
+    #[test]
+    fn adaptive_retransmissions_reroute_around_timed_faults() {
+        // Adaptive messages re-draw their ascent on retransmit, so even a
+        // permanently failed fabric link only costs retries, not messages,
+        // as long as an alternate ascent exists.
+        let spec = spec();
+        let wl = wl(2e-4);
+        let built = BuiltSystem::build(&spec, wl.flit_bytes);
+        // Fail a switch-to-switch link inside cluster 2's ICN1 (n = 2):
+        // the second hop of an intra-cluster route with an alternate up.
+        let routes = built.route_table();
+        let r02 = routes.route_ref(8, 15);
+        let seg = routes.seg_meta(r02, 0);
+        let fabric = routes.chans()[(seg.start + 1) as usize];
+        let mut cfg = tiny_cfg(7);
+        cfg.adaptive_routing = true;
+        cfg.faults.events = vec![crate::config::FaultEvent {
+            time: 0.0,
+            link: fabric,
+            action: FaultAction::Fail,
+        }];
+        cfg.faults.max_attempts = 64;
+        cfg.faults.retry_timeout = 20.0;
+        let r = dispatch(
+            &built,
+            &wl,
+            Pattern::Uniform,
+            cfg,
+            ArrivalSpec::Poisson { rate: wl.lambda_g },
+        );
+        assert!(r.completed, "alternate ascents must rescue adaptive runs");
+        assert_eq!(r.unreachable, 0);
     }
 }

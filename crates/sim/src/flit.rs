@@ -29,9 +29,9 @@
 //! recycled through a free list, and the heap/FIFOs retain capacity.
 
 use crate::build::{BuiltSystem, RouteRef, RouteTable, SegMeta};
-use crate::config::{SchedulerKind, SimConfig};
+use crate::config::{FaultAction, SchedulerKind, SimConfig};
 use crate::events::{CalendarQueue, EventQueue, Scheduler};
-use crate::results::{exact_percentiles, SimResults, WarmupAudit};
+use crate::results::{exact_percentiles, SimResults, StopReason, WarmupAudit};
 use cocnet_model::Workload;
 use cocnet_stats::{Histogram, OnlineStats, Percentiles};
 use cocnet_topology::SystemSpec;
@@ -51,6 +51,16 @@ enum EventKind {
         msg: u32,
         flit: u32,
         pos: u32,
+    },
+    /// Timed fault-schedule entry: the link (and its reverse) fails or is
+    /// repaired at the event's time.
+    Fault {
+        link: u32,
+        fail: bool,
+    },
+    /// A dropped message's retry timeout expired: re-enter from source.
+    Retransmit {
+        msg: u32,
     },
 }
 
@@ -91,6 +101,8 @@ struct MsgF {
     audited: bool,
     intra: bool,
     src_cluster: u32,
+    /// Completed transmission attempts that hit a failed channel.
+    attempt: u32,
 }
 
 impl MsgF {
@@ -111,6 +123,7 @@ impl MsgF {
         audited: false,
         intra: false,
         src_cluster: 0,
+        attempt: 0,
     };
 }
 
@@ -132,6 +145,13 @@ struct FlitSimulator<'a, S: Scheduler<EventKind>> {
     recorded_done: u64,
     events_processed: u64,
     now: f64,
+    /// Per-channel failure mask (empty = zero-fault fast path, see the
+    /// worm engine).
+    failed: Vec<bool>,
+    delivered_total: u64,
+    dropped: u64,
+    retransmits: u64,
+    unreachable: u64,
     latency: OnlineStats,
     intra_lat: OnlineStats,
     inter_lat: OnlineStats,
@@ -162,6 +182,22 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             .histogram
             .map(|(hi, bins)| Histogram::new(0.0, hi, bins));
         assert!(cfg.flit_buffer_depth >= 1, "buffers need at least one slot");
+        let percentiles = if cfg.collect_percentiles {
+            Some(Percentiles::with_capacity(cfg.measured as usize))
+        } else {
+            None
+        };
+        let audit = if cfg.audit_warmup {
+            Some(Vec::with_capacity((cfg.warmup + cfg.measured) as usize))
+        } else {
+            None
+        };
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let failed = if built.static_failed().is_empty() && !cfg.faults.events.is_empty() {
+            vec![false; built.num_channels()]
+        } else {
+            built.static_failed().to_vec()
+        };
         Self {
             built,
             routes: built.route_table(),
@@ -170,7 +206,7 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             m_flits: wl.msg_flits,
             lambda: wl.lambda_g,
             pattern,
-            rng: StdRng::seed_from_u64(cfg.seed),
+            rng,
             queue: S::new(),
             chans,
             msgs: Vec::new(),
@@ -179,6 +215,11 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             recorded_done: 0,
             events_processed: 0,
             now: 0.0,
+            failed,
+            delivered_total: 0,
+            dropped: 0,
+            retransmits: 0,
+            unreachable: 0,
             latency: OnlineStats::new(),
             intra_lat: OnlineStats::new(),
             inter_lat: OnlineStats::new(),
@@ -186,29 +227,33 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             histogram,
             busy_total: vec![0.0; built.num_channels()],
             busy_since: vec![0.0; built.num_channels()],
-            percentiles: if cfg.collect_percentiles {
-                Some(Percentiles::with_capacity(cfg.measured as usize))
-            } else {
-                None
-            },
-            audit: if cfg.audit_warmup {
-                Some(Vec::with_capacity((cfg.warmup + cfg.measured) as usize))
-            } else {
-                None
-            },
+            percentiles,
+            audit,
         }
     }
 
     fn run(mut self) -> SimResults {
+        // Faults first so a t = 0 failure is in force before any traffic.
+        for ev in &self.cfg.faults.events {
+            self.queue.schedule(
+                ev.time,
+                EventKind::Fault {
+                    link: ev.link,
+                    fail: matches!(ev.action, FaultAction::Fail),
+                },
+            );
+        }
         for node in 0..self.built.total_nodes() {
             let gap = exponential_sample(&mut self.rng, self.lambda);
             self.queue
                 .schedule(gap, EventKind::Generate { node: node as u32 });
         }
         let mut completed = false;
+        let mut stop = StopReason::Drained;
         while let Some(ev) = self.queue.pop() {
             self.events_processed += 1;
             if self.events_processed > self.cfg.max_events {
+                stop = StopReason::EventCap;
                 break;
             }
             self.now = ev.time;
@@ -217,9 +262,12 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
                 EventKind::CrossComplete { msg, flit, pos } => {
                     self.on_cross_complete(msg, flit, pos, ev.time)
                 }
+                EventKind::Fault { link, fail } => self.on_fault(link, fail),
+                EventKind::Retransmit { msg } => self.on_retransmit(msg, ev.time),
             }
             if self.recorded_done >= self.cfg.measured {
                 completed = true;
+                stop = StopReason::MeasuredComplete;
                 break;
             }
         }
@@ -252,8 +300,66 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             crate::results::EngineCounters {
                 events_processed: self.events_processed,
                 peak_live_msgs: self.msgs.len() as u64,
+                delivered_total: self.delivered_total,
+                dropped: self.dropped,
+                retransmits: self.retransmits,
+                unreachable: self.unreachable,
+                stop,
             },
         )
+    }
+
+    /// Applies a timed fault-schedule entry; the reverse channel fails and
+    /// recovers in tandem. Faults act at segment admission in this engine
+    /// (see [`inject_segment`](Self::inject_segment)): flits already
+    /// streaming through a segment complete it.
+    fn on_fault(&mut self, link: u32, fail: bool) {
+        debug_assert!(!self.failed.is_empty(), "fault events imply a full mask");
+        self.failed[link as usize] = fail;
+        self.failed[(link ^ 1) as usize] = fail;
+    }
+
+    /// Whether any channel of the message's current segment is failed —
+    /// the admission check. The flit engine's store-and-forward boundaries
+    /// mean a message holds no channels at admission time, so a drop here
+    /// never strands wormhole state.
+    fn segment_blocked(&self, msg_id: u32) -> bool {
+        if self.failed.is_empty() {
+            return false;
+        }
+        let m = &self.msgs[msg_id as usize];
+        (0..m.cur.len)
+            .any(|k| self.failed[self.routes.chans()[(m.cur.start + k) as usize] as usize])
+    }
+
+    /// Drops a message refused admission to a faulted segment: retransmit
+    /// from source after the retry timeout, or write it off as unreachable
+    /// once the attempt budget is exhausted.
+    fn drop_msg(&mut self, msg_id: u32, t: f64) {
+        self.dropped += 1;
+        let attempt = self.msgs[msg_id as usize].attempt;
+        if attempt + 1 >= self.cfg.faults.max_attempts {
+            self.unreachable += 1;
+            self.free.push(msg_id);
+        } else {
+            let delay = self.cfg.faults.retry_delay(attempt);
+            self.queue
+                .schedule(t + delay, EventKind::Retransmit { msg: msg_id });
+        }
+    }
+
+    /// Retry timeout expired: re-enter from the source with the original
+    /// generation time-stamp (latency includes every retry delay).
+    fn on_retransmit(&mut self, msg_id: u32, t: f64) {
+        self.retransmits += 1;
+        let route = self.msgs[msg_id as usize].route;
+        let cur = self.routes.seg_meta(route, 0);
+        let mm = &mut self.msgs[msg_id as usize];
+        mm.attempt += 1;
+        mm.seg = 0;
+        mm.injected = 0;
+        mm.cur = cur;
+        self.inject_segment(msg_id, t);
     }
 
     fn on_generate(&mut self, node: u32, t: f64) {
@@ -262,6 +368,18 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
         }
         let src = node as usize;
         let dst = self.pattern.sample(self.built.spec(), src, &mut self.rng);
+        if self.routes.is_unreachable(src, dst) {
+            // Statically partitioned destination: account the message
+            // without allocating a slab slot, keep the arrival stream
+            // going.
+            self.generated += 1;
+            self.unreachable += 1;
+            if self.generated < self.cfg.total_messages() {
+                let gap = exponential_sample(&mut self.rng, self.lambda);
+                self.queue.schedule(t + gap, EventKind::Generate { node });
+            }
+            return;
+        }
         let recorded = self.generated >= self.cfg.warmup
             && self.generated < self.cfg.warmup + self.cfg.measured;
         let audited = self.audit.is_some() && self.generated < self.cfg.warmup + self.cfg.measured;
@@ -286,6 +404,7 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             audited,
             intra: self.built.cluster_of(src) == self.built.cluster_of(dst),
             src_cluster: self.built.cluster_of(src) as u32,
+            attempt: 0,
         };
         self.inject_segment(slot, t);
         if self.generated < self.cfg.total_messages() {
@@ -297,6 +416,10 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
     /// The message (fully buffered) requests its current segment's first
     /// channel; the header sits at source position −1.
     fn inject_segment(&mut self, msg_id: u32, t: f64) {
+        if self.segment_blocked(msg_id) {
+            self.drop_msg(msg_id, t);
+            return;
+        }
         let chan = self.chan_at(msg_id, 0);
         let c = &mut self.chans[chan as usize];
         if c.owner.is_none() {
@@ -448,6 +571,7 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             self.inject_segment(msg_id, t);
             return;
         }
+        self.delivered_total += 1;
         let latency = t - m.gen_time;
         if m.audited {
             if let Some(a) = &mut self.audit {
@@ -484,7 +608,13 @@ pub fn run_simulation_flit(
     pattern: Pattern,
     cfg: &SimConfig,
 ) -> SimResults {
-    let built = BuiltSystem::build(spec, wl.flit_bytes);
+    let built = BuiltSystem::try_build_with(
+        spec,
+        wl.flit_bytes,
+        cocnet_topology::AscentPolicy::default(),
+        &cfg.faults,
+    )
+    .unwrap_or_else(|e| panic!("invalid fault schedule (validate it first): {e}"));
     run_simulation_flit_built(&built, wl, pattern, cfg)
 }
 
@@ -497,10 +627,10 @@ pub fn run_simulation_flit_built(
 ) -> SimResults {
     match cfg.scheduler {
         SchedulerKind::Heap => {
-            FlitSimulator::<EventQueue<EventKind>>::new(built, wl, pattern, *cfg).run()
+            FlitSimulator::<EventQueue<EventKind>>::new(built, wl, pattern, cfg.clone()).run()
         }
         SchedulerKind::Calendar => {
-            FlitSimulator::<CalendarQueue<EventKind>>::new(built, wl, pattern, *cfg).run()
+            FlitSimulator::<CalendarQueue<EventKind>>::new(built, wl, pattern, cfg.clone()).run()
         }
     }
 }
@@ -688,5 +818,73 @@ mod tests {
         );
         assert!(lo.completed && hi.completed);
         assert!(hi.latency.mean > lo.latency.mean);
+    }
+
+    #[test]
+    fn timed_fault_retry_accounting_is_exact() {
+        // Permanently fail node 0's injection link at t = 0: messages are
+        // refused admission to their first segment, retry, and exhaust
+        // the budget. The drained run accounts for every message.
+        let s = spec();
+        let wl = Workload::new(2e-4, 8, 256.0).unwrap();
+        let built = BuiltSystem::build(&s, wl.flit_bytes);
+        let routes = built.route_table();
+        let seg = routes.seg_meta(routes.route_ref(0, 1), 0);
+        let dead = routes.chans()[seg.start as usize];
+        let mut c = cfg(11);
+        c.faults.events = vec![crate::config::FaultEvent {
+            time: 0.0,
+            link: dead,
+            action: FaultAction::Fail,
+        }];
+        c.faults.max_attempts = 3;
+        c.faults.retry_timeout = 50.0;
+        c.faults.max_timeout = 200.0;
+        let r = run_simulation_flit_built(&built, &wl, Pattern::Uniform, &c);
+        assert!(!r.completed);
+        assert_eq!(r.stop, StopReason::Drained);
+        assert!(r.dropped > 0 && r.retransmits > 0 && r.unreachable > 0);
+        assert_eq!(r.generated, r.delivered_total + r.unreachable);
+        assert_eq!(r.dropped, r.retransmits + r.unreachable);
+        assert_eq!(r.dropped, r.unreachable * c.faults.max_attempts as u64);
+    }
+
+    #[test]
+    fn full_partition_terminates_gracefully() {
+        let mut c = cfg(12);
+        c.faults.link_fraction = 1.0;
+        let wl = Workload::new(1e-4, 8, 256.0).unwrap();
+        let r = run_simulation_flit(&spec(), &wl, Pattern::Uniform, &c);
+        assert!(!r.completed);
+        assert_eq!(r.stop, StopReason::Drained);
+        assert!(r.generated > 0);
+        assert_eq!(r.unreachable, r.generated);
+        assert_eq!(r.delivered_total, 0);
+        assert!(r.events_processed < c.max_events);
+    }
+
+    #[test]
+    fn faulted_runs_bit_identical_across_schedulers() {
+        // Static faults plus retries must stay deterministic under both
+        // future-event-list backends.
+        let wl = Workload::new(3e-4, 8, 256.0).unwrap();
+        let mut base = cfg(13);
+        base.faults.link_fraction = 0.1;
+        base.faults.fault_seed = 7;
+        let heap = run_simulation_flit(&spec(), &wl, Pattern::Uniform, &base);
+        let cal = run_simulation_flit(
+            &spec(),
+            &wl,
+            Pattern::Uniform,
+            &SimConfig {
+                scheduler: SchedulerKind::Calendar,
+                ..base.clone()
+            },
+        );
+        assert_eq!(heap.latency, cal.latency);
+        assert_eq!(heap.sim_time.to_bits(), cal.sim_time.to_bits());
+        assert_eq!(heap.generated, cal.generated);
+        assert_eq!(heap.unreachable, cal.unreachable);
+        assert_eq!(heap.delivered_total, cal.delivered_total);
     }
 }

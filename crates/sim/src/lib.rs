@@ -37,13 +37,16 @@ pub mod replicate;
 pub mod results;
 pub mod trace;
 
-pub use build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta, Segment};
-pub use config::{Coupling, SchedulerKind, SimConfig};
+pub use build::{
+    validate_faults, AdaptiveScratch, BuildError, BuiltSystem, RouteRef, RouteTable, SegMeta,
+    Segment,
+};
+pub use config::{Coupling, FaultAction, FaultEvent, FaultSchedule, SchedulerKind, SimConfig};
 pub use engine::{run_simulation, run_simulation_arrivals, run_simulation_built};
 pub use events::{CalendarQueue, EventQueue, Scheduler, Timed};
 pub use flit::{run_simulation_flit, run_simulation_flit_built};
 pub use replicate::{
     replicate, replicate_parallel, summarize, ReplicationAccumulator, ReplicationSummary,
 };
-pub use results::{SimResults, WarmupAudit};
+pub use results::{SimResults, StopReason, WarmupAudit};
 pub use trace::{MessageTrace, TraceEvent, TraceEventKind};

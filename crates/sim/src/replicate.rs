@@ -54,7 +54,7 @@ pub fn replicate(
         .map(|r| {
             let run_cfg = SimConfig {
                 seed: cfg.seed.wrapping_add(r as u64),
-                ..*cfg
+                ..cfg.clone()
             };
             run_simulation_built(&built, wl, pattern, &run_cfg)
         })
@@ -82,7 +82,7 @@ pub fn replicate_parallel(
         .map(|r| {
             let run_cfg = SimConfig {
                 seed: cfg.seed.wrapping_add(r as u64),
-                ..*cfg
+                ..cfg.clone()
             };
             run_simulation_built(&built, wl, pattern, &run_cfg)
         })
@@ -279,6 +279,7 @@ mod tests {
             crate::results::EngineCounters {
                 events_processed: 2,
                 peak_live_msgs: 1,
+                ..Default::default()
             },
         );
         let mut r_bad = r_ok.clone();

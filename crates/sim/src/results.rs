@@ -55,6 +55,30 @@ pub(crate) fn exact_percentiles(p: &mut Percentiles) -> Option<(f64, f64, f64)> 
     Some((p.quantile(0.5)?, p.quantile(0.95)?, p.quantile(0.99)?))
 }
 
+/// Why a run's event loop stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The configured measured population was fully delivered.
+    #[default]
+    MeasuredComplete,
+    /// The future-event list ran dry before the measured population
+    /// completed — under fault injection this is the graceful-degradation
+    /// exit: every message was delivered or written off as unreachable.
+    Drained,
+    /// The event cap was hit first — in practice, saturation.
+    EventCap,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::MeasuredComplete => "measured population complete",
+            StopReason::Drained => "event queue drained (undelivered messages written off)",
+            StopReason::EventCap => "event cap reached",
+        })
+    }
+}
+
 /// Everything a simulation run reports.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResults {
@@ -97,6 +121,27 @@ pub struct SimResults {
     /// concurrently live messages. Delivered slots are recycled, so this —
     /// not the generated population — bounds the engine's memory.
     pub peak_live_msgs: u64,
+    /// Messages fully delivered, recorded or not (warm-up and drain
+    /// included). With fault injection this is the numerator of the
+    /// delivered fraction.
+    #[serde(default)]
+    pub delivered_total: u64,
+    /// Transmissions aborted at a failed channel (each retry attempt that
+    /// ran into a fault counts once).
+    #[serde(default)]
+    pub dropped: u64,
+    /// Retransmissions performed after a retry timeout.
+    #[serde(default)]
+    pub retransmits: u64,
+    /// Messages written off: destination statically partitioned away, or
+    /// the retry budget was exhausted. Never silently lost — the
+    /// accounting identity `generated == delivered_total + unreachable +
+    /// live-in-flight-at-stop` holds at every exit.
+    #[serde(default)]
+    pub unreachable: u64,
+    /// Why the event loop stopped (see [`StopReason`]).
+    #[serde(default)]
+    pub stop: StopReason,
 }
 
 /// The engine-loop throughput counters threaded into
@@ -108,6 +153,16 @@ pub(crate) struct EngineCounters {
     pub events_processed: u64,
     /// Message-slab high-water mark.
     pub peak_live_msgs: u64,
+    /// Messages fully delivered (recorded or not).
+    pub delivered_total: u64,
+    /// Transmissions aborted at a failed channel.
+    pub dropped: u64,
+    /// Retransmissions performed.
+    pub retransmits: u64,
+    /// Messages written off as unreachable.
+    pub unreachable: u64,
+    /// Why the event loop stopped.
+    pub stop: StopReason,
 }
 
 impl SimResults {
@@ -145,6 +200,11 @@ impl SimResults {
             warmup_audit,
             events_processed: counters.events_processed,
             peak_live_msgs: counters.peak_live_msgs,
+            delivered_total: counters.delivered_total,
+            dropped: counters.dropped,
+            retransmits: counters.retransmits,
+            unreachable: counters.unreachable,
+            stop: counters.stop,
         }
     }
 
@@ -155,6 +215,16 @@ impl SimResults {
             0.0
         } else {
             self.inter.count as f64 / total as f64
+        }
+    }
+
+    /// Fraction of generated messages that were fully delivered — the
+    /// degradation sweep's y-axis. `1.0` for an empty run.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.delivered_total as f64 / self.generated as f64
         }
     }
 }
@@ -215,6 +285,7 @@ mod tests {
             EngineCounters {
                 events_processed: 100,
                 peak_live_msgs: 4,
+                ..EngineCounters::default()
             },
         );
         assert!((r.inter_fraction() - 0.75).abs() < 1e-12);

@@ -39,6 +39,17 @@ pub enum TraceEventKind {
         /// End-to-end latency.
         latency: f64,
     },
+    /// Message hit a failed channel and was dropped for retransmission
+    /// (or written off, if its attempt budget was exhausted).
+    Dropped {
+        /// The failed channel the header ran into.
+        chan: u32,
+    },
+    /// Message re-entered from its source after a retry timeout.
+    Retransmitted {
+        /// Transmission attempts completed so far (1 on the first retry).
+        attempt: u32,
+    },
 }
 
 /// A timestamped trace event.

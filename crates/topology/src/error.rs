@@ -47,6 +47,22 @@ pub enum TopologyError {
         /// Which parameter was invalid.
         what: &'static str,
     },
+    /// No fault-free Up*/Down* path exists between the endpoints: every
+    /// alternate ascent is cut by the fault set (or an injection/ejection
+    /// channel, which has no alternative, is down).
+    Disconnected {
+        /// Source node id.
+        src: usize,
+        /// Destination node id, or `None` when the unreachable target is
+        /// the root level (inter-cluster exit/entry routes).
+        dst: Option<usize>,
+    },
+    /// A structural invariant of a built channel graph failed
+    /// ([`crate::Graph::validate`]).
+    BadGraphStructure {
+        /// Which invariant was violated, with the offending values.
+        what: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -77,6 +93,19 @@ impl fmt::Display for TopologyError {
                     "network characteristic {what} must be positive and finite"
                 )
             }
+            Self::Disconnected { src, dst } => match dst {
+                Some(dst) => write!(
+                    f,
+                    "no fault-free Up*/Down* path from node {src} to node {dst}"
+                ),
+                None => write!(
+                    f,
+                    "no fault-free Up*/Down* path from node {src} to any root"
+                ),
+            },
+            Self::BadGraphStructure { what } => {
+                write!(f, "channel graph invariant violated: {what}")
+            }
         }
     }
 }
@@ -98,5 +127,17 @@ mod tests {
             num_nodes: 8,
         };
         assert!(e.to_string().contains('9'));
+        let e = TopologyError::Disconnected {
+            src: 3,
+            dst: Some(7),
+        };
+        assert!(e.to_string().contains("node 3"));
+        assert!(e.to_string().contains("node 7"));
+        let e = TopologyError::Disconnected { src: 3, dst: None };
+        assert!(e.to_string().contains("any root"));
+        let e = TopologyError::BadGraphStructure {
+            what: "channel count 4 != 2nN = 8".into(),
+        };
+        assert!(e.to_string().contains("2nN"));
     }
 }

@@ -86,6 +86,82 @@ pub enum AscentPolicy {
     MirrorDescent,
 }
 
+/// A set of failed channels of one [`Graph`].
+///
+/// Faults model *physical* link failures: the two directions of a link
+/// always fail (and repair) in tandem, so `is_failed(c)` equals
+/// `is_failed(reverse(c))` by construction. Channels are identified by the
+/// graph-local [`ChannelId`]; the pairing relies on the graph's invariant
+/// that a link's two directions occupy consecutive ids (`reverse == id ^ 1`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    failed: std::collections::HashSet<u32>,
+}
+
+impl FaultSet {
+    /// An empty (fault-free) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the physical link carrying `id` as failed — both directions.
+    pub fn fail_link(&mut self, id: ChannelId) {
+        self.failed.insert(id.0);
+        self.failed.insert(id.0 ^ 1);
+    }
+
+    /// Repairs the physical link carrying `id` — both directions.
+    pub fn repair_link(&mut self, id: ChannelId) {
+        self.failed.remove(&id.0);
+        self.failed.remove(&(id.0 ^ 1));
+    }
+
+    /// Fails every link incident to switch `sw` of `graph` (a dead switch:
+    /// nothing can enter or leave it).
+    pub fn fail_switch(&mut self, graph: &Graph, sw: u32) {
+        for i in 0..graph.num_channels() {
+            let id = ChannelId(i as u32);
+            let ch = graph.channel(id);
+            if ch.from == Endpoint::Switch(sw) || ch.to == Endpoint::Switch(sw) {
+                self.fail_link(id);
+            }
+        }
+    }
+
+    /// Whether channel `id` is currently failed.
+    pub fn is_failed(&self, id: ChannelId) -> bool {
+        self.failed.contains(&id.0)
+    }
+
+    /// Whether no channel is failed (the routing fast path).
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Number of failed *directed* channels (twice the failed link count).
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+}
+
+/// Shared inputs of the fault-avoiding DFS helpers
+/// ([`Graph::search_avoiding`] / [`Graph::descend_avoiding`]), bundled so
+/// the recursion carries one reference instead of six arguments.
+struct AvoidCtx<'a> {
+    /// Label shaping the preferred ascent digits — the destination label
+    /// for node-to-node routes, the source label for to-root routes. Also
+    /// supplies the descent digits (node-to-node only).
+    shape: &'a NodeLabel,
+    policy: AscentPolicy,
+    faults: &'a FaultSet,
+    n: u32,
+    /// Level the ascent must reach before descending (node-to-node) or
+    /// terminating (to-root).
+    target: u32,
+    /// Destination node of the descent; `None` for to-root routes.
+    dst: Option<u32>,
+}
+
 /// An m-port n-tree with all channels materialised.
 #[derive(Debug, Clone)]
 pub struct Graph {
@@ -536,17 +612,220 @@ impl Graph {
         Ok(h)
     }
 
+    /// Fault-aware form of [`Graph::route_into`]: routes `src → dst`
+    /// avoiding every channel in `faults`.
+    ///
+    /// With an empty fault set this delegates to the deterministic router,
+    /// so the produced route is *byte-identical* to [`Graph::route_into`]
+    /// and the fast path pays nothing. Otherwise a deterministic
+    /// depth-first search explores every alternate ascent — the
+    /// policy-preferred up-port first, then the remaining digits in
+    /// ascending order — covering all `(m/2)^{h−1}` NCA candidates at level
+    /// `h`. That search is *complete* for Up*/Down* in this label algebra:
+    /// a turn above the NCA would descend back through the very switches
+    /// (and tandem-failing links) the ascent used, so it can never rescue a
+    /// pair with no fault-free level-`h` turn. Returns the NCA level, or
+    /// [`TopologyError::Disconnected`] when no fault-free Up*/Down* path
+    /// exists (`out` is left empty in that case).
+    pub fn route_into_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        policy: AscentPolicy,
+        faults: &FaultSet,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        if faults.is_empty() {
+            return self.route_into(src, dst, policy, out);
+        }
+        out.clear();
+        let n = self.tree.n();
+        let h = self.tree.nca_level(src, dst)?;
+        if h == 0 {
+            return Ok(0);
+        }
+        let disconnected = TopologyError::Disconnected {
+            src,
+            dst: Some(dst),
+        };
+        let src_label = self.tree.node_label(src)?;
+        let dst_label = self.tree.node_label(dst)?;
+        let src_leaf = SwitchLabel::leaf_of(&src_label);
+        let dst_leaf = SwitchLabel::leaf_of(&dst_label);
+        let cur = Endpoint::Switch(self.switch_index[&src_leaf]);
+        let inj = self.lookup[&(Endpoint::Node(src as u32), cur)];
+        let ej = self.lookup[&(
+            Endpoint::Switch(self.switch_index[&dst_leaf]),
+            Endpoint::Node(dst as u32),
+        )];
+        // Injection and ejection channels have no alternative: if either is
+        // down the pair is disconnected regardless of the switch fabric.
+        if faults.is_failed(inj) || faults.is_failed(ej) {
+            return Err(disconnected);
+        }
+        let ctx = AvoidCtx {
+            shape: &dst_label,
+            policy,
+            faults,
+            n,
+            target: h,
+            dst: Some(dst as u32),
+        };
+        out.push(inj);
+        if self.search_avoiding(&src_leaf, cur, 1, &ctx, out) {
+            debug_assert_eq!(out.len(), 2 * h as usize);
+            Ok(h)
+        } else {
+            out.clear();
+            Err(disconnected)
+        }
+    }
+
+    /// Fault-aware form of [`Graph::route_to_root_into`]: ascends from
+    /// `src` to *any* root avoiding failed channels, preferring the
+    /// deterministic exit root's up-ports at every level. Delegates to the
+    /// deterministic router when `faults` is empty (byte-identical route);
+    /// returns [`TopologyError::Disconnected`] with `dst: None` when every
+    /// ascent is cut.
+    pub fn route_to_root_into_avoiding(
+        &self,
+        src: usize,
+        policy: AscentPolicy,
+        faults: &FaultSet,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        if faults.is_empty() {
+            return self.route_to_root_into(src, policy, out);
+        }
+        out.clear();
+        let n = self.tree.n();
+        let src_label = self.tree.node_label(src)?;
+        let leaf = SwitchLabel::leaf_of(&src_label);
+        let cur = Endpoint::Switch(self.switch_index[&leaf]);
+        let inj = self.lookup[&(Endpoint::Node(src as u32), cur)];
+        if faults.is_failed(inj) {
+            return Err(TopologyError::Disconnected { src, dst: None });
+        }
+        let ctx = AvoidCtx {
+            shape: &src_label,
+            policy,
+            faults,
+            n,
+            target: n,
+            dst: None,
+        };
+        out.push(inj);
+        if self.search_avoiding(&leaf, cur, 1, &ctx, out) {
+            Ok(n)
+        } else {
+            out.clear();
+            Err(TopologyError::Disconnected { src, dst: None })
+        }
+    }
+
+    /// Fault-aware form of [`Graph::route_from_root_into`]: the avoiding
+    /// ascent toward `dst`'s entry root, reversed channel by channel.
+    /// Because both directions of a link fail in tandem, a fault-free
+    /// ascent reversed is a fault-free descent. The `Disconnected` error
+    /// reports `dst` as its source node (the ascent it mirrors).
+    pub fn route_from_root_into_avoiding(
+        &self,
+        dst: usize,
+        policy: AscentPolicy,
+        faults: &FaultSet,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        let nca_level = self.route_to_root_into_avoiding(dst, policy, faults, out)?;
+        out.reverse();
+        for c in out.iter_mut() {
+            *c = self.reverse(*c);
+        }
+        Ok(nca_level)
+    }
+
+    /// Depth-first ascent of the avoiding router: from switch `sw` at
+    /// level `l` (its channels already in `out`), try every healthy
+    /// up-port — preferred digit first — until either the target level is
+    /// reached (then descend, for node-to-node routes) or all options are
+    /// exhausted. Leaves `out` exactly as found when returning `false`.
+    fn search_avoiding(
+        &self,
+        sw: &SwitchLabel,
+        cur: Endpoint,
+        l: u32,
+        ctx: &AvoidCtx<'_>,
+        out: &mut Vec<ChannelId>,
+    ) -> bool {
+        if l == ctx.target {
+            return match ctx.dst {
+                Some(dst) => self.descend_avoiding(sw, cur, dst, ctx, out),
+                None => true, // to-root route: any root will do
+            };
+        }
+        let k = self.tree.k();
+        let preferred = self.up_digit_with(ctx.shape, l, ctx.policy);
+        let order = std::iter::once(preferred).chain((0..k).filter(|&u| u != preferred));
+        for u in order {
+            let parent = sw.parent(u).expect("ascending below the root");
+            let next = Endpoint::Switch(self.switch_index[&parent]);
+            let ch = self.lookup[&(cur, next)];
+            if ctx.faults.is_failed(ch) {
+                continue;
+            }
+            out.push(ch);
+            if self.search_avoiding(&parent, next, l + 1, ctx, out) {
+                return true;
+            }
+            out.pop();
+        }
+        false
+    }
+
+    /// The fixed descent of the avoiding router: from the turn switch at
+    /// `ctx.target` down to node `dst` following the destination digits.
+    /// Fails (restoring `out`) as soon as any descent channel is down —
+    /// the caller then backtracks to a different turn switch.
+    fn descend_avoiding(
+        &self,
+        sw: &SwitchLabel,
+        cur: Endpoint,
+        dst: u32,
+        ctx: &AvoidCtx<'_>,
+        out: &mut Vec<ChannelId>,
+    ) -> bool {
+        let mark = out.len();
+        let mut sw = sw.clone();
+        let mut cur = cur;
+        for l in (1..ctx.target).rev() {
+            let d = ctx.shape.digits[(ctx.n - l - 1) as usize];
+            let child = sw.child(d).expect("descending above the leaves");
+            let next = Endpoint::Switch(self.switch_index[&child]);
+            let ch = self.lookup[&(cur, next)];
+            if ctx.faults.is_failed(ch) {
+                out.truncate(mark);
+                return false;
+            }
+            out.push(ch);
+            sw = child;
+            cur = next;
+        }
+        // Ejection was pre-checked by the caller: it has no alternative.
+        out.push(self.lookup[&(cur, Endpoint::Node(dst))]);
+        true
+    }
+
     /// Structural self-check: channel count, port budgets, reverse pairing.
     /// Cheap enough to run in tests on every topology used.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let bad = |what: String| TopologyError::BadGraphStructure { what };
         let n = self.tree.n() as usize;
         let nodes = self.tree.num_nodes();
         let expect = 2 * n * nodes;
         if self.num_channels() != expect {
-            return Err(format!(
+            return Err(bad(format!(
                 "channel count {} != 2nN = {expect}",
                 self.num_channels()
-            ));
+            )));
         }
         // Reverse pairing: reverse(reverse(c)) == c, endpoints mirrored.
         for i in 0..self.channels.len() {
@@ -555,7 +834,7 @@ impl Graph {
             let a = self.channel(id);
             let b = self.channel(rev);
             if a.from != b.to || a.to != b.from {
-                return Err(format!("channel {i} and its reverse are not mirrored"));
+                return Err(bad(format!("channel {i} and its reverse are not mirrored")));
             }
         }
         // Per-switch port budget: down + up degree <= m (root: == m down).
@@ -586,10 +865,10 @@ impl Graph {
             };
             let expect_up = if is_root { 0 } else { self.tree.k() };
             if down[i] != expect_down || up[i] != expect_up {
-                return Err(format!(
+                return Err(bad(format!(
                     "switch {i} (level {level}) has {} down / {} up ports, expected {} / {}",
                     down[i], up[i], expect_down, expect_up
-                ));
+                )));
             }
         }
         Ok(())
@@ -819,6 +1098,274 @@ mod tests {
         let ada = g.route_adaptive(0, 127, &[3, 1]).unwrap();
         g.route_adaptive_into(0, 127, &[3, 1], &mut buf).unwrap();
         assert_eq!(buf, ada.channels);
+    }
+
+    /// Every channel of `route` is healthy, the path chains, and it runs
+    /// from `src` to `dst` with a single ascent followed by a single
+    /// descent (valid Up*/Down* shape).
+    fn assert_valid_avoiding_route(
+        g: &Graph,
+        src: usize,
+        dst: usize,
+        route: &[ChannelId],
+        faults: &FaultSet,
+    ) {
+        assert!(!route.is_empty());
+        for &c in route {
+            assert!(!faults.is_failed(c), "route traverses failed {c:?}");
+        }
+        assert_eq!(g.channel(route[0]).from, Endpoint::Node(src as u32));
+        assert_eq!(
+            g.channel(*route.last().unwrap()).to,
+            Endpoint::Node(dst as u32)
+        );
+        let n = g.tree().n();
+        let mut levels = Vec::new();
+        for w in route.windows(2) {
+            assert_eq!(g.channel(w[0]).to, g.channel(w[1]).from, "path must chain");
+            if let Endpoint::Switch(s) = g.channel(w[0]).to {
+                levels.push(g.switch_label(s).level(n));
+            }
+        }
+        let peak = levels.iter().position(|&l| Some(&l) == levels.iter().max());
+        let peak = peak.unwrap_or(0);
+        assert!(
+            levels[..peak].windows(2).all(|w| w[1] == w[0] + 1),
+            "ascent must be strict: {levels:?}"
+        );
+        assert!(
+            levels[peak..].windows(2).all(|w| w[1] == w[0] - 1),
+            "descent must be strict: {levels:?}"
+        );
+    }
+
+    #[test]
+    fn avoiding_with_empty_faults_is_byte_identical() {
+        let g = graph(4, 3);
+        let none = FaultSet::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for policy in [AscentPolicy::TrailingDigits, AscentPolicy::MirrorDescent] {
+            for src in 0..g.tree().num_nodes() {
+                for dst in 0..g.tree().num_nodes() {
+                    let h1 = g.route_into(src, dst, policy, &mut a).unwrap();
+                    let h2 = g
+                        .route_into_avoiding(src, dst, policy, &none, &mut b)
+                        .unwrap();
+                    assert_eq!(h1, h2);
+                    assert_eq!(a, b, "{src}->{dst}");
+                }
+                let h1 = g.route_to_root_into(src, policy, &mut a).unwrap();
+                let h2 = g
+                    .route_to_root_into_avoiding(src, policy, &none, &mut b)
+                    .unwrap();
+                assert_eq!((h1, &a), (h2, &b));
+                g.route_from_root_into(src, policy, &mut a).unwrap();
+                g.route_from_root_into_avoiding(src, policy, &none, &mut b)
+                    .unwrap();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_reroutes_around_failed_ascent_link() {
+        let g = graph(8, 2);
+        let (src, dst) = (0usize, 31usize);
+        let base = g.route(src, dst).unwrap();
+        assert_eq!(base.nca_level, 2);
+        let mut faults = FaultSet::new();
+        faults.fail_link(base.channels[1]); // the preferred first up-link
+        let mut out = Vec::new();
+        let h = g
+            .route_into_avoiding(src, dst, AscentPolicy::default(), &faults, &mut out)
+            .unwrap();
+        assert_eq!(h, 2, "an alternate level-2 ascent must exist");
+        assert_ne!(out, base.channels);
+        assert_valid_avoiding_route(&g, src, dst, &out, &faults);
+    }
+
+    #[test]
+    fn avoiding_search_over_nca_candidates_is_complete() {
+        // Pick a pair with NCA level 2 in a 3-level tree and cut the
+        // ascent to one level-2 candidate plus the descent from the other.
+        // A turn at level 3 would descend back through the ascent's own
+        // tandem-failing links, so no Up*/Down* path survives: the pair is
+        // Disconnected — while cutting only one side still reroutes.
+        let g = graph(4, 3);
+        let t = *g.tree();
+        let (src, dst) = (0..t.num_nodes())
+            .flat_map(|s| (0..t.num_nodes()).map(move |d| (s, d)))
+            .find(|&(s, d)| t.nca_level(s, d).unwrap() == 2)
+            .unwrap();
+        let via_a = g.route(src, dst).unwrap();
+        let via_b = (0..t.k())
+            .map(|u| g.route_adaptive(src, dst, &[u]).unwrap())
+            .find(|r| r.channels[1] != via_a.channels[1])
+            .expect("k=2 gives a second ascent");
+        let mut out = Vec::new();
+        let mut faults = FaultSet::new();
+        faults.fail_link(via_a.channels[1]); // ascent into NCA A
+        let h = g
+            .route_into_avoiding(src, dst, AscentPolicy::default(), &faults, &mut out)
+            .unwrap();
+        assert_eq!(h, 2, "one cut ascent still leaves NCA B");
+        assert_valid_avoiding_route(&g, src, dst, &out, &faults);
+        faults.fail_link(via_b.channels[2]); // descent out of NCA B
+        let err = g
+            .route_into_avoiding(src, dst, AscentPolicy::default(), &faults, &mut out)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::Disconnected {
+                src,
+                dst: Some(dst)
+            }
+        );
+    }
+
+    #[test]
+    fn avoiding_reports_disconnected_when_injection_or_ejection_cut() {
+        let g = graph(4, 2);
+        let (src, dst) = (0usize, 7usize);
+        let base = g.route(src, dst).unwrap();
+        let mut out = Vec::new();
+        for cut in [base.channels[0], *base.channels.last().unwrap()] {
+            let mut faults = FaultSet::new();
+            faults.fail_link(cut);
+            let err = g
+                .route_into_avoiding(src, dst, AscentPolicy::default(), &faults, &mut out)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                TopologyError::Disconnected {
+                    src,
+                    dst: Some(dst)
+                }
+            );
+            assert!(out.is_empty(), "failed search must leave the buffer empty");
+        }
+    }
+
+    #[test]
+    fn fail_switch_disconnects_routes_through_it() {
+        let g = graph(4, 2);
+        // Kill the leaf switch of node 0: nodes 0/1 become unreachable,
+        // pairs avoiding that switch still route.
+        let leaf = match g.channel(g.route(0, 7).unwrap().channels[0]).to {
+            Endpoint::Switch(s) => s,
+            _ => unreachable!(),
+        };
+        let mut faults = FaultSet::new();
+        faults.fail_switch(&g, leaf);
+        let mut out = Vec::new();
+        let err = g
+            .route_into_avoiding(0, 7, AscentPolicy::default(), &faults, &mut out)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::Disconnected {
+                src: 0,
+                dst: Some(7)
+            }
+        );
+        let h = g
+            .route_into_avoiding(4, 7, AscentPolicy::default(), &faults, &mut out)
+            .unwrap();
+        assert!(h > 0);
+        assert_valid_avoiding_route(&g, 4, 7, &out, &faults);
+    }
+
+    #[test]
+    fn avoiding_to_root_reroutes_and_disconnects() {
+        let g = graph(8, 2);
+        let base = g.route_to_root(0).unwrap();
+        let mut faults = FaultSet::new();
+        faults.fail_link(base.channels[1]);
+        let mut out = Vec::new();
+        let n = g
+            .route_to_root_into_avoiding(0, AscentPolicy::default(), &faults, &mut out)
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_ne!(out, base.channels);
+        for &c in &out {
+            assert!(!faults.is_failed(c));
+        }
+        match g.channel(*out.last().unwrap()).to {
+            Endpoint::Switch(s) => assert_eq!(g.switch_label(s).level(2), 2),
+            _ => panic!("must end at a root"),
+        }
+        // Mirrored entry route also avoids the faults.
+        g.route_from_root_into_avoiding(0, AscentPolicy::default(), &faults, &mut out)
+            .unwrap();
+        for &c in &out {
+            assert!(!faults.is_failed(c));
+        }
+        assert_eq!(g.channel(*out.last().unwrap()).to, Endpoint::Node(0));
+        // Cutting every up-link of the leaf switch strands the node.
+        let leaf = match g.channel(base.channels[0]).to {
+            Endpoint::Switch(s) => s,
+            _ => unreachable!(),
+        };
+        for u in 0..g.tree().k() {
+            let parent = g.switch_label(leaf).parent(u).unwrap();
+            let p = g.switch_index[&parent];
+            faults.fail_link(
+                g.channel_between(Endpoint::Switch(leaf), Endpoint::Switch(p))
+                    .unwrap(),
+            );
+        }
+        let err = g
+            .route_to_root_into_avoiding(0, AscentPolicy::default(), &faults, &mut out)
+            .unwrap_err();
+        assert_eq!(err, TopologyError::Disconnected { src: 0, dst: None });
+    }
+
+    #[test]
+    fn avoiding_routes_never_traverse_failed_channels_sweep() {
+        // Deterministic "random" faults: fail every 5th link. For every
+        // pair the avoiding router must either produce a clean valid
+        // Up*/Down* route or report Disconnected — never a dirty route.
+        let g = graph(4, 3);
+        let mut faults = FaultSet::new();
+        for i in (0..g.num_channels()).step_by(10) {
+            faults.fail_link(ChannelId(i as u32));
+        }
+        let mut out = Vec::new();
+        let (mut ok, mut cut) = (0usize, 0usize);
+        for src in 0..g.tree().num_nodes() {
+            for dst in 0..g.tree().num_nodes() {
+                if src == dst {
+                    continue;
+                }
+                match g.route_into_avoiding(src, dst, AscentPolicy::default(), &faults, &mut out) {
+                    Ok(_) => {
+                        ok += 1;
+                        assert_valid_avoiding_route(&g, src, dst, &out, &faults);
+                    }
+                    Err(TopologyError::Disconnected { .. }) => {
+                        cut += 1;
+                        assert!(out.is_empty());
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        assert!(ok > 0, "some pairs must still route");
+        assert!(cut > 0, "failing injection links must strand some pairs");
+    }
+
+    #[test]
+    fn fault_set_pairs_reverse_channels() {
+        let g = graph(4, 2);
+        let mut f = FaultSet::new();
+        assert!(f.is_empty());
+        f.fail_link(ChannelId(6));
+        assert!(f.is_failed(ChannelId(6)));
+        assert!(f.is_failed(g.reverse(ChannelId(6))));
+        assert_eq!(f.len(), 2);
+        f.repair_link(ChannelId(7));
+        assert!(f.is_empty());
     }
 
     #[test]

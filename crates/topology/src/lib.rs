@@ -28,7 +28,7 @@ pub mod system;
 pub mod tree;
 
 pub use error::TopologyError;
-pub use graph::{AscentPolicy, ChannelId, ChannelKind, Endpoint, Graph, Route};
+pub use graph::{AscentPolicy, ChannelId, ChannelKind, Endpoint, FaultSet, Graph, Route};
 pub use labels::{NodeLabel, SwitchLabel};
 pub use metrics::TreeMetrics;
 pub use netchar::NetworkCharacteristics;
