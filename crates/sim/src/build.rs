@@ -818,6 +818,16 @@ impl BuiltSystem {
         self.node_cluster[f] as usize
     }
 
+    /// Cluster owning a global channel (`None` for ICN2 fabric channels).
+    /// Every ICN1 and ECN1 channel belongs to exactly one cluster; this is
+    /// the sharded engine's channel → shard partition map.
+    pub fn channel_cluster(&self, chan: u32) -> Option<usize> {
+        match self.network_of(chan) {
+            ("ICN2", _) => None,
+            (_, i) => Some(i),
+        }
+    }
+
     /// Which network a global channel belongs to, for diagnostics:
     /// `("ICN1", i)`, `("ECN1", i)` or `("ICN2", 0)`.
     pub fn network_of(&self, chan: u32) -> (&'static str, usize) {
@@ -929,9 +939,63 @@ impl BuiltSystem {
         scratch: &mut AdaptiveScratch,
         out: &mut Vec<u32>,
     ) -> ([SegMeta; 3], u8) {
+        self.adaptive_draw_digits(src, dst, rng, &mut scratch.digits);
+        let digits = std::mem::take(&mut scratch.digits);
+        let r = self.adaptive_route_from_digits(src, dst, &digits, scratch, out);
+        scratch.digits = digits;
+        r
+    }
+
+    /// How many random ascent digits an adaptive route from `src` to
+    /// `dst` consumes: `(up, cross)` — `n_i − 1` free ascent choices in
+    /// the first network, plus `n_c − 1` in ICN2 for inter-cluster pairs.
+    pub fn adaptive_digit_counts(&self, src: usize, dst: usize) -> (u32, u32) {
+        let ci = self.node_cluster[src] as usize;
+        let cj = self.node_cluster[dst] as usize;
+        let n_i = self.spec.clusters[ci].n.saturating_sub(1);
+        if ci == cj {
+            (n_i, 0)
+        } else {
+            let n_c = self.spec.icn2_height().expect("validated");
+            (n_i, n_c.saturating_sub(1))
+        }
+    }
+
+    /// Draws an adaptive route's ascent digits into `digits` — exactly
+    /// the same count and order [`BuiltSystem::adaptive_route_into`]
+    /// consumes, so separating the draw from the route construction
+    /// (e.g. to consult a memo cache between the two) never perturbs the
+    /// RNG stream.
+    pub fn adaptive_draw_digits<R: Rng + ?Sized>(
+        &self,
+        src: usize,
+        dst: usize,
+        rng: &mut R,
+        digits: &mut Vec<u32>,
+    ) {
+        let k = self.spec.m / 2;
+        let (up, cross) = self.adaptive_digit_counts(src, dst);
+        digits.clear();
+        for _ in 0..up + cross {
+            digits.push(rng.random_range(0..k));
+        }
+    }
+
+    /// The deterministic tail of [`BuiltSystem::adaptive_route_into`]:
+    /// materialises the route selected by pre-drawn ascent `digits`
+    /// (`up` digits first, then `cross`, as laid out by
+    /// [`BuiltSystem::adaptive_draw_digits`]). Identical digits produce
+    /// bit-identical channel lists and segment metadata.
+    pub fn adaptive_route_from_digits(
+        &self,
+        src: usize,
+        dst: usize,
+        digits: &[u32],
+        scratch: &mut AdaptiveScratch,
+        out: &mut Vec<u32>,
+    ) -> ([SegMeta; 3], u8) {
         assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
         out.clear();
-        let k = self.spec.m / 2;
         let (ci, li) = (
             self.node_cluster[src] as usize,
             self.node_local[src] as usize,
@@ -959,31 +1023,20 @@ impl BuiltSystem {
                 bottleneck_t: bot,
             }
         };
-        let sample_digits = |len: u32, rng: &mut R, digits: &mut Vec<u32>| {
-            digits.clear();
-            for _ in 0..len {
-                digits.push(rng.random_range(0..k));
-            }
-        };
         if ci == cj {
-            let n = self.spec.clusters[ci].n;
-            sample_digits(n.saturating_sub(1), rng, &mut scratch.digits);
             self.icn1[ci]
-                .route_adaptive_into(li, lj, &scratch.digits, &mut scratch.route)
+                .route_adaptive_into(li, lj, digits, &mut scratch.route)
                 .expect("valid local ids");
             metas[0] = append(&scratch.route, self.icn1_off[ci], out);
             return (metas, 1);
         }
-        let n_i = self.spec.clusters[ci].n;
-        let n_c = self.spec.icn2_height().expect("validated");
-        sample_digits(n_i.saturating_sub(1), rng, &mut scratch.digits);
+        let n_up = self.spec.clusters[ci].n.saturating_sub(1) as usize;
         self.ecn1[ci]
-            .route_to_root_adaptive_into(li, &scratch.digits, &mut scratch.route)
+            .route_to_root_adaptive_into(li, &digits[..n_up], &mut scratch.route)
             .expect("valid local id");
         metas[0] = append(&scratch.route, self.ecn1_off[ci], out);
-        sample_digits(n_c.saturating_sub(1), rng, &mut scratch.digits);
         self.icn2
-            .route_adaptive_into(ci, cj, &scratch.digits, &mut scratch.route)
+            .route_adaptive_into(ci, cj, &digits[n_up..], &mut scratch.route)
             .expect("valid cluster ids");
         metas[1] = append(&scratch.route, self.icn2_off, out);
         self.ecn1[cj]
@@ -991,6 +1044,22 @@ impl BuiltSystem {
             .expect("valid local id");
         metas[2] = append(&scratch.route, self.ecn1_off[cj], out);
         (metas, 3)
+    }
+
+    /// The smallest single-channel crossing time on the inter-cluster
+    /// fabric (every ECN1 and ICN2 channel) — the concrete-channel form
+    /// of [`SystemSpec::intercluster_lookahead`], taken over the built
+    /// channel table. This is the sharded engine's conservative sync
+    /// lookahead: a message emitted into the inter-cluster fabric at `t`
+    /// cannot request a channel on another shard before `t + Δ`.
+    pub fn min_intercluster_channel_time(&self) -> f64 {
+        // Channel numbering is all ICN1s, then all ECN1s, then ICN2, so
+        // everything at or past the first ECN1 offset is boundary fabric.
+        let from = self.ecn1_off.first().copied().unwrap_or(self.icn2_off) as usize;
+        self.chan_time[from..]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Like [`BuiltSystem::segments_for`], but with per-message random
@@ -1050,6 +1119,109 @@ impl BuiltSystem {
                 chans: down.channels.iter().map(|c| off_down + c.0).collect(),
             },
         ]
+    }
+}
+
+/// One materialised adaptive route, shared through
+/// [`AdaptiveRouteCache`]: all segments' global channel ids concatenated,
+/// plus the same precomputed per-segment metadata the per-slot arena
+/// carries.
+#[derive(Debug, Clone)]
+pub struct CachedRoute {
+    /// Global channel ids, segments concatenated ([`SegMeta::start`]
+    /// indexes into this).
+    pub chans: Vec<u32>,
+    /// Per-segment metadata (entries past `nsegs` are default-zero).
+    pub segs: [SegMeta; 3],
+    /// Segment count: 1 intra-cluster, 3 inter-cluster.
+    pub nsegs: u8,
+}
+
+/// Memoized adaptive routes, keyed by `(src·N + dst, packed ascent
+/// digits)`.
+///
+/// Adaptive routing is fully determined by the source, the destination
+/// and the random ascent digits — the descent is destination-determined —
+/// so repeated (pair, digits) combinations need not re-walk the graph's
+/// per-hop switch maps. The cache draws exactly the digits the uncached
+/// path would ([`BuiltSystem::adaptive_draw_digits`]), so cached and
+/// uncached runs consume the identical RNG stream and produce
+/// bit-identical routes. Entries are never evicted: the key space per
+/// run is bounded by (pairs × kᵈⁱᵍⁱᵗˢ) and in practice by the far
+/// smaller set of combinations the traffic pattern actually draws.
+///
+/// The sharded engine additionally uses the arena as its shared
+/// read-only route store: a message carries a cache index instead of a
+/// per-slot copy, so routes survive cross-shard handoffs.
+#[derive(Debug, Default)]
+pub struct AdaptiveRouteCache {
+    map: std::collections::HashMap<(u32, u64), u32>,
+    routes: Vec<CachedRoute>,
+}
+
+impl AdaptiveRouteCache {
+    /// Number of distinct routes materialised so far.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether no route has been materialised yet.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route behind an index returned by
+    /// [`AdaptiveRouteCache::route_idx`].
+    pub fn route(&self, idx: u32) -> &CachedRoute {
+        &self.routes[idx as usize]
+    }
+
+    /// Draws the ascent digits for one adaptive message (consuming the
+    /// RNG exactly as [`BuiltSystem::adaptive_route_into`] would) and
+    /// returns the arena index of the selected route, materialising it
+    /// on first use.
+    pub fn route_idx<R: Rng + ?Sized>(
+        &mut self,
+        built: &BuiltSystem,
+        src: usize,
+        dst: usize,
+        rng: &mut R,
+        scratch: &mut AdaptiveScratch,
+    ) -> u32 {
+        built.adaptive_draw_digits(src, dst, rng, &mut scratch.digits);
+        let digits = std::mem::take(&mut scratch.digits);
+        // Pack the digits into one base-2^bits key. Every digit is < k,
+        // so ceil(log2 k) bits each are injective; k = 1 packs to the
+        // single code 0, which is exact (all-zero digits, one route).
+        let k = built.spec().m / 2;
+        let bits = 32 - (k.max(1) - 1).leading_zeros();
+        let key = if digits.len() as u32 * bits <= 64 {
+            let mut code = 0u64;
+            for &d in &digits {
+                code = (code << bits) | d as u64;
+            }
+            Some(((src * built.total_nodes() + dst) as u32, code))
+        } else {
+            // Unpackable digit strings (absurdly deep trees): build
+            // uncached — still arena-backed so sharding works.
+            None
+        };
+        let idx = match key.and_then(|k| self.map.get(&k).copied()) {
+            Some(idx) => idx,
+            None => {
+                let mut chans = Vec::new();
+                let (segs, nsegs) =
+                    built.adaptive_route_from_digits(src, dst, &digits, scratch, &mut chans);
+                let idx = self.routes.len() as u32;
+                self.routes.push(CachedRoute { chans, segs, nsegs });
+                if let Some(k) = key {
+                    self.map.insert(k, idx);
+                }
+                idx
+            }
+        };
+        scratch.digits = digits;
+        idx
     }
 }
 

@@ -37,7 +37,9 @@
 //! [`RouteTable`]: crate::build::RouteTable
 //! [`SimResults::peak_live_msgs`]: crate::results::SimResults::peak_live_msgs
 
-use crate::build::{AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta};
+use crate::build::{
+    AdaptiveRouteCache, AdaptiveScratch, BuiltSystem, RouteRef, RouteTable, SegMeta,
+};
 use crate::config::{Coupling, FaultAction, SchedulerKind, SimConfig};
 use crate::events::{CalendarQueue, EventQueue, Scheduler};
 use crate::results::{exact_percentiles, SimResults, StopReason, WarmupAudit};
@@ -183,6 +185,9 @@ struct Simulator<'a, S: Scheduler<EventKind>, const TRACE: bool> {
     /// Adaptive route arena, parallel to `msgs`.
     dyn_routes: Vec<DynRoute>,
     scratch: AdaptiveScratch,
+    /// Memoized adaptive routes: repeated (pair, digits) draws reuse the
+    /// materialised channel list instead of re-walking the graph maps.
+    route_cache: AdaptiveRouteCache,
     generated: u64,
     recorded_done: u64,
     events_processed: u64,
@@ -211,6 +216,27 @@ struct Simulator<'a, S: Scheduler<EventKind>, const TRACE: bool> {
     /// Delivery-ordered latencies of the warm-up + measured populations,
     /// for the MSER-5 warm-up audit (when enabled).
     audit: Option<Vec<f64>>,
+    /// Recorded/audited deliveries, buffered so the statistic sinks can
+    /// be replayed in the canonical (pop time, src, gen_time) order at
+    /// the end of the run — see [`crate::shard::delivery_order`]. Stop
+    /// decisions still use the immediate counters; only the f64
+    /// accumulation order is deferred, so event execution is untouched
+    /// and non-tied runs keep their exact bits.
+    deliveries: Vec<DeliveryRec>,
+}
+
+/// A buffered delivery awaiting canonical-order sink accumulation.
+#[derive(Debug, Clone, Copy)]
+struct DeliveryRec {
+    /// Pop time of the delivering `Advance`.
+    t: f64,
+    latency: f64,
+    src: u32,
+    gen_time: f64,
+    recorded: bool,
+    audited: bool,
+    intra: bool,
+    src_cluster: u32,
 }
 
 impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
@@ -268,6 +294,7 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             free: Vec::new(),
             dyn_routes: Vec::new(),
             scratch: AdaptiveScratch::default(),
+            route_cache: AdaptiveRouteCache::default(),
             generated: 0,
             recorded_done: 0,
             events_processed: 0,
@@ -287,6 +314,7 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             traces: Vec::new(),
             percentiles,
             audit,
+            deliveries: Vec::new(),
         }
     }
 
@@ -382,6 +410,7 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
                 self.busy_total[chan] += self.now - self.busy_since[chan];
             }
         }
+        self.flush_deliveries();
         SimResults::collect(
             &self.latency,
             &self.intra_lat,
@@ -408,6 +437,43 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
                 stop,
             },
         )
+    }
+
+    /// Replay the buffered deliveries into the statistic sinks in the
+    /// canonical (pop time, src, gen_time) order.
+    ///
+    /// The buffer arrives in pop order — already nondecreasing in time —
+    /// so the stable sort only rearranges bit-equal-time ties, and it
+    /// rearranges them exactly the way the sharded coordinator's merge
+    /// does. Everything the simulation's control flow depends on
+    /// (`recorded_done`, the measured stop, event execution) happened
+    /// immediately; this pass only fixes the f64 accumulation order.
+    fn flush_deliveries(&mut self) {
+        self.deliveries.sort_by(|a, b| {
+            crate::shard::delivery_order((a.t, a.src, a.gen_time), (b.t, b.src, b.gen_time))
+        });
+        for d in &self.deliveries {
+            if d.audited {
+                if let Some(a) = &mut self.audit {
+                    a.push(d.latency);
+                }
+            }
+            if d.recorded {
+                self.latency.push(d.latency);
+                if d.intra {
+                    self.intra_lat.push(d.latency);
+                } else {
+                    self.inter_lat.push(d.latency);
+                }
+                self.per_cluster[d.src_cluster as usize].push(d.latency);
+                if let Some(h) = &mut self.histogram {
+                    h.record(d.latency);
+                }
+                if let Some(p) = &mut self.percentiles {
+                    p.record(d.latency);
+                }
+            }
+        }
     }
 
     /// Whether a channel is currently failed (empty mask = zero-fault
@@ -464,17 +530,21 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             },
         );
         let cur = if m.route.is_dynamic() {
-            let dr = &mut self.dyn_routes[msg_id as usize];
-            let (segs, n) = self.built.adaptive_route_into(
+            let built = self.built;
+            let idx = self.route_cache.route_idx(
+                built,
                 m.src as usize,
                 m.dst as usize,
                 &mut self.rng,
                 &mut self.scratch,
-                &mut dr.chans,
             );
-            dr.segs = segs;
-            self.msgs[msg_id as usize].nsegs = n;
-            segs[0]
+            let cr = self.route_cache.route(idx);
+            let dr = &mut self.dyn_routes[msg_id as usize];
+            dr.chans.clear();
+            dr.chans.extend_from_slice(&cr.chans);
+            dr.segs = cr.segs;
+            self.msgs[msg_id as usize].nsegs = cr.nsegs;
+            cr.segs[0]
         } else {
             self.routes.seg_meta(m.route, 0)
         };
@@ -527,16 +597,15 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
         };
         let built = self.built;
         let (route, cur, nsegs) = if self.cfg.adaptive_routing {
+            let idx = self
+                .route_cache
+                .route_idx(built, src, dst, &mut self.rng, &mut self.scratch);
+            let cr = self.route_cache.route(idx);
             let dr = &mut self.dyn_routes[slot as usize];
-            let (segs, n) = built.adaptive_route_into(
-                src,
-                dst,
-                &mut self.rng,
-                &mut self.scratch,
-                &mut dr.chans,
-            );
-            dr.segs = segs;
-            (RouteRef::DYNAMIC, segs[0], n)
+            dr.chans.clear();
+            dr.chans.extend_from_slice(&cr.chans);
+            dr.segs = cr.segs;
+            (RouteRef::DYNAMIC, cr.segs[0], cr.nsegs)
         } else {
             let r = self.routes.route_ref(src, dst);
             (
@@ -655,25 +724,23 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
             self.delivered_total += 1;
             let latency = finish - m.gen_time;
             self.trace(m.trace_id, finish, TraceEventKind::Delivered { latency });
-            if m.audited {
-                if let Some(a) = &mut self.audit {
-                    a.push(latency);
-                }
+            if m.audited || m.recorded {
+                // Sink accumulation is deferred to `flush_deliveries` so
+                // same-instant ties land in the canonical order shared
+                // with the sharded engine; only the stop-driving counter
+                // advances here.
+                self.deliveries.push(DeliveryRec {
+                    t,
+                    latency,
+                    src: m.src,
+                    gen_time: m.gen_time,
+                    recorded: m.recorded,
+                    audited: m.audited,
+                    intra: m.intra,
+                    src_cluster: m.src_cluster,
+                });
             }
             if m.recorded {
-                self.latency.push(latency);
-                if m.intra {
-                    self.intra_lat.push(latency);
-                } else {
-                    self.inter_lat.push(latency);
-                }
-                self.per_cluster[m.src_cluster as usize].push(latency);
-                if let Some(h) = &mut self.histogram {
-                    h.record(latency);
-                }
-                if let Some(p) = &mut self.percentiles {
-                    p.record(latency);
-                }
                 self.recorded_done += 1;
             }
             // Delivery releases the slab slot (and its arena buffers) for
@@ -790,6 +857,9 @@ fn dispatch(
     cfg: SimConfig,
     arrival: ArrivalSpec,
 ) -> SimResults {
+    if crate::shard::sharding_eligible(built, &cfg) {
+        return crate::shard::run_sharded(built, wl, pattern, &cfg, &arrival);
+    }
     type Heap = EventQueue<EventKind>;
     type Calendar = CalendarQueue<EventKind>;
     match (cfg.scheduler, cfg.trace_messages > 0) {
@@ -876,6 +946,7 @@ mod tests {
             audit_warmup: false,
             scheduler: SchedulerKind::default(),
             faults: crate::config::FaultSchedule::default(),
+            shards: crate::config::ShardMode::Off,
         }
     }
 

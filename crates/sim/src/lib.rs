@@ -35,13 +35,16 @@ pub mod events;
 pub mod flit;
 pub mod replicate;
 pub mod results;
+pub mod shard;
 pub mod trace;
 
 pub use build::{
-    validate_faults, AdaptiveScratch, BuildError, BuiltSystem, RouteRef, RouteTable, SegMeta,
-    Segment,
+    validate_faults, AdaptiveRouteCache, AdaptiveScratch, BuildError, BuiltSystem, CachedRoute,
+    RouteRef, RouteTable, SegMeta, Segment,
 };
-pub use config::{Coupling, FaultAction, FaultEvent, FaultSchedule, SchedulerKind, SimConfig};
+pub use config::{
+    Coupling, FaultAction, FaultEvent, FaultSchedule, SchedulerKind, ShardMode, SimConfig,
+};
 pub use engine::{run_simulation, run_simulation_arrivals, run_simulation_built};
 pub use events::{CalendarQueue, EventQueue, Scheduler, Timed};
 pub use flit::{run_simulation_flit, run_simulation_flit_built};

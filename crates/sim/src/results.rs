@@ -80,7 +80,7 @@ impl std::fmt::Display for StopReason {
 }
 
 /// Everything a simulation run reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResults {
     /// Latency summary over all recorded messages.
     pub latency: Summary,

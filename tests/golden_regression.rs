@@ -12,7 +12,7 @@
 //! and say so loudly in the PR.
 
 use cocnet::prelude::*;
-use cocnet::sim::{run_simulation_flit, Coupling, SchedulerKind};
+use cocnet::sim::{run_simulation_flit, Coupling, SchedulerKind, ShardMode};
 
 fn hetero_spec() -> SystemSpec {
     let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
@@ -44,8 +44,15 @@ fn cfg_with(seed: u64, scheduler: SchedulerKind) -> SimConfig {
         drain: 500,
         seed,
         scheduler,
+        shards: SHARDS.with(|s| s.get()),
         ..SimConfig::default()
     }
+}
+
+// Threaded into every observed config so the same pinned table checks
+// the serial oracle and the cluster-sharded engine alike.
+thread_local! {
+    static SHARDS: std::cell::Cell<ShardMode> = const { std::cell::Cell::new(ShardMode::Off) };
 }
 
 /// One pinned observation.
@@ -201,8 +208,12 @@ const GOLDEN: &[Golden] = &[
 /// Checks one backend's observations against the pinned constants.
 fn assert_matches_golden(scheduler: SchedulerKind) {
     let observed = observe(scheduler);
+    check_golden(scheduler, &observed);
+}
+
+fn check_golden(scheduler: SchedulerKind, observed: &[(&'static str, cocnet::sim::SimResults)]) {
     assert_eq!(observed.len(), GOLDEN.len());
-    for (g, (name, r)) in GOLDEN.iter().zip(&observed) {
+    for (g, (name, r)) in GOLDEN.iter().zip(observed) {
         assert_eq!(g.name, *name, "case order changed");
         assert!(r.completed, "{name} [{scheduler}]: run must complete");
         assert_eq!(
@@ -245,4 +256,20 @@ fn calendar_scheduler_matches_the_same_goldens() {
     // reproduce the PR-1 seed statistics f64-bit-exactly, same as the
     // heap — across couplings, adaptive routing and the flit engine.
     assert_matches_golden(SchedulerKind::Calendar);
+}
+
+#[test]
+fn sharded_engine_matches_the_same_goldens() {
+    // Intra-run sharding is likewise pure mechanism: the cluster-sharded
+    // parallel engine must reproduce the PR-1 seed statistics f64-bit-
+    // exactly on every pinned case, under both scheduler backends. (The
+    // flit-level case ignores the mode and runs serial.)
+    for shards in [ShardMode::Auto, ShardMode::N(2)] {
+        SHARDS.with(|s| s.set(shards));
+        for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+            let observed = observe(scheduler);
+            check_golden(scheduler, &observed);
+        }
+    }
+    SHARDS.with(|s| s.set(ShardMode::Off));
 }
