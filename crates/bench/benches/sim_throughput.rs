@@ -80,7 +80,7 @@ fn bench_sim_load(c: &mut Criterion) {
     let injection_link = {
         let routes = built.route_table();
         let r = routes.route_ref(0, 1);
-        routes.chans()[routes.seg_meta(r, 0).start as usize]
+        routes.chan_at(routes.seg_meta(r, 0).start)
     };
     let faults = FaultSchedule {
         events: vec![

@@ -1,0 +1,10 @@
+//! Perf: route-interning scale sweep — build time, resident route-table
+//! bytes and events/sec from ~1k to 10^6 endpoints.
+//!
+//! Thin wrapper over the scenario registry — the experiment itself lives
+//! in `cocnet::registry::scale` and is equally reachable as
+//! `cocnet run org_scale`. See `cocnet::registry::RunOpts` for the flags.
+
+fn main() {
+    cocnet::registry::bin_main("org_scale");
+}

@@ -349,7 +349,7 @@ fn node0_injection_link(spec: &SystemSpec, wl: &Workload) -> u32 {
     let routes = built.route_table();
     let r = routes.route_ref(0, 1);
     let seg = routes.seg_meta(r, 0);
-    routes.chans()[seg.start as usize]
+    routes.chan_at(seg.start)
 }
 
 /// Scaling study (beyond the paper): how latency and the saturation rate

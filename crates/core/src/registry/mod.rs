@@ -24,6 +24,7 @@ pub mod diagnostics;
 pub mod extensions;
 pub mod figures;
 pub mod perf;
+pub mod scale;
 pub mod tables;
 pub mod validation;
 
@@ -32,7 +33,7 @@ use crate::report::{
     OutputFormat,
 };
 use crate::runner::Scenario;
-use cocnet_sim::{SchedulerKind, ShardMode, SimConfig};
+use cocnet_sim::{InternMode, SchedulerKind, ShardMode, SimConfig};
 use cocnet_topology::{ClusterSpec, SystemSpec};
 use cocnet_workloads::presets;
 
@@ -121,6 +122,11 @@ pub struct RunOpts {
     /// deterministically from the schedule's `fault_seed`) in every
     /// simulation the entry runs (`--fail-links 0.1`).
     pub fail_links: Option<f64>,
+    /// Route-interning mode override (`--interning classed|eager`):
+    /// classed (the default) materializes routes lazily per equivalence
+    /// class; eager is the all-pairs golden oracle (≤ 65535 nodes).
+    /// Never changes results — only build time and resident bytes.
+    pub interning: Option<InternMode>,
 }
 
 impl RunOpts {
@@ -172,13 +178,17 @@ impl RunOpts {
                     opts.fail_links =
                         Some(parse_num(&take("--fail-links", &mut it)?, "--fail-links")?)
                 }
+                "--interning" => {
+                    opts.interning = Some(take("--interning", &mut it)?.parse()?);
+                }
                 other => {
                     return Err(format!(
                         "unknown argument {other:?} (flags: --quick --serial --json --no-sim \
                          --points N --replications N --rel-ci X --max-replications N \
                          --out json|csv --rate λ --reps N --out-file PATH \
                          --scheduler heap|calendar --shards off|auto|K --baseline PATH \
-                         --threshold X --stamp DATE --fail-links F)"
+                         --threshold X --stamp DATE --fail-links F \
+                         --interning classed|eager)"
                     ))
                 }
             }
@@ -250,6 +260,9 @@ impl RunOpts {
         if let Some(fraction) = self.fail_links {
             cfg.faults.link_fraction = fraction;
         }
+        if let Some(interning) = self.interning {
+            cfg.interning = interning;
+        }
         cfg
     }
 }
@@ -302,6 +315,9 @@ pub fn scaled(base: &SimConfig, opts: &RunOpts) -> SimConfig {
     }
     if let Some(fraction) = opts.fail_links {
         cfg.faults.link_fraction = fraction;
+    }
+    if let Some(interning) = opts.interning {
+        cfg.interning = interning;
     }
     cfg
 }
@@ -541,6 +557,14 @@ pub static ENTRIES: &[Entry] = &[
         paper_ref: "Eq. 32",
         summary: "pairwise inter-cluster latency matrix by cluster class",
         kind: Kind::Custom(diagnostics::pairwise),
+    },
+    Entry {
+        name: "org_scale",
+        group: Group::Perf,
+        paper_ref: "-",
+        summary:
+            "route-interning scale sweep: build ms / table bytes / events/sec, 1k to 10^6 endpoints",
+        kind: Kind::Custom(scale::org_scale),
     },
     Entry {
         name: "bench_snapshot",

@@ -691,11 +691,12 @@ impl Scenario {
         self.workloads
             .iter()
             .map(|entry| {
-                BuiltSystem::try_build_with(
+                BuiltSystem::try_build_full(
                     &self.spec,
                     entry.workload.flit_bytes,
                     cocnet_topology::AscentPolicy::default(),
                     &self.sim.faults,
+                    self.sim.interning,
                 )
                 .unwrap_or_else(|e| {
                     panic!("scenario fault schedule invalid (validate() catches this): {e}")

@@ -6,11 +6,14 @@
 //! each cluster's ECN1, then the ICN2 network. The ICN2 tree's "processing
 //! nodes" are the `C` concentrator/dispatcher devices, one per cluster.
 
-use crate::config::FaultSchedule;
+use crate::config::{FaultSchedule, InternMode};
 use cocnet_topology::{
     AscentPolicy, ChannelId, ChannelKind, FaultSet, Graph, MPortNTree, SystemSpec, TopologyError,
 };
 use rand::Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Typed errors from materialising a [`SystemSpec`] into a [`BuiltSystem`]
 /// (see [`BuiltSystem::try_build_with`]). A malformed spec or fault
@@ -110,6 +113,7 @@ pub fn validate_faults(spec: &SystemSpec, faults: &FaultSchedule) -> Result<(), 
 
 /// Per-graph projection of the static global fault mask, consumed by the
 /// fault-aware route interning.
+#[derive(Debug, Clone)]
 struct GraphFaults {
     icn1: Vec<FaultSet>,
     ecn1: Vec<FaultSet>,
@@ -139,21 +143,78 @@ pub struct Segment {
 
 /// Index of one deterministic (src, dst) route in the [`RouteTable`].
 ///
-/// Encodes the pair arithmetically (`src · N + dst`), so the table needs no
-/// per-pair storage; [`RouteRef::DYNAMIC`] marks a per-message adaptive
-/// route that lives in the simulator's own arena instead of the table.
+/// A tagged 64-bit word; the top two bits select the representation:
+///
+/// * `00` — eager all-pairs reference: `src · N + dst` (the historical
+///   encoding, which is what caps the eager table at 65 535 nodes);
+/// * `01` — classed intra-cluster reference: class-record index, the
+///   source's position under its leaf switch (the only per-pair datum),
+///   and a per-pair dead flag for sources whose injection link a static
+///   fault cut even though the shared class trunk survived;
+/// * `10` — classed inter-cluster reference: the raw `(src, dst)` pair,
+///   resolved through per-node ascent/descent and per-cluster-pair
+///   crossing records at segment-lookup time;
+/// * `11` — the [`RouteRef::DYNAMIC`] sentinel for per-message adaptive
+///   routes, which live in the simulator's own arena instead of the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct RouteRef(u32);
+pub struct RouteRef(u64);
+
+const REF_TAG_SHIFT: u32 = 62;
+const REF_TAG_EAGER: u64 = 0;
+const REF_TAG_INTRA: u64 = 1;
+const REF_TAG_INTER: u64 = 2;
+/// Per-pair demotion flag of an intra reference (bit 61).
+const REF_INTRA_DEAD: u64 = 1 << 61;
 
 impl RouteRef {
     /// Sentinel for routes that are not interned (adaptive routing); the
     /// engine resolves these against its per-message route arena.
-    pub const DYNAMIC: RouteRef = RouteRef(u32::MAX);
+    pub const DYNAMIC: RouteRef = RouteRef(u64::MAX);
 
     /// Whether this reference points at a dynamic (non-interned) route.
     #[inline]
     pub fn is_dynamic(self) -> bool {
         self == Self::DYNAMIC
+    }
+
+    #[inline]
+    fn tag(self) -> u64 {
+        self.0 >> REF_TAG_SHIFT
+    }
+
+    #[inline]
+    fn intra(cls: u32, j: u32, dead: bool) -> Self {
+        debug_assert!(j < 1 << 20 && cls < 1 << 31);
+        RouteRef(
+            (REF_TAG_INTRA << REF_TAG_SHIFT)
+                | if dead { REF_INTRA_DEAD } else { 0 }
+                | ((j as u64) << 32)
+                | cls as u64,
+        )
+    }
+
+    /// `(class record, source position under leaf, injection dead)`.
+    #[inline]
+    fn intra_parts(self) -> (u32, u32, bool) {
+        (
+            self.0 as u32,
+            (self.0 >> 32) as u32 & 0xf_ffff,
+            self.0 & REF_INTRA_DEAD != 0,
+        )
+    }
+
+    #[inline]
+    fn inter(src: u64, dst: u64) -> Self {
+        debug_assert!(src < 1 << 31 && dst < 1 << 31);
+        RouteRef((REF_TAG_INTER << REF_TAG_SHIFT) | (src << 31) | dst)
+    }
+
+    #[inline]
+    fn inter_parts(self) -> (usize, usize) {
+        (
+            ((self.0 >> 31) & 0x7fff_ffff) as usize,
+            (self.0 & 0x7fff_ffff) as usize,
+        )
     }
 }
 
@@ -167,9 +228,14 @@ impl RouteRef {
 /// legacy per-event rescan.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SegMeta {
-    /// Offset of the segment's first channel in [`RouteTable::chans`]
-    /// (or in the owning dynamic-route arena).
-    pub start: u32,
+    /// Where the segment's channels live, resolved by
+    /// [`RouteTable::chan_at`]`(start + k)` for `k < len`: a plain index
+    /// into the table's flat channel storage (or the owning dynamic-route
+    /// arena), or — bit 63 set — a classed *virtual window* packing the
+    /// class record, the source's position under its leaf switch and the
+    /// channel position, so the per-pair injection channel is recovered
+    /// arithmetically instead of being stored per pair.
+    pub start: u64,
     /// Number of channels in the segment.
     pub len: u32,
     /// Σ of the per-flit channel times, in traversal order.
@@ -178,19 +244,17 @@ pub struct SegMeta {
     pub bottleneck_t: f64,
 }
 
-/// All deterministic (src, dst) wormhole routes of a built system, interned
-/// once at build time into a flat CSR-style layout.
+/// The eager all-pairs route store: every deterministic (src, dst) route
+/// interned once at build time into a flat CSR-style layout.
 ///
-/// Routes share structure aggressively: an inter-cluster route is always
-/// `up(src) → cross(cluster(src), cluster(dst)) → down(dst)`, so the table
-/// stores one ascent and one descent segment per node, one crossing segment
-/// per cluster pair and one segment per intra-cluster pair — never one
-/// route per (src, dst) pair. Resolving a [`RouteRef`] to its segments is
-/// pure arithmetic plus a handful of array reads, and yields [`SegMeta`]
-/// entries whose `sum_t`/`bottleneck_t` are precomputed, which is what
-/// keeps the engines' event loops allocation- and rescan-free.
+/// One segment per intra-cluster pair plus per-node ascent/descent and
+/// per-cluster-pair crossing segments. Build cost and footprint are
+/// quadratic in cluster size (the `N_i × N_i` intra blocks), which is why
+/// this mode is capped at 65 535 nodes and kept as the golden oracle
+/// behind [`InternMode::Eager`]; the default engine path runs off
+/// [`ClassedTable`].
 #[derive(Debug)]
-pub struct RouteTable {
+pub struct EagerTable {
     /// Flat channel-id storage of every interned segment.
     chans: Vec<u32>,
     /// Segment `s` occupies `chans[seg_off[s]..seg_off[s + 1]]`.
@@ -221,7 +285,7 @@ pub struct RouteTable {
     num_clusters: u32,
 }
 
-/// Builder half of [`RouteTable`]: accumulates segments into the CSR arrays.
+/// Builder half of [`EagerTable`]: accumulates segments into the CSR arrays.
 #[derive(Default)]
 struct TableBuilder {
     chans: Vec<u32>,
@@ -285,11 +349,11 @@ impl TableBuilder {
     }
 }
 
-impl RouteTable {
+impl EagerTable {
     #[allow(clippy::too_many_arguments)]
     fn build(
-        icn1: &[Graph],
-        ecn1: &[Graph],
+        icn1: &[Arc<Graph>],
+        ecn1: &[Arc<Graph>],
         icn2: &Graph,
         icn1_off: &[u32],
         ecn1_off: &[u32],
@@ -304,7 +368,9 @@ impl RouteTable {
         let total_nodes = node_cluster.len();
         assert!(
             total_nodes <= u16::MAX as usize,
-            "route interning encodes (src, dst) pairs in a u32: ≤ 65535 nodes"
+            "eager route interning is all-pairs and capped at 65535 nodes; \
+             use classed interning (`\"interning\": \"Classed\"` / `--interning classed`, \
+             the default) for larger systems"
         );
         let c = cluster_nodes.len();
         let mut b = TableBuilder::new();
@@ -412,7 +478,7 @@ impl RouteTable {
             Vec::new()
         };
 
-        Ok(RouteTable {
+        Ok(EagerTable {
             chans: b.chans,
             seg_off: b.seg_off,
             seg_sum: b.seg_sum,
@@ -432,26 +498,22 @@ impl RouteTable {
 
     #[inline]
     fn decode(&self, r: RouteRef) -> (usize, usize) {
+        debug_assert_eq!(r.tag(), REF_TAG_EAGER, "classed ref in an eager table");
         (
-            (r.0 / self.total_nodes) as usize,
-            (r.0 % self.total_nodes) as usize,
+            (r.0 / self.total_nodes as u64) as usize,
+            (r.0 % self.total_nodes as u64) as usize,
         )
     }
 
-    /// The interned route of a (src, dst) pair (flat node indexing).
-    ///
-    /// # Panics
-    /// Debug-panics on `src == dst` (patterns never produce self-traffic).
     #[inline]
-    pub fn route_ref(&self, src: usize, dst: usize) -> RouteRef {
+    fn route_ref(&self, src: usize, dst: usize) -> RouteRef {
         debug_assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
         debug_assert!(src < self.total_nodes as usize && dst < self.total_nodes as usize);
-        RouteRef(src as u32 * self.total_nodes + dst as u32)
+        RouteRef(src as u64 * self.total_nodes as u64 + dst as u64)
     }
 
-    /// How many wormhole segments the route crosses (1 intra, 3 inter).
     #[inline]
-    pub fn num_segments(&self, r: RouteRef) -> u32 {
+    fn num_segments(&self, r: RouteRef) -> u32 {
         let (src, dst) = self.decode(r);
         if self.node_cluster[src] == self.node_cluster[dst] {
             1
@@ -477,14 +539,8 @@ impl RouteTable {
         }
     }
 
-    /// Whether static faults disconnected the (src, dst) pair: some
-    /// segment of its deterministic route found no fault-free Up*/Down*
-    /// path at build time. `false` for every pair of a zero-fault build
-    /// (one branch on an empty vec). The answer also covers adaptive
-    /// routing — adaptive ascents explore a subset of the same path space
-    /// the fault-aware search exhausts.
     #[inline]
-    pub fn is_unreachable(&self, src: usize, dst: usize) -> bool {
+    fn is_unreachable(&self, src: usize, dst: usize) -> bool {
         if self.dead_segs.is_empty() {
             return false;
         }
@@ -496,35 +552,721 @@ impl RouteTable {
         })
     }
 
-    /// Metadata of segment `k` (0-based) of route `r`.
     #[inline]
-    pub fn seg_meta(&self, r: RouteRef, k: u32) -> SegMeta {
+    fn seg_meta(&self, r: RouteRef, k: u32) -> SegMeta {
         let s = self.seg_id(r, k) as usize;
         let start = self.seg_off[s];
         SegMeta {
-            start,
+            start: start as u64,
             len: self.seg_off[s + 1] - start,
             sum_t: self.seg_sum[s],
             bottleneck_t: self.seg_bot[s],
         }
     }
 
-    /// The flat channel-id storage backing every interned segment; index
-    /// with `SegMeta::start .. start + len`.
+    /// Number of interned segments (including empty diagonal placeholders).
+    fn num_interned_segments(&self) -> usize {
+        self.seg_sum.len()
+    }
+
+    /// Resident bytes of the interned arrays (capacity-based estimate).
+    fn resident_bytes(&self) -> usize {
+        self.chans.len() * 4
+            + self.seg_off.len() * 4
+            + (self.seg_sum.len() + self.seg_bot.len()) * 8
+            + (self.up_seg.len() + self.down_seg.len() + self.cross_seg.len()) * 4
+            + self.intra_base.len() * 4
+            + self.dead_segs.len()
+            + (self.node_cluster.len() + self.node_local.len() + self.cluster_nodes.len()) * 4
+    }
+}
+
+/// Sentinel of the classed table's record-id arrays: not yet materialized.
+const UNSET: u32 = u32::MAX;
+
+/// Tag bit of a classed virtual [`SegMeta::start`] window.
+const VSTART_TAG: u64 = 1 << 63;
+/// Bits of the channel-position field of a virtual window (the low field,
+/// so `start + k` walks the segment like a plain index).
+const VSTART_POS_BITS: u32 = 12;
+
+/// Packs a virtual channel window: `tag(1) | chans_off(31) | j(20) |
+/// pos(12)`. `chans_off` points straight at the class's channel window
+/// (head slot = the leaf's base injection channel, then the shared tail),
+/// so the per-flit [`ClassedTable::chan_at`] decode costs a single arena
+/// read — no record-table indirection on the hot path.
+#[inline]
+fn vstart(chans_off: u64, j: u32) -> u64 {
+    VSTART_TAG | (chans_off << 32) | ((j as u64) << VSTART_POS_BITS)
+}
+
+/// Growable append-only storage readable without locks: a spine of
+/// geometrically growing chunks (1024, 2048, 4096, …), each allocated at
+/// most once. Already-written entries are never moved, so readers resolve
+/// an index with pure arithmetic plus one atomic load while a writer
+/// (serialized by the owning table's lock) appends to the tail. Entry `i`
+/// lives in chunk `⌊log₂(i/1024 + 1)⌋`.
+macro_rules! chunked_arena {
+    ($name:ident, $atom:ty, $val:ty) => {
+        #[derive(Debug)]
+        struct $name {
+            /// Writer-side chunk owner (append path, table lock held).
+            chunks: Vec<OnceLock<Box<[$atom]>>>,
+            /// Reader-side data pointers, one per chunk, published with
+            /// `Release` when the chunk is first allocated. The hot `get`
+            /// resolves an index with two dependent loads (pointer, then
+            /// element) instead of walking Vec → OnceLock → Box — the
+            /// difference is double-digit percent events/sec on the flit
+            /// engine, whose per-flit loop ends in [`ClassedTable::chan_at`].
+            ptrs: [AtomicPtr<$atom>; 33],
+        }
+
+        impl $name {
+            const BASE: u64 = 1024;
+
+            fn new() -> Self {
+                Self {
+                    chunks: (0..33).map(|_| OnceLock::new()).collect(),
+                    ptrs: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+                }
+            }
+
+            #[inline]
+            fn locate(i: u64) -> (usize, usize) {
+                let t = i / Self::BASE + 1;
+                let c = t.ilog2();
+                (c as usize, (i - Self::BASE * ((1 << c) - 1)) as usize)
+            }
+
+            /// Reads entry `i`. The caller must have observed the
+            /// publication of `i` (a `Release`-stored record id or a
+            /// lock-guarded map entry), which makes the chunk pointer and
+            /// the entry's value visible.
+            #[inline]
+            fn get(&self, i: u64) -> $val {
+                let (c, o) = Self::locate(i);
+                let ptr = self.ptrs[c].load(Ordering::Acquire);
+                debug_assert!(!ptr.is_null(), "published entry");
+                // SAFETY: a non-null pointer is published (`Release`)
+                // exactly once per chunk, after the chunk's atomics are
+                // fully initialized; the `OnceLock` keeps the chunk
+                // allocation alive and unmoved for as long as `self`
+                // exists; and `locate` maps any `i` to an offset within
+                // its chunk's `BASE << c` capacity, so the access is in
+                // bounds even for a not-yet-appended tail entry (which
+                // the caller contract above rules out anyway).
+                unsafe { (*ptr.add(o)).load(Ordering::Acquire) }
+            }
+
+            /// Writes entry `i`; only called with the owning table's write
+            /// lock held, entries appended in order.
+            fn set(&self, i: u64, v: $val) {
+                let (c, o) = Self::locate(i);
+                let chunk = self.chunks[c]
+                    .get_or_init(|| (0..Self::BASE << c).map(|_| <$atom>::new(0)).collect());
+                if self.ptrs[c].load(Ordering::Relaxed).is_null() {
+                    // Writers are serialized by the table lock, so this
+                    // check-then-store cannot race another writer.
+                    self.ptrs[c].store(chunk.as_ptr() as *mut $atom, Ordering::Release);
+                }
+                chunk[o].store(v, Ordering::Release);
+            }
+        }
+    };
+}
+
+chunked_arena!(ChunkedU32, AtomicU32, u32);
+chunked_arena!(ChunkedU64, AtomicU64, u64);
+
+/// Mutable half of [`ClassedTable`], guarded by one `RwLock`: the
+/// class-lookup map, the arena tail positions, and the route scratch
+/// buffer. Readers of already-published records never touch it — only
+/// `route_ref` (class lookup) and first-touch materialization do.
+#[derive(Debug, Default)]
+struct LazyState {
+    /// `(cluster, src leaf switch, dst local id)` → class-record offset.
+    intra: HashMap<(u32, u32, u32), u32>,
+    /// Entries appended to the channel arena so far.
+    chan_len: u64,
+    /// Words appended to the record arena so far.
+    rec_len: u64,
+    /// Records materialized so far (intra classes + inter segments).
+    segs: usize,
+    scratch: Vec<ChannelId>,
+}
+
+/// The class-keyed lazy route store (see [`InternMode::Classed`]).
+///
+/// Nothing is interned at build time. On first touch of a (src, dst) pair
+/// the table materializes — once per *equivalence class*, not per pair —
+/// the route data every pair of the class shares:
+///
+/// * intra-cluster: one **class record** per `(cluster, src leaf switch,
+///   dst)` holding the route *tail* (everything after the injection
+///   channel — identical for every source under the leaf, see
+///   [`Graph::route_tail_into`]) plus the left-folded `sum_t` /
+///   `bottleneck_t`, which are class-uniform because all injection
+///   channels of one ICN1 share `t_cn`. The per-pair injection channel is
+///   recovered arithmetically (`icn1_off + 2·local`) through the virtual
+///   [`SegMeta::start`] window, so per-pair storage is zero.
+/// * inter-cluster: one ascent record per source node, one descent record
+///   per destination node, one crossing record per cluster pair — the
+///   same sharing the eager table exploits, minus the quadratic intra
+///   blocks and the all-pairs build sweep.
+///
+/// Static faults are applied per class on the shared trunk
+/// ([`Graph::route_tail_into_avoiding`] reroutes or marks the class dead);
+/// an injection-link fault demotes only the affected pair via the dead
+/// flag carried in its [`RouteRef`].
+///
+/// Reads after materialization are lock-free: record ids live in dense
+/// atomic arrays (or travel inside `RouteRef`s), and record/channel words
+/// live in append-only chunked arenas. First-touch materialization is
+/// serialized by one write lock with a double-check, so engines sharing
+/// the table across threads (the sharded engine, parallel replications)
+/// materialize each class exactly once.
+#[derive(Debug)]
+pub struct ClassedTable {
+    icn1: Vec<Arc<Graph>>,
+    ecn1: Vec<Arc<Graph>>,
+    icn2: Arc<Graph>,
+    icn1_off: Vec<u32>,
+    ecn1_off: Vec<u32>,
+    icn2_off: u32,
+    chan_time: Arc<Vec<f64>>,
+    /// Static global fault mask (empty for zero-fault builds).
+    failed: Arc<Vec<bool>>,
+    faults: GraphFaults,
+    faulted: bool,
+    policy: AscentPolicy,
+    node_cluster: Arc<Vec<u32>>,
+    node_local: Arc<Vec<u32>>,
+    num_clusters: u32,
+    total_nodes: u64,
+    /// Per flat node: ECN1 ascent record offset, [`UNSET`] until touched.
+    up_ids: Vec<AtomicU32>,
+    /// Per flat node: ECN1 descent record offset.
+    down_ids: Vec<AtomicU32>,
+    /// Per (ci, cj) cluster pair, row-major: ICN2 crossing record offset.
+    cross_ids: Vec<AtomicU32>,
+    /// Flat channel-id storage of every materialized segment.
+    chans: ChunkedU32,
+    /// Record words: every record is 4 words `[chans_off, sum_t bits,
+    /// bottleneck_t bits, len]`. `len` counts the whole segment
+    /// (injection included for intra); `len == 0` marks a
+    /// fault-disconnected record. An intra class's channel window starts
+    /// with a head slot — the injection channel of the leaf's *first*
+    /// member, from which member `j`'s is `head + 2·j` — followed by the
+    /// shared route tail, so [`ClassedTable::chan_at`] resolves any
+    /// position with one arena read.
+    recs: ChunkedU64,
+    lazy: RwLock<LazyState>,
+}
+
+impl ClassedTable {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        icn1: Vec<Arc<Graph>>,
+        ecn1: Vec<Arc<Graph>>,
+        icn2: Arc<Graph>,
+        icn1_off: Vec<u32>,
+        ecn1_off: Vec<u32>,
+        icn2_off: u32,
+        chan_time: Arc<Vec<f64>>,
+        failed: Arc<Vec<bool>>,
+        faults: GraphFaults,
+        policy: AscentPolicy,
+        node_cluster: Arc<Vec<u32>>,
+        node_local: Arc<Vec<u32>>,
+    ) -> Self {
+        let total = node_cluster.len();
+        let c = icn1.len();
+        assert!(
+            total < 1 << 31,
+            "classed route refs encode flat node ids in 31 bits"
+        );
+        for g in &icn1 {
+            assert!(
+                g.tree().k() <= 1 << 20,
+                "classed route refs encode the leaf position in 20 bits"
+            );
+        }
+        let unset = |n: usize| (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+        let faulted = !failed.is_empty();
+        Self {
+            icn1,
+            ecn1,
+            icn2,
+            icn1_off,
+            ecn1_off,
+            icn2_off,
+            chan_time,
+            failed,
+            faults,
+            faulted,
+            policy,
+            node_cluster,
+            node_local,
+            num_clusters: c as u32,
+            total_nodes: total as u64,
+            up_ids: unset(total),
+            down_ids: unset(total),
+            cross_ids: unset(c * c),
+            chans: ChunkedU32::new(),
+            recs: ChunkedU64::new(),
+            lazy: RwLock::new(LazyState::default()),
+        }
+    }
+
+    /// Maps a route result to "segment exists": fault disconnection is a
+    /// dead (empty) record, any other error is a structural bug — the
+    /// lazy analogue of the eager builder's [`BuildError::Route`], which
+    /// a spec that passed validation can never hit.
+    fn seg_ok(r: Result<u32, TopologyError>, context: &'static str) -> bool {
+        match r {
+            Ok(_) => true,
+            Err(TopologyError::Disconnected { .. }) => false,
+            Err(err) => panic!("building {context} route failed: {err}"),
+        }
+    }
+
+    /// Appends one 4-word inter record (with its channels when `ok`),
+    /// returning the record offset. Caller holds the write lock.
+    fn push_inter_rec(&self, st: &mut LazyState, ok: bool, route: &[ChannelId], off: u32) -> u32 {
+        let chans_off = st.chan_len;
+        let mut sum = 0.0f64;
+        let mut bot = 0.0f64;
+        let mut len = 0u64;
+        if ok {
+            for c in route {
+                let g = off + c.0;
+                let t = self.chan_time[g as usize];
+                sum += t;
+                bot = bot.max(t);
+                self.chans.set(st.chan_len, g);
+                st.chan_len += 1;
+                len += 1;
+            }
+        }
+        let rec = st.rec_len;
+        assert!(rec < 1 << 31, "route-record arena exceeds the id budget");
+        for w in [chans_off, sum.to_bits(), bot.to_bits(), len] {
+            self.recs.set(st.rec_len, w);
+            st.rec_len += 1;
+        }
+        st.segs += 1;
+        rec as u32
+    }
+
+    /// Record offset of `src`'s ECN1 ascent, materializing on first touch.
+    fn up_rec(&self, src: usize) -> u32 {
+        let id = self.up_ids[src].load(Ordering::Acquire);
+        if id != UNSET {
+            return id;
+        }
+        let mut st = self.lazy.write().expect("route table lock");
+        let id = self.up_ids[src].load(Ordering::Acquire);
+        if id != UNSET {
+            return id;
+        }
+        let ci = self.node_cluster[src] as usize;
+        let li = self.node_local[src] as usize;
+        let mut scratch = std::mem::take(&mut st.scratch);
+        let ok = Self::seg_ok(
+            self.ecn1[ci].route_to_root_into_avoiding(
+                li,
+                self.policy,
+                &self.faults.ecn1[ci],
+                &mut scratch,
+            ),
+            "ECN1 ascent",
+        );
+        let rec = self.push_inter_rec(&mut st, ok, &scratch, self.ecn1_off[ci]);
+        st.scratch = scratch;
+        self.up_ids[src].store(rec, Ordering::Release);
+        rec
+    }
+
+    /// Record offset of `dst`'s ECN1 descent, materializing on first touch.
+    fn down_rec(&self, dst: usize) -> u32 {
+        let id = self.down_ids[dst].load(Ordering::Acquire);
+        if id != UNSET {
+            return id;
+        }
+        let mut st = self.lazy.write().expect("route table lock");
+        let id = self.down_ids[dst].load(Ordering::Acquire);
+        if id != UNSET {
+            return id;
+        }
+        let cj = self.node_cluster[dst] as usize;
+        let lj = self.node_local[dst] as usize;
+        let mut scratch = std::mem::take(&mut st.scratch);
+        let ok = Self::seg_ok(
+            self.ecn1[cj].route_from_root_into_avoiding(
+                lj,
+                self.policy,
+                &self.faults.ecn1[cj],
+                &mut scratch,
+            ),
+            "ECN1 descent",
+        );
+        let rec = self.push_inter_rec(&mut st, ok, &scratch, self.ecn1_off[cj]);
+        st.scratch = scratch;
+        self.down_ids[dst].store(rec, Ordering::Release);
+        rec
+    }
+
+    /// Record offset of the `ci → cj` ICN2 crossing, materializing on
+    /// first touch.
+    fn cross_rec(&self, ci: usize, cj: usize) -> u32 {
+        let idx = ci * self.num_clusters as usize + cj;
+        let id = self.cross_ids[idx].load(Ordering::Acquire);
+        if id != UNSET {
+            return id;
+        }
+        let mut st = self.lazy.write().expect("route table lock");
+        let id = self.cross_ids[idx].load(Ordering::Acquire);
+        if id != UNSET {
+            return id;
+        }
+        let mut scratch = std::mem::take(&mut st.scratch);
+        let ok = Self::seg_ok(
+            self.icn2
+                .route_into_avoiding(ci, cj, self.policy, &self.faults.icn2, &mut scratch),
+            "ICN2 crossing",
+        );
+        let rec = self.push_inter_rec(&mut st, ok, &scratch, self.icn2_off);
+        st.scratch = scratch;
+        self.cross_ids[idx].store(rec, Ordering::Release);
+        rec
+    }
+
+    /// The global injection channel of local node `li` in cluster `ci`:
+    /// node↔leaf links are the first channels of every graph, two per node
+    /// in node order, so injection is `2·li` locally.
     #[inline]
-    pub fn chans(&self) -> &[u32] {
-        &self.chans
+    fn intra_inj(&self, ci: usize, li: usize) -> u32 {
+        self.icn1_off[ci] + 2 * li as u32
+    }
+
+    /// Class record of the intra pair `(src, dst)`, materializing the
+    /// class — keyed `(cluster, leaf(src), dst)` — on first touch by any
+    /// member pair.
+    fn intra_cls(&self, src: usize, dst: usize) -> u32 {
+        let ci = self.node_cluster[src];
+        let li = self.node_local[src] as usize;
+        let lj = self.node_local[dst];
+        let tree = *self.icn1[ci as usize].tree();
+        let leaf = tree.leaf_index_of(li).expect("valid local id") as u32;
+        let key = (ci, leaf, lj);
+        if let Some(&cls) = self.lazy.read().expect("route table lock").intra.get(&key) {
+            return cls;
+        }
+        let mut st = self.lazy.write().expect("route table lock");
+        if let Some(&cls) = st.intra.get(&key) {
+            return cls;
+        }
+        let graph = &self.icn1[ci as usize];
+        let mut scratch = std::mem::take(&mut st.scratch);
+        let ok = Self::seg_ok(
+            graph.route_tail_into_avoiding(
+                li,
+                lj as usize,
+                self.policy,
+                &self.faults.icn1[ci as usize],
+                &mut scratch,
+            ),
+            "ICN1 intra",
+        );
+        let off = self.icn1_off[ci as usize];
+        let chans_off = st.chan_len;
+        let mut sum = 0.0f64;
+        let mut bot = 0.0f64;
+        let mut len = 0u64;
+        if ok {
+            assert!(
+                chans_off < 1 << 31,
+                "channel arena exceeds the virtual-window offset budget"
+            );
+            // Fold exactly as the eager builder does, injection first. The
+            // materializing pair's injection time stands in for every
+            // member's: all ICN1 injection channels share one t_cn, so the
+            // folded sum/bottleneck are class-uniform bit for bit.
+            let t = self.chan_time[self.intra_inj(ci as usize, li) as usize];
+            sum += t;
+            bot = bot.max(t);
+            len = 1;
+            // Head slot: the injection channel of the leaf's first member.
+            // Member `j`'s is `head + 2·j` (node ids under a leaf are
+            // consecutive and node↔leaf links come two per node in node
+            // order), which is what lets `chan_at` resolve a pair's
+            // injection with the same single arena read as a tail channel.
+            let base = self.intra_inj(ci as usize, tree.node_under_leaf(leaf as usize, 0));
+            self.chans.set(st.chan_len, base);
+            st.chan_len += 1;
+            for c in &scratch {
+                let g = off + c.0;
+                let t = self.chan_time[g as usize];
+                sum += t;
+                bot = bot.max(t);
+                self.chans.set(st.chan_len, g);
+                st.chan_len += 1;
+                len += 1;
+            }
+            assert!(
+                len < 1 << VSTART_POS_BITS,
+                "segment too long for the virtual channel window"
+            );
+        }
+        let rec = st.rec_len;
+        assert!(rec < 1 << 31, "route-record arena exceeds the id budget");
+        for w in [chans_off, sum.to_bits(), bot.to_bits(), len] {
+            self.recs.set(st.rec_len, w);
+            st.rec_len += 1;
+        }
+        st.segs += 1;
+        st.scratch = scratch;
+        st.intra.insert(key, rec as u32);
+        rec as u32
+    }
+
+    #[inline]
+    fn route_ref(&self, src: usize, dst: usize) -> RouteRef {
+        debug_assert_ne!(src, dst, "self-traffic is excluded by assumption 2");
+        debug_assert!(src < self.total_nodes as usize && dst < self.total_nodes as usize);
+        let ci = self.node_cluster[src];
+        if ci == self.node_cluster[dst] {
+            let cls = self.intra_cls(src, dst);
+            let li = self.node_local[src] as usize;
+            let tree = self.icn1[ci as usize].tree();
+            let j = tree.leaf_member_of(li).expect("valid local id") as u32;
+            let dead = self.faulted && self.failed[self.intra_inj(ci as usize, li) as usize];
+            RouteRef::intra(cls, j, dead)
+        } else {
+            RouteRef::inter(src as u64, dst as u64)
+        }
+    }
+
+    #[inline]
+    fn num_segments(&self, r: RouteRef) -> u32 {
+        if r.tag() == REF_TAG_INTRA {
+            1
+        } else {
+            3
+        }
+    }
+
+    #[inline]
+    fn seg_meta(&self, r: RouteRef, k: u32) -> SegMeta {
+        if r.tag() == REF_TAG_INTRA {
+            let (cls, j, dead) = r.intra_parts();
+            let len = self.recs.get(cls as u64 + 3) as u32;
+            let start = vstart(self.recs.get(cls as u64), j);
+            if dead || len == 0 {
+                // Same shape the eager table's empty placeholder yields.
+                // (`start` is never dereferenced at `len == 0`.)
+                return SegMeta {
+                    start,
+                    len: 0,
+                    sum_t: 0.0,
+                    bottleneck_t: 0.0,
+                };
+            }
+            SegMeta {
+                start,
+                len,
+                sum_t: f64::from_bits(self.recs.get(cls as u64 + 1)),
+                bottleneck_t: f64::from_bits(self.recs.get(cls as u64 + 2)),
+            }
+        } else {
+            let (src, dst) = r.inter_parts();
+            let rec = match k {
+                0 => self.up_rec(src),
+                1 => self.cross_rec(
+                    self.node_cluster[src] as usize,
+                    self.node_cluster[dst] as usize,
+                ),
+                _ => self.down_rec(dst),
+            } as u64;
+            SegMeta {
+                start: self.recs.get(rec),
+                len: self.recs.get(rec + 3) as u32,
+                sum_t: f64::from_bits(self.recs.get(rec + 1)),
+                bottleneck_t: f64::from_bits(self.recs.get(rec + 2)),
+            }
+        }
+    }
+
+    #[inline]
+    fn chan_at(&self, idx: u64) -> u32 {
+        if idx & VSTART_TAG == 0 {
+            return self.chans.get(idx);
+        }
+        let pos = idx & ((1 << VSTART_POS_BITS) - 1);
+        let off = (idx >> 32) & 0x7fff_ffff;
+        if pos == 0 {
+            let j = (idx >> VSTART_POS_BITS) as u32 & 0xf_ffff;
+            self.chans.get(off) + 2 * j
+        } else {
+            self.chans.get(off + pos)
+        }
+    }
+
+    #[inline]
+    fn is_unreachable(&self, src: usize, dst: usize) -> bool {
+        if !self.faulted {
+            return false;
+        }
+        let ci = self.node_cluster[src] as usize;
+        let cj = self.node_cluster[dst] as usize;
+        if ci == cj {
+            let cls = self.intra_cls(src, dst);
+            if self.recs.get(cls as u64 + 3) as u32 == 0 {
+                return true;
+            }
+            self.failed[self.intra_inj(ci, self.node_local[src] as usize) as usize]
+        } else {
+            let up = self.up_rec(src) as u64;
+            let cross = self.cross_rec(ci, cj) as u64;
+            let down = self.down_rec(dst) as u64;
+            self.recs.get(up + 3) == 0
+                || self.recs.get(cross + 3) == 0
+                || self.recs.get(down + 3) == 0
+        }
+    }
+
+    /// Records materialized so far (intra classes + inter segments).
+    fn num_interned_segments(&self) -> usize {
+        self.lazy.read().expect("route table lock").segs
+    }
+
+    /// Resident bytes: dense id arrays plus arena entries actually
+    /// written plus the class map (entry estimate).
+    fn resident_bytes(&self) -> usize {
+        let st = self.lazy.read().expect("route table lock");
+        (self.up_ids.len() + self.down_ids.len() + self.cross_ids.len()) * 4
+            + st.chan_len as usize * 4
+            + st.rec_len as usize * 8
+            + st.intra.len() * (std::mem::size_of::<((u32, u32, u32), u32)>() + 16)
+    }
+}
+
+/// All deterministic (src, dst) wormhole routes of a built system.
+///
+/// Routes share structure aggressively: an inter-cluster route is always
+/// `up(src) → cross(cluster(src), cluster(dst)) → down(dst)` and
+/// intra-cluster routes collapse into `(leaf(src), dst)` equivalence
+/// classes. Resolving a [`RouteRef`] to its segments is pure arithmetic
+/// plus a handful of array reads, and yields [`SegMeta`] entries whose
+/// `sum_t`/`bottleneck_t` are precomputed, which is what keeps the
+/// engines' event loops allocation- and rescan-free.
+///
+/// Two interchangeable representations exist (selected by
+/// [`InternMode`]): the lazy class-keyed [`ClassedTable`] (default) and
+/// the eager all-pairs [`EagerTable`] oracle. Both produce bit-identical
+/// segment metadata for every pair; they differ only in build cost and
+/// resident bytes.
+// One `RouteTable` exists per built system, so the variant size gap
+// (the classed table inlines two 33-pointer chunk spines precisely so
+// the per-flit `chan_at` costs no extra indirection) buys hot-path
+// speed for a few hundred one-off bytes; boxing would undo that.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum RouteTable {
+    /// Eager all-pairs CSR table (the golden oracle; ≤ 65 535 nodes).
+    Eager(EagerTable),
+    /// Lazy class-keyed table (the default; O(touched classes) space).
+    Classed(ClassedTable),
+}
+
+impl RouteTable {
+    /// The interned route of a (src, dst) pair (flat node indexing).
+    ///
+    /// # Panics
+    /// Debug-panics on `src == dst` (patterns never produce self-traffic).
+    #[inline]
+    pub fn route_ref(&self, src: usize, dst: usize) -> RouteRef {
+        match self {
+            RouteTable::Eager(t) => t.route_ref(src, dst),
+            RouteTable::Classed(t) => t.route_ref(src, dst),
+        }
+    }
+
+    /// How many wormhole segments the route crosses (1 intra, 3 inter).
+    #[inline]
+    pub fn num_segments(&self, r: RouteRef) -> u32 {
+        match self {
+            RouteTable::Eager(t) => t.num_segments(r),
+            RouteTable::Classed(t) => t.num_segments(r),
+        }
+    }
+
+    /// Whether static faults disconnected the (src, dst) pair: some
+    /// segment of its deterministic route has no fault-free Up*/Down*
+    /// path. `false` for every pair of a zero-fault build (one branch).
+    /// The answer also covers adaptive routing — adaptive ascents explore
+    /// a subset of the same path space the fault-aware search exhausts.
+    #[inline]
+    pub fn is_unreachable(&self, src: usize, dst: usize) -> bool {
+        match self {
+            RouteTable::Eager(t) => t.is_unreachable(src, dst),
+            RouteTable::Classed(t) => t.is_unreachable(src, dst),
+        }
+    }
+
+    /// Metadata of segment `k` (0-based) of route `r`.
+    #[inline]
+    pub fn seg_meta(&self, r: RouteRef, k: u32) -> SegMeta {
+        match self {
+            RouteTable::Eager(t) => t.seg_meta(r, k),
+            RouteTable::Classed(t) => t.seg_meta(r, k),
+        }
+    }
+
+    /// The global channel id at position `start + k` of an interned
+    /// segment (`k < len`): the engines' per-hop channel lookup. Resolves
+    /// plain indices against the flat channel storage and classed virtual
+    /// windows arithmetically.
+    #[inline]
+    pub fn chan_at(&self, idx: u64) -> u32 {
+        match self {
+            RouteTable::Eager(t) => t.chans[idx as usize],
+            RouteTable::Classed(t) => t.chan_at(idx),
+        }
     }
 
     /// The channels of one interned segment, in traversal order.
-    #[inline]
-    pub fn segment_channels(&self, m: SegMeta) -> &[u32] {
-        &self.chans[m.start as usize..(m.start + m.len) as usize]
+    pub fn segment_channels(&self, m: SegMeta) -> Vec<u32> {
+        (0..m.len as u64)
+            .map(|k| self.chan_at(m.start + k))
+            .collect()
     }
 
-    /// Number of interned segments (including empty diagonal placeholders).
+    /// Number of interned segments: all of them (including empty diagonal
+    /// placeholders) for the eager table, the materialized-so-far count
+    /// for the classed table.
     pub fn num_interned_segments(&self) -> usize {
-        self.seg_sum.len()
+        match self {
+            RouteTable::Eager(t) => t.num_interned_segments(),
+            RouteTable::Classed(t) => t.num_interned_segments(),
+        }
+    }
+
+    /// Estimated resident bytes of the table's storage — the scale metric
+    /// `org_scale` and `bench_snapshot` report.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            RouteTable::Eager(t) => t.resident_bytes(),
+            RouteTable::Classed(t) => t.resident_bytes(),
+        }
+    }
+
+    /// Which interning mode built this table.
+    pub fn mode(&self) -> InternMode {
+        match self {
+            RouteTable::Eager(_) => InternMode::Eager,
+            RouteTable::Classed(_) => InternMode::Classed,
+        }
     }
 }
 
@@ -538,27 +1280,33 @@ pub struct AdaptiveScratch {
 }
 
 /// A [`SystemSpec`] materialised for simulation.
+///
+/// Graphs and lookup tables live behind `Arc`s: clusters with the same
+/// `(m, n)` share one graph (a million-endpoint org has thousands of
+/// identical clusters but only a handful of distinct trees), and the
+/// [`ClassedTable`] holds the same `Arc`s instead of copies.
 #[derive(Debug)]
 pub struct BuiltSystem {
     spec: SystemSpec,
-    icn1: Vec<Graph>,
-    ecn1: Vec<Graph>,
-    icn2: Graph,
+    icn1: Vec<Arc<Graph>>,
+    ecn1: Vec<Arc<Graph>>,
+    icn2: Arc<Graph>,
     icn1_off: Vec<u32>,
     ecn1_off: Vec<u32>,
     icn2_off: u32,
     /// Per-flit transfer time of every global channel.
-    chan_time: Vec<f64>,
+    chan_time: Arc<Vec<f64>>,
     /// Flat-node → (cluster, local) lookup.
-    node_cluster: Vec<u32>,
-    node_local: Vec<u32>,
+    node_cluster: Arc<Vec<u32>>,
+    node_local: Arc<Vec<u32>>,
     /// Up*/Down* ascent policy used for every route.
     policy: AscentPolicy,
-    /// Every deterministic route, interned once (see [`RouteTable`]).
+    /// Every deterministic route, interned per class or per pair (see
+    /// [`RouteTable`]).
     routes: RouteTable,
     /// Static (build-time) fault mask: one bool per global channel, both
     /// directions of a failed link set. Empty for zero-fault builds.
-    failed: Vec<bool>,
+    failed: Arc<Vec<bool>>,
 }
 
 impl BuiltSystem {
@@ -606,6 +1354,22 @@ impl BuiltSystem {
         policy: AscentPolicy,
         faults: &FaultSchedule,
     ) -> Result<Self, BuildError> {
+        Self::try_build_full(spec, flit_bytes, policy, faults, InternMode::default())
+    }
+
+    /// [`BuiltSystem::try_build_with`] with an explicit route-interning
+    /// mode: [`InternMode::Classed`] (the default) materializes routes
+    /// lazily per equivalence class and scales to millions of endpoints;
+    /// [`InternMode::Eager`] pre-interns all pairs (the golden oracle,
+    /// ≤ 65 535 nodes). The two are bit-identical in every simulation
+    /// result.
+    pub fn try_build_full(
+        spec: &SystemSpec,
+        flit_bytes: f64,
+        policy: AscentPolicy,
+        faults: &FaultSchedule,
+        interning: InternMode,
+    ) -> Result<Self, BuildError> {
         let c = spec.num_clusters();
         let mut icn1 = Vec::with_capacity(c);
         let mut ecn1 = Vec::with_capacity(c);
@@ -625,9 +1389,20 @@ impl BuiltSystem {
             off
         };
 
+        // One graph per distinct tree shape — clusters with the same
+        // (m, n) share the structure (channel ids, routes) even though
+        // their channel *times* differ, which the per-network offsets
+        // into `chan_time` already express.
+        let mut graph_cache: HashMap<(u32, u32), Arc<Graph>> = HashMap::new();
+        let mut get_graph = |tree: MPortNTree| -> Arc<Graph> {
+            graph_cache
+                .entry((tree.m(), tree.n()))
+                .or_insert_with(|| Arc::new(Graph::build(tree)))
+                .clone()
+        };
+
         for i in 0..c {
-            let tree = spec.cluster_tree(i);
-            let g = Graph::build(tree);
+            let g = get_graph(spec.cluster_tree(i));
             let net = &spec.clusters[i].icn1;
             icn1_off.push(push_graph(
                 &g,
@@ -638,8 +1413,7 @@ impl BuiltSystem {
             icn1.push(g);
         }
         for i in 0..c {
-            let tree = spec.cluster_tree(i);
-            let g = Graph::build(tree);
+            let g = get_graph(spec.cluster_tree(i));
             let net = &spec.clusters[i].ecn1;
             ecn1_off.push(push_graph(
                 &g,
@@ -650,7 +1424,7 @@ impl BuiltSystem {
             ecn1.push(g);
         }
         let icn2_tree: MPortNTree = spec.icn2_tree();
-        let icn2 = Graph::build(icn2_tree);
+        let icn2 = get_graph(icn2_tree);
         let icn2_off = push_graph(
             &icn2,
             spec.icn2.t_cn(flit_bytes),
@@ -747,20 +1521,40 @@ impl BuiltSystem {
         }
 
         let cluster_nodes: Vec<u32> = (0..c).map(|i| spec.cluster_nodes(i) as u32).collect();
-        let routes = RouteTable::build(
-            &icn1,
-            &ecn1,
-            &icn2,
-            &icn1_off,
-            &ecn1_off,
-            icn2_off,
-            &chan_time,
-            &node_cluster,
-            &node_local,
-            &cluster_nodes,
-            policy,
-            &gf,
-        )?;
+        let chan_time = Arc::new(chan_time);
+        let node_cluster = Arc::new(node_cluster);
+        let node_local = Arc::new(node_local);
+        let failed = Arc::new(failed);
+        let routes = match interning {
+            InternMode::Eager => RouteTable::Eager(EagerTable::build(
+                &icn1,
+                &ecn1,
+                &icn2,
+                &icn1_off,
+                &ecn1_off,
+                icn2_off,
+                &chan_time,
+                &node_cluster,
+                &node_local,
+                &cluster_nodes,
+                policy,
+                &gf,
+            )?),
+            InternMode::Classed => RouteTable::Classed(ClassedTable::new(
+                icn1.clone(),
+                ecn1.clone(),
+                icn2.clone(),
+                icn1_off.clone(),
+                ecn1_off.clone(),
+                icn2_off,
+                chan_time.clone(),
+                failed.clone(),
+                gf,
+                policy,
+                node_cluster.clone(),
+                node_local.clone(),
+            )),
+        };
 
         Ok(Self {
             spec: spec.clone(),
@@ -1017,7 +1811,7 @@ impl BuiltSystem {
                 out.push(g);
             }
             SegMeta {
-                start,
+                start: start as u64,
                 len: out.len() as u32 - start,
                 sum_t: sum,
                 bottleneck_t: bot,
@@ -1155,7 +1949,7 @@ pub struct CachedRoute {
 /// per-slot copy, so routes survive cross-shard handoffs.
 #[derive(Debug, Default)]
 pub struct AdaptiveRouteCache {
-    map: std::collections::HashMap<(u32, u64), u32>,
+    map: std::collections::HashMap<(u64, u64), u32>,
     routes: Vec<CachedRoute>,
 }
 
@@ -1200,7 +1994,7 @@ impl AdaptiveRouteCache {
             for &d in &digits {
                 code = (code << bits) | d as u64;
             }
-            Some(((src * built.total_nodes() + dst) as u32, code))
+            Some((src as u64 * built.total_nodes() as u64 + dst as u64, code))
         } else {
             // Unpackable digit strings (absurdly deep trees): build
             // uncached — still arena-backed so sharding works.
@@ -1376,7 +2170,7 @@ mod tests {
             assert_eq!(n as usize, legacy.len(), "{src}->{dst}");
             for (k, seg) in legacy.iter().enumerate() {
                 let m = metas[k];
-                let got = &arena[m.start as usize..(m.start + m.len) as usize];
+                let got = &arena[m.start as usize..(m.start + m.len as u64) as usize];
                 assert_eq!(got, seg.chans.as_slice(), "{src}->{dst} segment {k}");
                 let mut sum = 0.0;
                 let mut bot = 0.0f64;

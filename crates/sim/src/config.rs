@@ -127,6 +127,51 @@ impl std::fmt::Display for ShardMode {
     }
 }
 
+/// How `BuiltSystem` interns deterministic routes into its `RouteTable`.
+///
+/// `Classed` (the default) interns one route *tail* per equivalence class —
+/// `(src leaf switch, dst)` intra-cluster, `(src, dst)` across clusters —
+/// and materializes each class lazily on first touch; the injection channel
+/// (the only per-pair datum) is recovered arithmetically. Build cost and
+/// resident bytes scale with the classes actually touched instead of all
+/// `N²` pairs, which is what lifts the eager builder's 65 535-node cap and
+/// makes 10⁶-endpoint orgs buildable. `Eager` keeps the historical
+/// all-pairs CSR table as a golden oracle; both modes produce bit-identical
+/// simulation results (pinned by the `intern_equivalence` property suite
+/// and the golden regressions). Scenario files select it with
+/// `"sim": {"interning": "Eager"}`; the CLI with `--interning eager`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InternMode {
+    /// Lazy class-keyed interning (default): O(touched classes) space.
+    #[default]
+    Classed,
+    /// Eager all-pairs CSR interning (the golden oracle; ≤ 65 535 nodes).
+    Eager,
+}
+
+impl std::str::FromStr for InternMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "classed" => Ok(InternMode::Classed),
+            "eager" => Ok(InternMode::Eager),
+            other => Err(format!(
+                "unknown intern mode {other:?} (use \"classed\" or \"eager\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for InternMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InternMode::Classed => "classed",
+            InternMode::Eager => "eager",
+        })
+    }
+}
+
 /// What a timed fault event does to its link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultAction {
@@ -317,6 +362,10 @@ pub struct SimConfig {
     /// changes results — sharded runs are bit-identical to serial — only
     /// wall-clock cost. Off by default; the flit engine ignores it.
     pub shards: ShardMode,
+    /// Route-table interning strategy (see [`InternMode`]). Never changes
+    /// results — class-keyed tables are bit-identical to the eager oracle —
+    /// only build time and resident bytes. Classed by default.
+    pub interning: InternMode,
 }
 
 impl Default for SimConfig {
@@ -337,6 +386,7 @@ impl Default for SimConfig {
             scheduler: SchedulerKind::default(),
             faults: FaultSchedule::default(),
             shards: ShardMode::default(),
+            interning: InternMode::default(),
         }
     }
 }
@@ -361,6 +411,7 @@ impl SimConfig {
             scheduler: SchedulerKind::default(),
             faults: FaultSchedule::default(),
             shards: ShardMode::default(),
+            interning: InternMode::default(),
         }
     }
 
@@ -406,6 +457,16 @@ mod tests {
         assert_eq!(ShardMode::N(3).to_string(), "3");
         assert_eq!(ShardMode::Auto.to_string(), "auto");
         assert_eq!(SimConfig::default().shards, ShardMode::Off);
+    }
+
+    #[test]
+    fn intern_mode_parses_cli_names() {
+        assert_eq!("classed".parse::<InternMode>(), Ok(InternMode::Classed));
+        assert_eq!("eager".parse::<InternMode>(), Ok(InternMode::Eager));
+        assert!("Classed".parse::<InternMode>().is_err());
+        assert!("lazy".parse::<InternMode>().is_err());
+        assert_eq!(InternMode::Eager.to_string(), "eager");
+        assert_eq!(SimConfig::default().interning, InternMode::Classed);
     }
 
     #[test]

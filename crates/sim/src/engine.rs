@@ -334,11 +334,10 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
     #[inline]
     fn seg_chan(&self, msg_id: u32, k: u32) -> u32 {
         let m = &self.msgs[msg_id as usize];
-        let i = (m.cur.start + k) as usize;
         if m.route.is_dynamic() {
-            self.dyn_routes[msg_id as usize].chans[i]
+            self.dyn_routes[msg_id as usize].chans[(m.cur.start + k as u64) as usize]
         } else {
-            self.routes.chans()[i]
+            self.routes.chan_at(m.cur.start + k as u64)
         }
     }
 
@@ -947,6 +946,7 @@ mod tests {
             scheduler: SchedulerKind::default(),
             faults: crate::config::FaultSchedule::default(),
             shards: crate::config::ShardMode::Off,
+            interning: crate::config::InternMode::default(),
         }
     }
 
@@ -1396,7 +1396,7 @@ mod tests {
         let routes = built.route_table();
         let r = routes.route_ref(0, 1);
         let seg = routes.seg_meta(r, 0);
-        routes.chans()[seg.start as usize]
+        routes.chan_at(seg.start)
     }
 
     #[test]
@@ -1519,7 +1519,7 @@ mod tests {
             .find(|&(s, d)| s != d && !routes.is_unreachable(s, d))
             .expect("15% faults leave live pairs");
         let seg = routes.seg_meta(routes.route_ref(live.0, live.1), 0);
-        let dead = routes.chans()[seg.start as usize];
+        let dead = routes.chan_at(seg.start);
         base.faults.events = vec![crate::config::FaultEvent {
             time: 2_000.0,
             link: dead,
@@ -1556,7 +1556,7 @@ mod tests {
         let routes = built.route_table();
         let r02 = routes.route_ref(8, 15);
         let seg = routes.seg_meta(r02, 0);
-        let fabric = routes.chans()[(seg.start + 1) as usize];
+        let fabric = routes.chan_at(seg.start + 1);
         let mut cfg = tiny_cfg(7);
         cfg.adaptive_routing = true;
         cfg.faults.events = vec![crate::config::FaultEvent {

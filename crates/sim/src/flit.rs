@@ -328,8 +328,7 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
             return false;
         }
         let m = &self.msgs[msg_id as usize];
-        (0..m.cur.len)
-            .any(|k| self.failed[self.routes.chans()[(m.cur.start + k) as usize] as usize])
+        (0..m.cur.len).any(|k| self.failed[self.routes.chan_at(m.cur.start + k as u64) as usize])
     }
 
     /// Drops a message refused admission to a faulted segment: retransmit
@@ -435,7 +434,7 @@ impl<'a, S: Scheduler<EventKind>> FlitSimulator<'a, S> {
     #[inline]
     fn chan_at(&self, msg_id: u32, pos: u32) -> u32 {
         let m = &self.msgs[msg_id as usize];
-        self.routes.chans()[(m.cur.start + pos) as usize]
+        self.routes.chan_at(m.cur.start + pos as u64)
     }
 
     #[inline]
@@ -830,7 +829,7 @@ mod tests {
         let built = BuiltSystem::build(&s, wl.flit_bytes);
         let routes = built.route_table();
         let seg = routes.seg_meta(routes.route_ref(0, 1), 0);
-        let dead = routes.chans()[seg.start as usize];
+        let dead = routes.chan_at(seg.start);
         let mut c = cfg(11);
         c.faults.events = vec![crate::config::FaultEvent {
             time: 0.0,

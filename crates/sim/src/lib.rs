@@ -43,7 +43,8 @@ pub use build::{
     RouteRef, RouteTable, SegMeta, Segment,
 };
 pub use config::{
-    Coupling, FaultAction, FaultEvent, FaultSchedule, SchedulerKind, ShardMode, SimConfig,
+    Coupling, FaultAction, FaultEvent, FaultSchedule, InternMode, SchedulerKind, ShardMode,
+    SimConfig,
 };
 pub use engine::{run_simulation, run_simulation_arrivals, run_simulation_built};
 pub use events::{CalendarQueue, EventQueue, Scheduler, Timed};

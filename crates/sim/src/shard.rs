@@ -611,11 +611,10 @@ impl<'a, S: Scheduler<SEvent>> ShardSim<'a, S> {
     #[inline]
     fn seg_chan(&self, msg_id: u32, k: u32) -> u32 {
         let m = &self.msgs[msg_id as usize];
-        let i = (m.cur.start + k) as usize;
         if m.route.is_dynamic() {
-            self.cache.route(m.cache_idx).chans[i]
+            self.cache.route(m.cache_idx).chans[(m.cur.start + k as u64) as usize]
         } else {
-            self.routes.chans()[i]
+            self.routes.chan_at(m.cur.start + k as u64)
         }
     }
 
@@ -831,7 +830,7 @@ impl<'a, S: Scheduler<SEvent>> ShardSim<'a, S> {
         let first_chan = if m.route.is_dynamic() {
             self.cache.route(m.cache_idx).chans[next.start as usize]
         } else {
-            self.routes.chans()[next.start as usize]
+            self.routes.chan_at(next.start)
         };
         let dst_shard = self.part.chan_shard[first_chan as usize];
         debug_assert_ne!(dst_shard, self.id, "segment boundaries always cross shards");
@@ -2042,7 +2041,7 @@ mod tests {
         let routes = built.route_table();
         let r = routes.route_ref(0, 1);
         let seg = routes.seg_meta(r, 0);
-        routes.chans()[seg.start as usize]
+        routes.chan_at(seg.start)
     }
 
     #[test]

@@ -681,6 +681,114 @@ impl Graph {
         }
     }
 
+    /// The **route tail** of `src → dst`: [`Graph::route_into`] minus its
+    /// injection channel (`2h − 1` channels; empty when `src == dst`).
+    ///
+    /// The tail is a pure function of `src`'s *leaf switch* and `dst`
+    /// ([`crate::MPortNTree::intra_route_class`]): the ascent digits are read
+    /// from the destination label and the walk starts at `leaf(src)`, so
+    /// every `src` under one leaf produces the identical tail. This is the
+    /// primitive class-keyed route interning materializes once per class —
+    /// per-pair state is reduced to the injection channel, which the caller
+    /// reconstructs arithmetically.
+    pub fn route_tail_into(
+        &self,
+        src: usize,
+        dst: usize,
+        policy: AscentPolicy,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        out.clear();
+        let n = self.tree.n();
+        let h = self.tree.nca_level(src, dst)?;
+        if h == 0 {
+            return Ok(0);
+        }
+        let src_label = self.tree.node_label(src)?;
+        let dst_label = self.tree.node_label(dst)?;
+
+        let mut sw = SwitchLabel::leaf_of(&src_label);
+        let mut cur = Endpoint::Switch(self.switch_index[&sw]);
+        for l in 1..h {
+            let u = self.up_digit_with(&dst_label, l, policy);
+            let parent = sw.parent(u).expect("ascending below the root");
+            let next = Endpoint::Switch(self.switch_index[&parent]);
+            out.push(self.lookup[&(cur, next)]);
+            sw = parent;
+            cur = next;
+        }
+        for l in (1..h).rev() {
+            let d = dst_label.digits[(n - l - 1) as usize];
+            let child = sw.child(d).expect("descending above the leaves");
+            let next = Endpoint::Switch(self.switch_index[&child]);
+            out.push(self.lookup[&(cur, next)]);
+            sw = child;
+            cur = next;
+        }
+        out.push(self.lookup[&(cur, Endpoint::Node(dst as u32))]);
+        debug_assert_eq!(out.len(), 2 * h as usize - 1);
+        Ok(h)
+    }
+
+    /// Fault-aware form of [`Graph::route_tail_into`]: the avoiding route
+    /// minus its injection channel — and, deliberately, minus the
+    /// injection-failed pre-check. The tail is shared by every node under
+    /// the leaf, whereas an injection fault kills exactly one of them, so
+    /// the caller applies the injection check per pair (demoting single
+    /// pairs, not the whole class). The ejection pre-check stays: it is
+    /// part of the shared tail. Byte-identical to
+    /// [`Graph::route_into_avoiding`]`[1..]` whenever that route exists and
+    /// its injection channel is healthy.
+    pub fn route_tail_into_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        policy: AscentPolicy,
+        faults: &FaultSet,
+        out: &mut Vec<ChannelId>,
+    ) -> Result<u32, TopologyError> {
+        if faults.is_empty() {
+            return self.route_tail_into(src, dst, policy, out);
+        }
+        out.clear();
+        let n = self.tree.n();
+        let h = self.tree.nca_level(src, dst)?;
+        if h == 0 {
+            return Ok(0);
+        }
+        let disconnected = TopologyError::Disconnected {
+            src,
+            dst: Some(dst),
+        };
+        let src_label = self.tree.node_label(src)?;
+        let dst_label = self.tree.node_label(dst)?;
+        let src_leaf = SwitchLabel::leaf_of(&src_label);
+        let dst_leaf = SwitchLabel::leaf_of(&dst_label);
+        let cur = Endpoint::Switch(self.switch_index[&src_leaf]);
+        let ej = self.lookup[&(
+            Endpoint::Switch(self.switch_index[&dst_leaf]),
+            Endpoint::Node(dst as u32),
+        )];
+        if faults.is_failed(ej) {
+            return Err(disconnected);
+        }
+        let ctx = AvoidCtx {
+            shape: &dst_label,
+            policy,
+            faults,
+            n,
+            target: h,
+            dst: Some(dst as u32),
+        };
+        if self.search_avoiding(&src_leaf, cur, 1, &ctx, out) {
+            debug_assert_eq!(out.len(), 2 * h as usize - 1);
+            Ok(h)
+        } else {
+            out.clear();
+            Err(disconnected)
+        }
+    }
+
     /// Fault-aware form of [`Graph::route_to_root_into`]: ascends from
     /// `src` to *any* root avoiding failed channels, preferring the
     /// deterministic exit root's up-ports at every level. Delegates to the
@@ -1164,6 +1272,83 @@ mod tests {
                 g.route_from_root_into_avoiding(src, policy, &none, &mut b)
                     .unwrap();
                 assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn route_tail_is_class_invariant() {
+        // The tail (route minus injection) must equal route_into[1..] for
+        // every pair, and must be identical across all srcs under one leaf
+        // switch — the invariant class-keyed interning builds on.
+        for (m, n) in [(4u32, 1u32), (4, 2), (4, 3), (8, 2)] {
+            let g = graph(m, n);
+            let t = *g.tree();
+            for policy in [AscentPolicy::TrailingDigits, AscentPolicy::MirrorDescent] {
+                let mut full = Vec::new();
+                let mut tail = Vec::new();
+                let mut rep_tail = Vec::new();
+                for src in 0..t.num_nodes() {
+                    for dst in 0..t.num_nodes() {
+                        let h1 = g.route_into(src, dst, policy, &mut full).unwrap();
+                        let h2 = g.route_tail_into(src, dst, policy, &mut tail).unwrap();
+                        assert_eq!(h1, h2, "m={m} n={n} {src}->{dst}");
+                        assert_eq!(&full[!full.is_empty() as usize..], &tail[..]);
+                        if src == dst {
+                            continue;
+                        }
+                        // Any other member of src's leaf shares the tail.
+                        let leaf = t.leaf_index_of(src).unwrap();
+                        if let Some(rep) = (0..t.num_nodes())
+                            .find(|&s| s != src && s != dst && t.leaf_index_of(s).unwrap() == leaf)
+                        {
+                            g.route_tail_into(rep, dst, policy, &mut rep_tail).unwrap();
+                            assert_eq!(tail, rep_tail, "m={m} n={n} leaf={leaf} dst={dst}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_tail_avoiding_ignores_injection_faults_only() {
+        let g = graph(4, 3);
+        let t = *g.tree();
+        let (src, dst) = (0usize, 15usize);
+        let base = g.route(src, dst).unwrap();
+        let mut tail = Vec::new();
+        let mut full = Vec::new();
+        // A failed trunk link reroutes the tail exactly like the full route.
+        let mut faults = FaultSet::new();
+        faults.fail_link(base.channels[1]);
+        let h = g
+            .route_into_avoiding(src, dst, AscentPolicy::default(), &faults, &mut full)
+            .unwrap();
+        let ht = g
+            .route_tail_into_avoiding(src, dst, AscentPolicy::default(), &faults, &mut tail)
+            .unwrap();
+        assert_eq!((h, &full[1..]), (ht, &tail[..]));
+        // A failed *injection* channel disconnects the pair but not the
+        // class: the tail is still produced, unchanged, so only the one
+        // member with the dead injection link is demoted.
+        let mut inj_fault = FaultSet::new();
+        inj_fault.fail_link(base.channels[0]);
+        assert!(g
+            .route_into_avoiding(src, dst, AscentPolicy::default(), &inj_fault, &mut full)
+            .is_err());
+        let ht = g
+            .route_tail_into_avoiding(src, dst, AscentPolicy::default(), &inj_fault, &mut tail)
+            .unwrap();
+        assert_eq!((ht, &tail[..]), (base.nca_level, &base.channels[1..]));
+        // A failed ejection channel kills the whole class.
+        let mut ej_fault = FaultSet::new();
+        ej_fault.fail_link(*base.channels.last().unwrap());
+        for s in 0..t.num_nodes() {
+            if t.leaf_index_of(s).unwrap() == t.leaf_index_of(src).unwrap() && s != dst {
+                assert!(g
+                    .route_tail_into_avoiding(s, dst, AscentPolicy::default(), &ej_fault, &mut tail)
+                    .is_err());
             }
         }
     }

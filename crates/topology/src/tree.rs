@@ -87,6 +87,84 @@ impl MPortNTree {
         }
     }
 
+    /// Number of leaf switches: `m(m/2)^{n−2}` for `n ≥ 2`; a single-level
+    /// tree has exactly one switch, which is leaf and root at once.
+    pub fn num_leaf_switches(&self) -> usize {
+        if self.n == 1 {
+            1
+        } else {
+            self.m as usize * (self.k() as usize).pow(self.n - 2)
+        }
+    }
+
+    /// Index of the leaf switch node `id` attaches to, in `0..num_leaf_switches()`.
+    ///
+    /// Node ids are the lexicographic encoding of the label with `p_n`
+    /// fastest, so the `k = m/2` nodes under one leaf are consecutive and
+    /// the leaf index is simply `id / k` (`0` for the single-switch `n = 1`
+    /// tree, where all `m` nodes share the one switch).
+    pub fn leaf_index_of(&self, id: usize) -> Result<usize, TopologyError> {
+        if id >= self.num_nodes() {
+            return Err(TopologyError::NodeOutOfRange {
+                node: id,
+                num_nodes: self.num_nodes(),
+            });
+        }
+        Ok(if self.n == 1 {
+            0
+        } else {
+            id / self.k() as usize
+        })
+    }
+
+    /// Position of node `id` among the nodes of its leaf switch
+    /// (`id % (m/2)`, or `id` itself in the single-switch `n = 1` tree).
+    /// Together with [`MPortNTree::leaf_index_of`] this inverts to the node
+    /// id via [`MPortNTree::node_under_leaf`].
+    pub fn leaf_member_of(&self, id: usize) -> Result<usize, TopologyError> {
+        if id >= self.num_nodes() {
+            return Err(TopologyError::NodeOutOfRange {
+                node: id,
+                num_nodes: self.num_nodes(),
+            });
+        }
+        Ok(if self.n == 1 {
+            id
+        } else {
+            id % self.k() as usize
+        })
+    }
+
+    /// Inverse of `(leaf_index_of, leaf_member_of)`: the node id of member
+    /// `member` under leaf switch `leaf`.
+    pub fn node_under_leaf(&self, leaf: usize, member: usize) -> usize {
+        if self.n == 1 {
+            member
+        } else {
+            leaf * self.k() as usize + member
+        }
+    }
+
+    /// Canonical **route-equivalence class** of the ordered pair
+    /// `(src, dst)`: `(leaf_index_of(src), dst)`.
+    ///
+    /// For both [`crate::AscentPolicy`] variants, the deterministic
+    /// Up*/Down* route of `src → dst` minus its injection channel is a pure
+    /// function of this class: the ascent digits are read from the
+    /// *destination* label, the descent is fixed by the destination, and
+    /// the starting point of the walk is `src`'s leaf switch. Every `src`
+    /// under the same leaf therefore shares the whole route tail (and its
+    /// NCA level), differing only in the injection channel — the invariant
+    /// that makes class-keyed route interning exact (pinned by the
+    /// `route_tail_is_class_invariant` test in `graph.rs`).
+    pub fn intra_route_class(
+        &self,
+        src: usize,
+        dst: usize,
+    ) -> Result<(usize, usize), TopologyError> {
+        Ok((self.leaf_index_of(src)?, dst))
+    }
+
     /// Decodes a node id into its mixed-radix label.
     pub fn node_label(&self, id: usize) -> Result<NodeLabel, TopologyError> {
         if id >= self.num_nodes() {
@@ -248,6 +326,51 @@ mod tests {
         for id in 0..t.num_nodes() {
             let l = t.node_label(id).unwrap();
             assert_eq!(t.node_id(&l), id);
+        }
+    }
+
+    #[test]
+    fn leaf_partition_round_trips_and_matches_labels() {
+        for (m, n) in [(4u32, 1u32), (8, 1), (4, 2), (4, 3), (8, 2), (8, 3)] {
+            let t = MPortNTree::new(m, n).unwrap();
+            let k = (m / 2) as usize;
+            let leaves = t.num_leaf_switches();
+            if n == 1 {
+                assert_eq!(leaves, 1, "m={m} n={n}");
+            } else {
+                assert_eq!(leaves, m as usize * k.pow(n - 2), "m={m} n={n}");
+                assert_eq!(leaves * k, t.num_nodes(), "m={m} n={n}");
+            }
+            let mut per_leaf = vec![0usize; leaves];
+            for id in 0..t.num_nodes() {
+                let leaf = t.leaf_index_of(id).unwrap();
+                let member = t.leaf_member_of(id).unwrap();
+                assert!(leaf < leaves);
+                assert_eq!(t.node_under_leaf(leaf, member), id, "m={m} n={n} id={id}");
+                per_leaf[leaf] += 1;
+            }
+            let expect = if n == 1 { m as usize } else { k };
+            assert!(per_leaf.iter().all(|&c| c == expect), "m={m} n={n}");
+        }
+        assert!(MPortNTree::new(4, 2).unwrap().leaf_index_of(8).is_err());
+        assert!(MPortNTree::new(4, 2).unwrap().leaf_member_of(8).is_err());
+    }
+
+    #[test]
+    fn same_leaf_means_same_label_prefix() {
+        // Two nodes share a leaf switch iff their labels agree on every
+        // digit but the last — the invariant `intra_route_class` relies on.
+        for (m, n) in [(4u32, 2u32), (8, 2), (4, 3)] {
+            let t = MPortNTree::new(m, n).unwrap();
+            for a in 0..t.num_nodes() {
+                for b in 0..t.num_nodes() {
+                    let same_leaf = t.leaf_index_of(a).unwrap() == t.leaf_index_of(b).unwrap();
+                    let la = t.node_label(a).unwrap();
+                    let lb = t.node_label(b).unwrap();
+                    let prefix_eq = la.common_prefix_len(&lb) as u32 >= n - 1;
+                    assert_eq!(same_leaf, prefix_eq, "m={m} n={n} a={a} b={b}");
+                }
+            }
         }
     }
 }

@@ -12,7 +12,7 @@
 //! and say so loudly in the PR.
 
 use cocnet::prelude::*;
-use cocnet::sim::{run_simulation_flit, Coupling, SchedulerKind, ShardMode};
+use cocnet::sim::{run_simulation_flit, Coupling, InternMode, SchedulerKind, ShardMode};
 
 fn hetero_spec() -> SystemSpec {
     let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
@@ -45,14 +45,19 @@ fn cfg_with(seed: u64, scheduler: SchedulerKind) -> SimConfig {
         seed,
         scheduler,
         shards: SHARDS.with(|s| s.get()),
+        interning: INTERN.with(|i| i.get()),
         ..SimConfig::default()
     }
 }
 
 // Threaded into every observed config so the same pinned table checks
-// the serial oracle and the cluster-sharded engine alike.
+// the serial oracle and the cluster-sharded engine alike — and, since
+// PR 9, the class-keyed route table (the default) against the eager
+// all-pairs interning oracle.
 thread_local! {
     static SHARDS: std::cell::Cell<ShardMode> = const { std::cell::Cell::new(ShardMode::Off) };
+    static INTERN: std::cell::Cell<InternMode> =
+        const { std::cell::Cell::new(InternMode::Classed) };
 }
 
 /// One pinned observation.
@@ -272,4 +277,22 @@ fn sharded_engine_matches_the_same_goldens() {
         }
     }
     SHARDS.with(|s| s.set(ShardMode::Off));
+}
+
+#[test]
+fn eager_interning_oracle_matches_the_same_goldens() {
+    // Route interning is pure mechanism too: the class-keyed table (the
+    // default every other test in this file now runs on) and the eager
+    // all-pairs oracle must reproduce the PR-1 seed statistics f64-bit-
+    // exactly — under both schedulers, and serial as well as sharded.
+    // With the other tests pinning the classed path, this is the end-to-
+    // end classed-vs-eager determinism cross-check.
+    INTERN.with(|i| i.set(InternMode::Eager));
+    for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        assert_matches_golden(scheduler);
+    }
+    SHARDS.with(|s| s.set(ShardMode::N(2)));
+    assert_matches_golden(SchedulerKind::Heap);
+    SHARDS.with(|s| s.set(ShardMode::Off));
+    INTERN.with(|i| i.set(InternMode::Classed));
 }

@@ -169,3 +169,46 @@ fn degradation_file_is_deterministic_and_degrades_gracefully() {
         }
     }
 }
+
+/// The committed `org_scale.json` is the standalone 2048-endpoint profile
+/// of the *custom* `org_scale` registry entry (its sweep axis is org
+/// size, not rate, so there is no declarative twin). It pins the route-
+/// interning guarantee end to end: the class-keyed table (the file's
+/// explicit `"interning": "Classed"`) and the eager all-pairs oracle
+/// produce f64-bit-identical simulation output on an organization an
+/// order of magnitude larger than the golden-regression specs.
+#[test]
+fn org_scale_file_runs_bit_identical_across_intern_modes() {
+    use cocnet::sim::InternMode;
+
+    let path = scenarios_dir().join("org_scale.json");
+    let mut scenario = load(&path);
+    scenario.validate().unwrap();
+    assert_eq!(scenario.spec.total_nodes(), 2048);
+    assert_eq!(scenario.sim.interning, InternMode::Classed);
+    scenario.sim = tiny(&scenario.sim);
+    scenario.rates = scenario.rates.with_steps(2);
+    scenario.replications = 1;
+
+    let dump = |detailed: &[Vec<cocnet::runner::PointSim>]| -> Vec<String> {
+        detailed
+            .iter()
+            .flatten()
+            .flat_map(|p| p.runs.iter())
+            .map(|r| serde_json::to_string(r).unwrap())
+            .collect()
+    };
+
+    let classed = scenario.run_sim_detailed();
+    let mut eager = scenario.clone();
+    eager.sim.interning = InternMode::Eager;
+    assert_eq!(
+        dump(&classed),
+        dump(&eager.run_sim_detailed()),
+        "classed and eager interning must be bit-identical end to end"
+    );
+    assert!(
+        classed.iter().flatten().any(|p| !p.runs.is_empty()),
+        "tiny org_scale run produced no points at all"
+    );
+}
