@@ -27,6 +27,7 @@ fn small_spec() -> SystemSpec {
         n,
         icn1: net1,
         ecn1: net2,
+        topology: Default::default(),
     };
     SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap()
 }

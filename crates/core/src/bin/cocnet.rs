@@ -119,6 +119,7 @@ fn build_spec(flags: &HashMap<String, String>) -> SystemSpec {
                     n,
                     icn1: presets::net1(),
                     ecn1: presets::net2(),
+                    topology: Default::default(),
                 }
             })
             .collect();
@@ -321,6 +322,14 @@ fn cmd_describe(name: &str, json_only: bool) {
                 "kind:     declarative scenario (twin: scenarios/{}.json)",
                 entry.name
             );
+            match cocnet::model::coverage(&s.spec) {
+                cocnet::model::ModelCoverage::Full => {
+                    println!("coverage: analytical model + simulation");
+                }
+                cocnet::model::ModelCoverage::SimOnly { reason } => {
+                    println!("coverage: simulation only ({reason})");
+                }
+            }
             println!("{}", serde_json::to_string_pretty(s).expect("serialisable"));
         }
         None => println!("kind:     custom experiment code"),

@@ -331,6 +331,7 @@ pub fn small_spec_48() -> SystemSpec {
         n,
         icn1: presets::net1(),
         ecn1: presets::net2(),
+        topology: Default::default(),
     };
     SystemSpec::new(
         4,
@@ -531,6 +532,13 @@ pub static ENTRIES: &[Entry] = &[
         kind: Kind::Custom(extensions::degradation),
     },
     Entry {
+        name: "torus_sweep",
+        group: Group::Extension,
+        paper_ref: "-",
+        summary: "4x 4x4-torus clusters under an m=4 ICN2 tree: sim-only latency vs load",
+        kind: Kind::Declarative(extensions::torus_sweep),
+    },
+    Entry {
         name: "hotspots",
         group: Group::Diagnostic,
         paper_ref: "§4",
@@ -622,6 +630,20 @@ pub fn run(entry: &Entry, opts: &RunOpts) -> Result<(), String> {
     }
 }
 
+/// The analytical series of a scenario, or an empty set when the spec uses
+/// a topology backend outside the paper's model coverage (the caveat goes
+/// to stderr so machine output stays parseable). The simulation series are
+/// unaffected: every backend simulates; only the equations are tree-only.
+fn model_series(scenario: &Scenario) -> Vec<cocnet_stats::Series> {
+    match cocnet_model::coverage(&scenario.spec) {
+        cocnet_model::ModelCoverage::Full => scenario.run_model(),
+        cocnet_model::ModelCoverage::SimOnly { reason } => {
+            eprintln!("[sim-only scenario: {reason}; skipping the analytical series]");
+            Vec::new()
+        }
+    }
+}
+
 /// Executes a declarative scenario: the analytical series, the simulation
 /// series over the rayon pool (unless `--no-sim`), and the unified output
 /// writer. This is the single execution path behind every `Declarative`
@@ -685,7 +707,7 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
         return run_scenario_adaptive(&scenario, opts);
     }
 
-    let mut series = scenario.run_model();
+    let mut series = model_series(&scenario);
     let mut detailed = Vec::new();
     if !opts.no_sim {
         let start = std::time::Instant::now();
@@ -755,7 +777,7 @@ fn fault_report(scenario: &Scenario, detailed: &[Vec<crate::runner::PointSim>]) 
 /// The adaptive arm of [`run_scenario`]: waves of replications per point
 /// until the precision target converges, then the CI-bearing writers.
 fn run_scenario_adaptive(scenario: &Scenario, opts: &RunOpts) -> Result<(), String> {
-    let analysis = scenario.run_model();
+    let analysis = model_series(scenario);
     let start = std::time::Instant::now();
     let detailed = if opts.serial {
         scenario.run_sim_adaptive_serial()

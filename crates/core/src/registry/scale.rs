@@ -7,7 +7,7 @@
 //! while the classed table materializes one record per *touched
 //! equivalence class*, so build cost is O(channels) and resident bytes
 //! follow the traffic, not the topology. Points small enough for the
-//! eager oracle (≤ [`EAGER_MAX_NODES`] nodes) also build it and report
+//! eager oracle (≤ `EAGER_MAX_NODES` nodes) also build it and report
 //! the speedup; the paper's org_1120 must come out ≥ 10× faster classed,
 //! which the entry asserts.
 //!
@@ -37,6 +37,7 @@ fn mega_org(cluster_n: u32, clusters: usize) -> SystemSpec {
         n: cluster_n,
         icn1: presets::net1(),
         ecn1: presets::net2(),
+        topology: Default::default(),
     };
     SystemSpec::new(16, vec![cluster; clusters], presets::net1())
         .expect("static scale orgs are valid")

@@ -602,6 +602,14 @@ impl Scenario {
         if self.sim.max_events == 0 {
             return Err("sim: max_events of 0 can never terminate a run".into());
         }
+        if self.sim.adaptive_routing {
+            // Engine-level adaptive routing draws per-hop digits against the
+            // fat-tree's free-ascent structure; a scenario pairing it with a
+            // non-tree backend would otherwise panic deep inside the engine.
+            self.spec
+                .adaptive_routing_supported()
+                .map_err(|e| format!("sim: {e}"))?;
+        }
         validate_faults(&self.spec, &self.sim.faults).map_err(|e| format!("faults: {e}"))?;
         Ok(())
     }
@@ -954,6 +962,7 @@ mod tests {
             n,
             icn1: net1,
             ecn1: net2,
+            topology: Default::default(),
         };
         SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap()
     }
@@ -973,6 +982,24 @@ mod tests {
             .with_workload("Lm=256", Workload::new(0.0, 16, 256.0).unwrap())
             .with_grid(6e-4, 4)
             .with_sim(quick_sim(11))
+    }
+
+    #[test]
+    fn validate_rejects_adaptive_routing_on_non_tree_specs() {
+        use cocnet_topology::{TopoSpec, TorusShape};
+
+        let mut s = scenario();
+        s.sim.adaptive_routing = true;
+        s.validate().unwrap();
+        s.spec.clusters[1].n = 0;
+        s.spec.clusters[1].topology = TopoSpec::Torus(TorusShape::new(&[2, 2]).unwrap());
+        let err = s.validate().unwrap_err();
+        assert!(
+            err.contains("torus") && err.contains("adaptive"),
+            "unexpected error: {err}"
+        );
+        s.sim.adaptive_routing = false;
+        s.validate().unwrap();
     }
 
     #[test]

@@ -133,6 +133,7 @@ mod tests {
                 n,
                 icn1: net1,
                 ecn1: net2,
+                topology: Default::default(),
             })
             .collect();
         SystemSpec::new(4, clusters, net1).unwrap()

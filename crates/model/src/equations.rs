@@ -17,7 +17,7 @@
 //! # use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
 //! # let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
 //! # let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
-//! # let c = |n| ClusterSpec { n, icn1: net1, ecn1: net2 };
+//! # let c = |n| ClusterSpec { n, icn1: net1, ecn1: net2, topology: Default::default() };
 //! # let spec = SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net1).unwrap();
 //! let out = evaluate(
 //!     &spec,
@@ -40,7 +40,7 @@
 //! ```
 //! # use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
 //! # let net = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
-//! # let c = |n| ClusterSpec { n, icn1: net, ecn1: net };
+//! # let c = |n| ClusterSpec { n, icn1: net, ecn1: net, topology: Default::default() };
 //! // Four clusters of 8/8/16/16 nodes: N = 48.
 //! let spec = SystemSpec::new(4, vec![c(2), c(2), c(3), c(3)], net).unwrap();
 //! assert!((spec.outgoing_probability(0) - (1.0 - 7.0 / 47.0)).abs() < 1e-12);

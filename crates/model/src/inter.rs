@@ -274,6 +274,7 @@ mod tests {
                 n,
                 icn1: net1,
                 ecn1: net2,
+                topology: Default::default(),
             })
             .collect();
         SystemSpec::new(m, clusters, net1).unwrap()

@@ -16,7 +16,7 @@
 //!
 //! let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
 //! let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01).unwrap();
-//! let cluster = ClusterSpec { n: 1, icn1: net1, ecn1: net2 };
+//! let cluster = ClusterSpec { n: 1, icn1: net1, ecn1: net2, topology: Default::default() };
 //! let spec = SystemSpec::new(4, vec![cluster; 4], net1).unwrap();
 //! let wl = Workload { lambda_g: 1e-4, msg_flits: 32, flit_bytes: 256.0 };
 //! let out = evaluate(&spec, &wl, &ModelOptions::default()).unwrap();
@@ -44,7 +44,8 @@ pub mod workload;
 pub use baseline::{evaluate_baseline, BaselinePrediction};
 pub use error::ModelError;
 pub use model::{
-    evaluate, evaluate_with_profile, ClusterLatency, ModelOptions, SystemLatency, VarianceApprox,
+    coverage, evaluate, evaluate_with_profile, ClusterLatency, ModelCoverage, ModelOptions,
+    SystemLatency, VarianceApprox,
 };
 pub use profile::OutgoingProfile;
 pub use rates::{network_rates, NetworkRates};

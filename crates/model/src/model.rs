@@ -9,8 +9,57 @@ use crate::inter::{inter_latency_with_us, InterBreakdown};
 use crate::intra::{intra_latency_with_u, IntraBreakdown};
 use crate::profile::OutgoingProfile;
 use crate::workload::Workload;
-use cocnet_topology::SystemSpec;
+use cocnet_topology::{SystemSpec, TopologyError};
 use serde::{Deserialize, Serialize};
+
+/// Whether the analytical model's equations apply to a spec.
+///
+/// The paper's Eqs. (1)–(39) are derived for m-port n-tree networks; a
+/// spec using any other topology backend (e.g. a torus cluster) can still
+/// be simulated, but the model has nothing to say about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelCoverage {
+    /// Every network is an m-port n-tree: the model fully applies.
+    Full,
+    /// At least one network uses a non-tree backend: results come from
+    /// simulation only.
+    SimOnly {
+        /// Which network broke coverage and why.
+        reason: String,
+    },
+}
+
+impl ModelCoverage {
+    /// Whether the model fully covers the spec.
+    pub fn is_full(&self) -> bool {
+        matches!(self, ModelCoverage::Full)
+    }
+}
+
+/// Classifies `spec` by model coverage (see [`ModelCoverage`]).
+pub fn coverage(spec: &SystemSpec) -> ModelCoverage {
+    for (i, c) in spec.clusters.iter().enumerate() {
+        if !c.topology.is_tree() {
+            return ModelCoverage::SimOnly {
+                reason: format!(
+                    "cluster {i} uses the {} backend; the paper's equations \
+                     model m-port n-trees only",
+                    c.topology.backend_name()
+                ),
+            };
+        }
+    }
+    if !spec.topology.is_tree() {
+        return ModelCoverage::SimOnly {
+            reason: format!(
+                "ICN2 uses the {} backend; the paper's equations model \
+                 m-port n-trees only",
+                spec.topology.backend_name()
+            ),
+        };
+    }
+    ModelCoverage::Full
+}
 
 /// How the service-time variance of the M/G/1 queues is approximated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -93,6 +142,23 @@ pub fn evaluate_with_profile(
 ) -> Result<SystemLatency, ModelError> {
     wl.validate()?;
     spec.validate()?;
+    if let ModelCoverage::SimOnly { .. } = coverage(spec) {
+        // Defense in depth: callers surface sim-only coverage before ever
+        // invoking the model, but a direct call must not silently produce
+        // tree numbers for a non-tree system.
+        let backend = spec
+            .clusters
+            .iter()
+            .map(|c| &c.topology)
+            .chain(std::iter::once(&spec.topology))
+            .find(|t| !t.is_tree())
+            .map(|t| t.backend_name())
+            .unwrap_or("non-tree");
+        return Err(ModelError::Topology(TopologyError::UnsupportedByBackend {
+            backend,
+            what: "the analytical latency model",
+        }));
+    }
     if profile.values().len() != spec.num_clusters() {
         return Err(ModelError::BadWorkload {
             what: "profile length must equal the cluster count",
@@ -160,6 +226,7 @@ mod tests {
                 n,
                 icn1: net1,
                 ecn1: net2,
+                topology: Default::default(),
             })
             .collect();
         SystemSpec::new(m, clusters, net1).unwrap()
@@ -255,5 +322,34 @@ mod tests {
         let small = evaluate(&s, &Workload::new(1e-5, 32, 256.0).unwrap(), &opts).unwrap();
         let big = evaluate(&s, &Workload::new(1e-5, 32, 512.0).unwrap(), &opts).unwrap();
         assert!(big.latency > small.latency);
+    }
+
+    #[test]
+    fn torus_specs_are_sim_only_and_rejected_by_evaluate() {
+        use cocnet_topology::{TopoSpec, TorusShape};
+        let tree = spec(4, &[1, 1, 2, 2]);
+        assert_eq!(coverage(&tree), ModelCoverage::Full);
+        assert!(coverage(&tree).is_full());
+
+        let mut mixed = tree.clone();
+        mixed.clusters[1].n = 0;
+        mixed.clusters[1].topology = TopoSpec::Torus(TorusShape::new(&[2, 2]).unwrap());
+        mixed.validate().unwrap();
+        match coverage(&mixed) {
+            ModelCoverage::SimOnly { reason } => {
+                assert!(reason.contains("cluster 1"), "{reason}");
+                assert!(reason.contains("torus"), "{reason}");
+            }
+            ModelCoverage::Full => panic!("torus cluster must be sim-only"),
+        }
+        assert!(matches!(
+            evaluate(&mixed, &wl(1e-5), &ModelOptions::default()),
+            Err(ModelError::Topology(
+                cocnet_topology::TopologyError::UnsupportedByBackend {
+                    backend: "torus",
+                    ..
+                }
+            ))
+        ));
     }
 }

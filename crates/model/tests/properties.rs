@@ -33,6 +33,7 @@ fn arb_system() -> impl Strategy<Value = SystemSpec> {
                     n: height_pool[i % height_pool.len()],
                     icn1: net1,
                     ecn1: net2,
+                    topology: Default::default(),
                 })
                 .collect();
             SystemSpec::new(m, clusters, net1).unwrap()

@@ -8,7 +8,8 @@
 
 use crate::config::{FaultSchedule, InternMode};
 use cocnet_topology::{
-    AscentPolicy, ChannelId, ChannelKind, FaultSet, Graph, MPortNTree, SystemSpec, TopologyError,
+    AnyTopology, AscentPolicy, ChannelId, ChannelKind, FaultSet, SystemSpec, TopoSpec, Topology,
+    TopologyError, TorusShape,
 };
 use rand::Rng;
 use std::collections::HashMap;
@@ -74,16 +75,28 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Total global channels the built system of `spec` will have, from tree
-/// arithmetic alone (no graphs built): `Σ_i 2·(2·n_i·N_i) + 2·n_c·C`.
+/// Directed channels of one network, from shape arithmetic alone (no
+/// graphs built): `2·n·N` for an m-port n-tree, `2·N·(1 + ndims)` for a
+/// torus (one node link plus one plus-direction ring link per node per
+/// dimension, each with its tandem reverse).
+fn network_channels(topo: &TopoSpec, tree: impl FnOnce() -> cocnet_topology::MPortNTree) -> usize {
+    match topo {
+        TopoSpec::Tree => {
+            let t = tree();
+            2 * t.n() as usize * t.num_nodes()
+        }
+        TopoSpec::Torus(s) => 2 * s.num_nodes() * (1 + s.ndims()),
+    }
+}
+
+/// Total global channels the built system of `spec` will have: each
+/// cluster contributes an ICN1 and an ECN1 network, plus the global ICN2.
 fn expected_channels(spec: &SystemSpec) -> usize {
     let mut total = 0usize;
     for i in 0..spec.num_clusters() {
-        let t = spec.cluster_tree(i);
-        total += 2 * 2 * t.n() as usize * t.num_nodes();
+        total += 2 * network_channels(&spec.clusters[i].topology, || spec.cluster_tree(i));
     }
-    let icn2 = spec.icn2_tree();
-    total + 2 * icn2.n() as usize * icn2.num_nodes()
+    total + network_channels(&spec.topology, || spec.icn2_tree())
 }
 
 /// Spec-level validation of a fault schedule: field ranges
@@ -352,9 +365,9 @@ impl TableBuilder {
 impl EagerTable {
     #[allow(clippy::too_many_arguments)]
     fn build(
-        icn1: &[Arc<Graph>],
-        ecn1: &[Arc<Graph>],
-        icn2: &Graph,
+        icn1: &[Arc<AnyTopology>],
+        ecn1: &[Arc<AnyTopology>],
+        icn2: &AnyTopology,
         icn1_off: &[u32],
         ecn1_off: &[u32],
         icn2_off: u32,
@@ -398,7 +411,7 @@ impl EagerTable {
             let li = node_local[f] as usize;
             let fs = &faults.ecn1[ci];
             let ok = routed(
-                ecn1[ci].route_to_root_into_avoiding(li, policy, fs, &mut scratch),
+                ecn1[ci].route_exit_into_avoiding(li, policy, fs, &mut scratch),
                 "ECN1 ascent",
             )?;
             up_seg.push(if ok {
@@ -408,7 +421,7 @@ impl EagerTable {
             });
             dead_flags.push(!ok);
             let ok = routed(
-                ecn1[ci].route_from_root_into_avoiding(li, policy, fs, &mut scratch),
+                ecn1[ci].route_entry_into_avoiding(li, policy, fs, &mut scratch),
                 "ECN1 descent",
             )?;
             down_seg.push(if ok {
@@ -684,7 +697,7 @@ chunked_arena!(ChunkedU64, AtomicU64, u64);
 /// `route_ref` (class lookup) and first-touch materialization do.
 #[derive(Debug, Default)]
 struct LazyState {
-    /// `(cluster, src leaf switch, dst local id)` → class-record offset.
+    /// `(cluster, src route class, dst local id)` → class-record offset.
     intra: HashMap<(u32, u32, u32), u32>,
     /// Entries appended to the channel arena so far.
     chan_len: u64,
@@ -701,10 +714,10 @@ struct LazyState {
 /// the table materializes — once per *equivalence class*, not per pair —
 /// the route data every pair of the class shares:
 ///
-/// * intra-cluster: one **class record** per `(cluster, src leaf switch,
+/// * intra-cluster: one **class record** per `(cluster, src route class,
 ///   dst)` holding the route *tail* (everything after the injection
-///   channel — identical for every source under the leaf, see
-///   [`Graph::route_tail_into`]) plus the left-folded `sum_t` /
+///   channel — identical for every source of the class, see
+///   [`Topology::route_tail_into`]) plus the left-folded `sum_t` /
 ///   `bottleneck_t`, which are class-uniform because all injection
 ///   channels of one ICN1 share `t_cn`. The per-pair injection channel is
 ///   recovered arithmetically (`icn1_off + 2·local`) through the virtual
@@ -715,7 +728,8 @@ struct LazyState {
 ///   blocks and the all-pairs build sweep.
 ///
 /// Static faults are applied per class on the shared trunk
-/// ([`Graph::route_tail_into_avoiding`] reroutes or marks the class dead);
+/// ([`Topology::route_tail_into_avoiding`] reroutes or marks the class
+/// dead);
 /// an injection-link fault demotes only the affected pair via the dead
 /// flag carried in its [`RouteRef`].
 ///
@@ -727,9 +741,9 @@ struct LazyState {
 /// materialize each class exactly once.
 #[derive(Debug)]
 pub struct ClassedTable {
-    icn1: Vec<Arc<Graph>>,
-    ecn1: Vec<Arc<Graph>>,
-    icn2: Arc<Graph>,
+    icn1: Vec<Arc<AnyTopology>>,
+    ecn1: Vec<Arc<AnyTopology>>,
+    icn2: Arc<AnyTopology>,
     icn1_off: Vec<u32>,
     ecn1_off: Vec<u32>,
     icn2_off: u32,
@@ -766,9 +780,9 @@ pub struct ClassedTable {
 impl ClassedTable {
     #[allow(clippy::too_many_arguments)]
     fn new(
-        icn1: Vec<Arc<Graph>>,
-        ecn1: Vec<Arc<Graph>>,
-        icn2: Arc<Graph>,
+        icn1: Vec<Arc<AnyTopology>>,
+        ecn1: Vec<Arc<AnyTopology>>,
+        icn2: Arc<AnyTopology>,
         icn1_off: Vec<u32>,
         ecn1_off: Vec<u32>,
         icn2_off: u32,
@@ -787,8 +801,8 @@ impl ClassedTable {
         );
         for g in &icn1 {
             assert!(
-                g.tree().k() <= 1 << 20,
-                "classed route refs encode the leaf position in 20 bits"
+                g.max_class_members() <= 1 << 20,
+                "classed route refs encode the class position in 20 bits"
             );
         }
         let unset = |n: usize| (0..n).map(|_| AtomicU32::new(UNSET)).collect();
@@ -873,7 +887,7 @@ impl ClassedTable {
         let li = self.node_local[src] as usize;
         let mut scratch = std::mem::take(&mut st.scratch);
         let ok = Self::seg_ok(
-            self.ecn1[ci].route_to_root_into_avoiding(
+            self.ecn1[ci].route_exit_into_avoiding(
                 li,
                 self.policy,
                 &self.faults.ecn1[ci],
@@ -902,7 +916,7 @@ impl ClassedTable {
         let lj = self.node_local[dst] as usize;
         let mut scratch = std::mem::take(&mut st.scratch);
         let ok = Self::seg_ok(
-            self.ecn1[cj].route_from_root_into_avoiding(
+            self.ecn1[cj].route_entry_into_avoiding(
                 lj,
                 self.policy,
                 &self.faults.ecn1[cj],
@@ -950,14 +964,15 @@ impl ClassedTable {
     }
 
     /// Class record of the intra pair `(src, dst)`, materializing the
-    /// class — keyed `(cluster, leaf(src), dst)` — on first touch by any
-    /// member pair.
+    /// class — keyed `(cluster, route_class(src), dst)` — on first touch
+    /// by any member pair.
     fn intra_cls(&self, src: usize, dst: usize) -> u32 {
         let ci = self.node_cluster[src];
         let li = self.node_local[src] as usize;
         let lj = self.node_local[dst];
-        let tree = *self.icn1[ci as usize].tree();
-        let leaf = tree.leaf_index_of(li).expect("valid local id") as u32;
+        let leaf = self.icn1[ci as usize]
+            .route_class_of(li)
+            .expect("valid local id") as u32;
         let key = (ci, leaf, lj);
         if let Some(&cls) = self.lazy.read().expect("route table lock").intra.get(&key) {
             return cls;
@@ -996,12 +1011,12 @@ impl ClassedTable {
             sum += t;
             bot = bot.max(t);
             len = 1;
-            // Head slot: the injection channel of the leaf's first member.
-            // Member `j`'s is `head + 2·j` (node ids under a leaf are
-            // consecutive and node↔leaf links come two per node in node
+            // Head slot: the injection channel of the class's first member.
+            // Member `j`'s is `head + 2·j` (class members are consecutive
+            // node ids and node↔switch links come two per node in node
             // order), which is what lets `chan_at` resolve a pair's
             // injection with the same single arena read as a tail channel.
-            let base = self.intra_inj(ci as usize, tree.node_under_leaf(leaf as usize, 0));
+            let base = self.intra_inj(ci as usize, graph.class_first_node(leaf as usize));
             self.chans.set(st.chan_len, base);
             st.chan_len += 1;
             for c in &scratch {
@@ -1038,8 +1053,9 @@ impl ClassedTable {
         if ci == self.node_cluster[dst] {
             let cls = self.intra_cls(src, dst);
             let li = self.node_local[src] as usize;
-            let tree = self.icn1[ci as usize].tree();
-            let j = tree.leaf_member_of(li).expect("valid local id") as u32;
+            let j = self.icn1[ci as usize]
+                .class_member_of(li)
+                .expect("valid local id") as u32;
             let dead = self.faulted && self.failed[self.intra_inj(ci as usize, li) as usize];
             RouteRef::intra(cls, j, dead)
         } else {
@@ -1288,9 +1304,9 @@ pub struct AdaptiveScratch {
 #[derive(Debug)]
 pub struct BuiltSystem {
     spec: SystemSpec,
-    icn1: Vec<Arc<Graph>>,
-    ecn1: Vec<Arc<Graph>>,
-    icn2: Arc<Graph>,
+    icn1: Vec<Arc<AnyTopology>>,
+    ecn1: Vec<Arc<AnyTopology>>,
+    icn2: Arc<AnyTopology>,
     icn1_off: Vec<u32>,
     ecn1_off: Vec<u32>,
     icn2_off: u32,
@@ -1377,7 +1393,7 @@ impl BuiltSystem {
         let mut ecn1_off = Vec::with_capacity(c);
         let mut chan_time: Vec<f64> = Vec::new();
 
-        let push_graph = |graph: &Graph, t_cn: f64, t_cs: f64, chan_time: &mut Vec<f64>| {
+        let push_graph = |graph: &AnyTopology, t_cn: f64, t_cs: f64, chan_time: &mut Vec<f64>| {
             let off = chan_time.len() as u32;
             for i in 0..graph.num_channels() {
                 let kind = graph.channel(cocnet_topology::ChannelId(i as u32)).kind;
@@ -1389,20 +1405,35 @@ impl BuiltSystem {
             off
         };
 
-        // One graph per distinct tree shape — clusters with the same
-        // (m, n) share the structure (channel ids, routes) even though
-        // their channel *times* differ, which the per-network offsets
-        // into `chan_time` already express.
-        let mut graph_cache: HashMap<(u32, u32), Arc<Graph>> = HashMap::new();
-        let mut get_graph = |tree: MPortNTree| -> Arc<Graph> {
+        // One channel graph per distinct shape — clusters with the same
+        // backend shape (tree `(m, n)` or torus dims) share the structure
+        // (channel ids, routes) even though their channel *times* differ,
+        // which the per-network offsets into `chan_time` already express.
+        #[derive(PartialEq, Eq, Hash)]
+        enum TopoKey {
+            Tree(u32, u32),
+            Torus(TorusShape),
+        }
+        let m = spec.m;
+        let mut graph_cache: HashMap<TopoKey, Arc<AnyTopology>> = HashMap::new();
+        let mut get_graph = |topo: &TopoSpec, tree_height: u32| -> Arc<AnyTopology> {
+            let key = match topo {
+                TopoSpec::Tree => TopoKey::Tree(m, tree_height),
+                TopoSpec::Torus(s) => TopoKey::Torus(*s),
+            };
             graph_cache
-                .entry((tree.m(), tree.n()))
-                .or_insert_with(|| Arc::new(Graph::build(tree)))
+                .entry(key)
+                .or_insert_with(|| {
+                    Arc::new(
+                        AnyTopology::build(m, tree_height, topo)
+                            .expect("validated spec builds its channel graph"),
+                    )
+                })
                 .clone()
         };
 
         for i in 0..c {
-            let g = get_graph(spec.cluster_tree(i));
+            let g = get_graph(&spec.clusters[i].topology, spec.clusters[i].n);
             let net = &spec.clusters[i].icn1;
             icn1_off.push(push_graph(
                 &g,
@@ -1413,7 +1444,7 @@ impl BuiltSystem {
             icn1.push(g);
         }
         for i in 0..c {
-            let g = get_graph(spec.cluster_tree(i));
+            let g = get_graph(&spec.clusters[i].topology, spec.clusters[i].n);
             let net = &spec.clusters[i].ecn1;
             ecn1_off.push(push_graph(
                 &g,
@@ -1423,8 +1454,12 @@ impl BuiltSystem {
             ));
             ecn1.push(g);
         }
-        let icn2_tree: MPortNTree = spec.icn2_tree();
-        let icn2 = get_graph(icn2_tree);
+        let icn2_height = if spec.topology.is_tree() {
+            spec.icn2_height().expect("validated")
+        } else {
+            0
+        };
+        let icn2 = get_graph(&spec.topology, icn2_height);
         let icn2_off = push_graph(
             &icn2,
             spec.icn2.t_cn(flit_bytes),
@@ -1442,9 +1477,10 @@ impl BuiltSystem {
             }
         }
 
-        // Each graph holds 2·n·N channels — an even count — so every
-        // network offset is even and the global reverse of channel `g` is
-        // `g ^ 1`, exactly as within one graph. The fault mask relies on it.
+        // Every backend holds an even channel count (2·n·N for a tree,
+        // 2·N·(1 + ndims) for a torus), so every network offset is even
+        // and the global reverse of channel `g` is `g ^ 1`, exactly as
+        // within one graph. The fault mask relies on it.
         debug_assert!(
             icn1_off.iter().chain(ecn1_off.iter()).all(|&o| o % 2 == 0) && icn2_off % 2 == 0,
             "network offsets must be even for global reverse = id ^ 1"
@@ -1678,38 +1714,29 @@ impl BuiltSystem {
             self.node_cluster[dst] as usize,
             self.node_local[dst] as usize,
         );
+        let seg = |route: &[ChannelId], off: u32| Segment {
+            chans: route.iter().map(|c| off + c.0).collect(),
+        };
+        let mut scratch: Vec<ChannelId> = Vec::new();
         if ci == cj {
-            let route = self.icn1[ci]
-                .route_with_policy(li, lj, self.policy)
+            self.icn1[ci]
+                .route_into(li, lj, self.policy, &mut scratch)
                 .expect("valid local ids");
-            let off = self.icn1_off[ci];
-            return vec![Segment {
-                chans: route.channels.iter().map(|c| off + c.0).collect(),
-            }];
+            return vec![seg(&scratch, self.icn1_off[ci])];
         }
-        let up = self.ecn1[ci]
-            .route_to_root_with_policy(li, self.policy)
+        self.ecn1[ci]
+            .route_exit_into(li, self.policy, &mut scratch)
             .expect("valid local id");
-        let off_up = self.ecn1_off[ci];
-        let cross = self
-            .icn2
-            .route_with_policy(ci, cj, self.policy)
+        let up = seg(&scratch, self.ecn1_off[ci]);
+        self.icn2
+            .route_into(ci, cj, self.policy, &mut scratch)
             .expect("valid cluster ids");
-        let down = self.ecn1[cj]
-            .route_from_root_with_policy(lj, self.policy)
+        let cross = seg(&scratch, self.icn2_off);
+        self.ecn1[cj]
+            .route_entry_into(lj, self.policy, &mut scratch)
             .expect("valid local id");
-        let off_down = self.ecn1_off[cj];
-        vec![
-            Segment {
-                chans: up.channels.iter().map(|c| off_up + c.0).collect(),
-            },
-            Segment {
-                chans: cross.channels.iter().map(|c| self.icn2_off + c.0).collect(),
-            },
-            Segment {
-                chans: down.channels.iter().map(|c| off_down + c.0).collect(),
-            },
-        ]
+        let down = seg(&scratch, self.ecn1_off[cj]);
+        vec![up, cross, down]
     }
 }
 
@@ -1826,7 +1853,7 @@ impl BuiltSystem {
         }
         let n_up = self.spec.clusters[ci].n.saturating_sub(1) as usize;
         self.ecn1[ci]
-            .route_to_root_adaptive_into(li, &digits[..n_up], &mut scratch.route)
+            .route_exit_adaptive_into(li, &digits[..n_up], &mut scratch.route)
             .expect("valid local id");
         metas[0] = append(&scratch.route, self.ecn1_off[ci], out);
         self.icn2
@@ -1834,7 +1861,7 @@ impl BuiltSystem {
             .expect("valid cluster ids");
         metas[1] = append(&scratch.route, self.icn2_off, out);
         self.ecn1[cj]
-            .route_from_root_into(lj, self.policy, &mut scratch.route)
+            .route_entry_into(lj, self.policy, &mut scratch.route)
             .expect("valid local id");
         metas[2] = append(&scratch.route, self.ecn1_off[cj], out);
         (metas, 3)
@@ -1878,41 +1905,35 @@ impl BuiltSystem {
             self.node_cluster[dst] as usize,
             self.node_local[dst] as usize,
         );
+        let seg = |route: &[ChannelId], off: u32| Segment {
+            chans: route.iter().map(|c| off + c.0).collect(),
+        };
+        let mut scratch: Vec<ChannelId> = Vec::new();
         if ci == cj {
             let n = self.spec.clusters[ci].n;
-            let route = self.icn1[ci]
-                .route_adaptive(li, lj, &digits(n.saturating_sub(1)))
+            let d = digits(n.saturating_sub(1));
+            self.icn1[ci]
+                .route_adaptive_into(li, lj, &d, &mut scratch)
                 .expect("valid local ids");
-            let off = self.icn1_off[ci];
-            return vec![Segment {
-                chans: route.channels.iter().map(|c| off + c.0).collect(),
-            }];
+            return vec![seg(&scratch, self.icn1_off[ci])];
         }
         let n_i = self.spec.clusters[ci].n;
         let n_c = self.spec.icn2_height().expect("validated");
-        let up = self.ecn1[ci]
-            .route_to_root_adaptive(li, &digits(n_i.saturating_sub(1)))
+        let d_up = digits(n_i.saturating_sub(1));
+        self.ecn1[ci]
+            .route_exit_adaptive_into(li, &d_up, &mut scratch)
             .expect("valid local id");
-        let off_up = self.ecn1_off[ci];
-        let cross = self
-            .icn2
-            .route_adaptive(ci, cj, &digits(n_c.saturating_sub(1)))
+        let up = seg(&scratch, self.ecn1_off[ci]);
+        let d_cross = digits(n_c.saturating_sub(1));
+        self.icn2
+            .route_adaptive_into(ci, cj, &d_cross, &mut scratch)
             .expect("valid cluster ids");
-        let down = self.ecn1[cj]
-            .route_from_root_with_policy(lj, self.policy)
+        let cross = seg(&scratch, self.icn2_off);
+        self.ecn1[cj]
+            .route_entry_into(lj, self.policy, &mut scratch)
             .expect("valid local id");
-        let off_down = self.ecn1_off[cj];
-        vec![
-            Segment {
-                chans: up.channels.iter().map(|c| off_up + c.0).collect(),
-            },
-            Segment {
-                chans: cross.channels.iter().map(|c| self.icn2_off + c.0).collect(),
-            },
-            Segment {
-                chans: down.channels.iter().map(|c| off_down + c.0).collect(),
-            },
-        ]
+        let down = seg(&scratch, self.ecn1_off[cj]);
+        vec![up, cross, down]
     }
 }
 
@@ -2031,6 +2052,7 @@ mod tests {
             n,
             icn1: net1,
             ecn1: net2,
+            topology: Default::default(),
         };
         SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap()
     }

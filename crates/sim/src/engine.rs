@@ -820,7 +820,7 @@ impl<'a, S: Scheduler<EventKind>, const TRACE: bool> Simulator<'a, S, TRACE> {
 /// use cocnet_workloads::Pattern;
 ///
 /// let net = NetworkCharacteristics::new(500.0, 0.01, 0.02).unwrap();
-/// let cluster = |n| ClusterSpec { n, icn1: net, ecn1: net };
+/// let cluster = |n| ClusterSpec { n, icn1: net, ecn1: net, topology: Default::default() };
 /// let spec = SystemSpec::new(4, vec![cluster(1); 4], net).unwrap();
 /// let wl = Workload::new(1e-4, 8, 256.0).unwrap();
 /// let mut cfg = SimConfig::quick(7);
@@ -921,6 +921,7 @@ mod tests {
             n,
             icn1: net1,
             ecn1: net2,
+            topology: Default::default(),
         };
         SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap()
     }

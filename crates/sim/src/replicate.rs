@@ -207,6 +207,7 @@ mod tests {
             n,
             icn1: net,
             ecn1: net,
+            topology: Default::default(),
         };
         SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net).unwrap()
     }

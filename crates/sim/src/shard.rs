@@ -1815,6 +1815,7 @@ mod tests {
             n,
             icn1: net1,
             ecn1: net2,
+            topology: Default::default(),
         };
         SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap()
     }

@@ -22,6 +22,7 @@ fn hetero24() -> SystemSpec {
             n,
             icn1: net1,
             ecn1: net2,
+            topology: Default::default(),
         })
         .collect();
     SystemSpec::new(4, clusters, net1).unwrap()
@@ -38,6 +39,7 @@ fn wide112() -> SystemSpec {
             n,
             icn1: net1,
             ecn1: net2,
+            topology: Default::default(),
         })
         .collect();
     SystemSpec::new(8, clusters, net1).unwrap()

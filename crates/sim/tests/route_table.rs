@@ -38,6 +38,7 @@ fn arb_system() -> impl Strategy<Value = SystemSpec> {
                         n: heights[i % heights.len()],
                         icn1: net1,
                         ecn1: net2,
+                        topology: Default::default(),
                     })
                     .collect();
                 SystemSpec::new(m, clusters, net1).unwrap()

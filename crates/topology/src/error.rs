@@ -63,6 +63,21 @@ pub enum TopologyError {
         /// Which invariant was violated, with the offending values.
         what: String,
     },
+    /// The requested operation exists on some topology backends but not
+    /// on this one (e.g. adaptive exit digits on a torus). Callers that
+    /// support multiple backends match on this instead of panicking.
+    UnsupportedByBackend {
+        /// Name of the backend that lacks the operation (`"tree"`, `"torus"`).
+        backend: &'static str,
+        /// The unsupported operation or parameter.
+        what: &'static str,
+    },
+    /// A torus shape failed validation: 2 or 3 dimensions, each of extent
+    /// `2..=1024`, with at most `2^20` nodes in total.
+    BadTorusShape {
+        /// Which constraint was violated, with the offending values.
+        what: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -106,6 +121,12 @@ impl fmt::Display for TopologyError {
             Self::BadGraphStructure { what } => {
                 write!(f, "channel graph invariant violated: {what}")
             }
+            Self::UnsupportedByBackend { backend, what } => {
+                write!(f, "the {backend} topology backend does not support {what}")
+            }
+            Self::BadTorusShape { what } => {
+                write!(f, "bad torus shape: {what}")
+            }
         }
     }
 }
@@ -139,5 +160,15 @@ mod tests {
             what: "channel count 4 != 2nN = 8".into(),
         };
         assert!(e.to_string().contains("2nN"));
+        let e = TopologyError::UnsupportedByBackend {
+            backend: "torus",
+            what: "adaptive exit digits",
+        };
+        assert!(e.to_string().contains("torus"));
+        assert!(e.to_string().contains("adaptive exit digits"));
+        let e = TopologyError::BadTorusShape {
+            what: "dimension 0 has extent 1 (must be 2..=1024)".into(),
+        };
+        assert!(e.to_string().contains("extent 1"));
     }
 }

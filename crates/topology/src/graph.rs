@@ -163,6 +163,12 @@ struct AvoidCtx<'a> {
 }
 
 /// An m-port n-tree with all channels materialised.
+///
+/// Routing lives on the [`crate::topo::Topology`] trait (and its
+/// consolidated [`crate::topo::RouteQuery`] entrypoint), which this type
+/// implements. The historical inherent `route*` methods remain as
+/// `#[doc(hidden)]` wrappers of the same code paths so downstream callers
+/// and the bit-identity goldens are untouched.
 #[derive(Debug, Clone)]
 pub struct Graph {
     tree: MPortNTree,
@@ -353,11 +359,13 @@ impl Graph {
     /// assert_eq!(route.channels.len(), 4);
     /// # Ok::<(), cocnet_topology::TopologyError>(())
     /// ```
+    #[doc(hidden)]
     pub fn route(&self, src: usize, dst: usize) -> Result<Route, TopologyError> {
         self.route_with_policy(src, dst, AscentPolicy::default())
     }
 
     /// [`Graph::route`] with an explicit ascent policy.
+    #[doc(hidden)]
     pub fn route_with_policy(
         &self,
         src: usize,
@@ -377,6 +385,7 @@ impl Graph {
     /// The buffer's capacity is reused across calls, which is what keeps
     /// route-table interning and per-message adaptive routing off the
     /// allocator.
+    #[doc(hidden)]
     pub fn route_into(
         &self,
         src: usize,
@@ -425,11 +434,13 @@ impl Graph {
     ///
     /// The root choice is a function of the *source* address, spreading the
     /// exit traffic of different nodes across the `(m/2)^{n−1}` roots.
+    #[doc(hidden)]
     pub fn route_to_root(&self, src: usize) -> Result<Route, TopologyError> {
         self.route_to_root_with_policy(src, AscentPolicy::default())
     }
 
     /// [`Graph::route_to_root`] with an explicit ascent policy.
+    #[doc(hidden)]
     pub fn route_to_root_with_policy(
         &self,
         src: usize,
@@ -445,6 +456,7 @@ impl Graph {
 
     /// Allocation-free form of [`Graph::route_to_root_with_policy`]:
     /// clears `out`, writes the ascent channels, returns the root level.
+    #[doc(hidden)]
     pub fn route_to_root_into(
         &self,
         src: usize,
@@ -471,12 +483,14 @@ impl Graph {
     /// Route from the deterministic entry root down to a node (used by
     /// inter-cluster messages entering through an ECN1 tree): the exact
     /// reverse of [`Graph::route_to_root`]`(dst)`, `n` links.
+    #[doc(hidden)]
     pub fn route_from_root(&self, dst: usize) -> Result<Route, TopologyError> {
         self.route_from_root_with_policy(dst, AscentPolicy::default())
     }
 
     /// Adaptive variant of [`Graph::route_to_root`]: ascent digits supplied
     /// by the caller (missing ones fall back to the deterministic policy).
+    #[doc(hidden)]
     pub fn route_to_root_adaptive(
         &self,
         src: usize,
@@ -491,6 +505,7 @@ impl Graph {
     }
 
     /// Allocation-free form of [`Graph::route_to_root_adaptive`].
+    #[doc(hidden)]
     pub fn route_to_root_adaptive_into(
         &self,
         src: usize,
@@ -518,6 +533,7 @@ impl Graph {
     }
 
     /// [`Graph::route_from_root`] with an explicit ascent policy.
+    #[doc(hidden)]
     pub fn route_from_root_with_policy(
         &self,
         dst: usize,
@@ -533,6 +549,7 @@ impl Graph {
 
     /// Allocation-free form of [`Graph::route_from_root_with_policy`]:
     /// the ascent is produced in place, then reversed channel by channel.
+    #[doc(hidden)]
     pub fn route_from_root_into(
         &self,
         dst: usize,
@@ -556,6 +573,7 @@ impl Graph {
     ///
     /// Missing digits fall back to the deterministic policy; excess digits
     /// are ignored. Descent is fixed by the destination as always.
+    #[doc(hidden)]
     pub fn route_adaptive(
         &self,
         src: usize,
@@ -571,6 +589,7 @@ impl Graph {
     }
 
     /// Allocation-free form of [`Graph::route_adaptive`].
+    #[doc(hidden)]
     pub fn route_adaptive_into(
         &self,
         src: usize,
@@ -627,6 +646,7 @@ impl Graph {
     /// pair with no fault-free level-`h` turn. Returns the NCA level, or
     /// [`TopologyError::Disconnected`] when no fault-free Up*/Down* path
     /// exists (`out` is left empty in that case).
+    #[doc(hidden)]
     pub fn route_into_avoiding(
         &self,
         src: usize,
@@ -691,6 +711,7 @@ impl Graph {
     /// primitive class-keyed route interning materializes once per class —
     /// per-pair state is reduced to the injection channel, which the caller
     /// reconstructs arithmetically.
+    #[doc(hidden)]
     pub fn route_tail_into(
         &self,
         src: usize,
@@ -739,6 +760,7 @@ impl Graph {
     /// part of the shared tail. Byte-identical to
     /// [`Graph::route_into_avoiding`]`[1..]` whenever that route exists and
     /// its injection channel is healthy.
+    #[doc(hidden)]
     pub fn route_tail_into_avoiding(
         &self,
         src: usize,
@@ -795,6 +817,7 @@ impl Graph {
     /// deterministic router when `faults` is empty (byte-identical route);
     /// returns [`TopologyError::Disconnected`] with `dst: None` when every
     /// ascent is cut.
+    #[doc(hidden)]
     pub fn route_to_root_into_avoiding(
         &self,
         src: usize,
@@ -836,6 +859,7 @@ impl Graph {
     /// Because both directions of a link fail in tandem, a fault-free
     /// ascent reversed is a fault-free descent. The `Disconnected` error
     /// reports `dst` as its source node (the ascent it mirrors).
+    #[doc(hidden)]
     pub fn route_from_root_into_avoiding(
         &self,
         dst: usize,

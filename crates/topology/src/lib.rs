@@ -15,6 +15,10 @@
 //!   concentrator/dispatchers.
 //! * [`netchar::NetworkCharacteristics`] — bandwidth/latency parameters and
 //!   the service-time formulas of Eqs. (11)–(12).
+//! * [`topo::Topology`] — the pluggable routing-backend trait ([`Graph`] and
+//!   [`torus::Torus`] implement it), the consolidated [`topo::RouteQuery`]
+//!   entrypoint, and the serialisable [`topo::TopoSpec`] backend selector.
+//! * [`torus::Torus`] — a 2D/3D torus backend with dimension-order routing.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -25,6 +29,8 @@ pub mod labels;
 pub mod metrics;
 pub mod netchar;
 pub mod system;
+pub mod topo;
+pub mod torus;
 pub mod tree;
 
 pub use error::TopologyError;
@@ -33,4 +39,6 @@ pub use labels::{NodeLabel, SwitchLabel};
 pub use metrics::TreeMetrics;
 pub use netchar::NetworkCharacteristics;
 pub use system::{ClusterSpec, SystemSpec};
+pub use topo::{AnyTopology, RouteMode, RouteQuery, TopoSpec, Topology, TorusShape};
+pub use torus::Torus;
 pub use tree::MPortNTree;

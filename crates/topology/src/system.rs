@@ -10,20 +10,28 @@
 
 use crate::error::TopologyError;
 use crate::netchar::NetworkCharacteristics;
+use crate::topo::TopoSpec;
 use crate::tree::MPortNTree;
 use serde::{Deserialize, Serialize};
 
-/// One cluster: an m-port `n`-tree of compute nodes with its own
-/// intra-cluster (ICN1) and inter-cluster (ECN1) networks.
+/// One cluster: compute nodes joined by its own intra-cluster (ICN1) and
+/// inter-cluster (ECN1) networks — by default the paper's m-port
+/// `n`-tree, optionally a torus (see [`TopoSpec`]).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct ClusterSpec {
-    /// Tree height `n_i`; the cluster has `2(m/2)^{n_i}` nodes.
+    /// Tree height `n_i`; a tree cluster has `2(m/2)^{n_i}` nodes. Unused
+    /// (and required to stay 0) for torus clusters, whose node count is
+    /// the product of their dimension extents.
+    #[serde(default)]
     pub n: u32,
     /// Characteristics of the intra-cluster network ICN1(i).
     pub icn1: NetworkCharacteristics,
     /// Characteristics of the inter-cluster access network ECN1(i).
     pub ecn1: NetworkCharacteristics,
+    /// Topology backend of this cluster's ICN1/ECN1 (default: tree).
+    #[serde(default)]
+    pub topology: TopoSpec,
 }
 
 /// A complete cluster-of-clusters system.
@@ -36,6 +44,10 @@ pub struct SystemSpec {
     pub clusters: Vec<ClusterSpec>,
     /// Characteristics of the global inter-cluster network ICN2.
     pub icn2: NetworkCharacteristics,
+    /// Topology backend of the global ICN2 network, whose "nodes" are the
+    /// `C` concentrator/dispatchers (default: tree).
+    #[serde(default)]
+    pub topology: TopoSpec,
 }
 
 impl SystemSpec {
@@ -45,7 +57,7 @@ impl SystemSpec {
     /// use cocnet_topology::{ClusterSpec, NetworkCharacteristics, SystemSpec};
     /// let net1 = NetworkCharacteristics::new(500.0, 0.01, 0.02)?;
     /// let net2 = NetworkCharacteristics::new(250.0, 0.05, 0.01)?;
-    /// let cluster = |n| ClusterSpec { n, icn1: net1, ecn1: net2 };
+    /// let cluster = |n| ClusterSpec { n, icn1: net1, ecn1: net2, topology: Default::default() };
     /// // Four m=4 clusters: two of 8 nodes (n=2), two of 16 (n=3).
     /// let spec = SystemSpec::new(4, vec![cluster(2), cluster(2), cluster(3), cluster(3)], net1)?;
     /// assert_eq!(spec.total_nodes(), 48);
@@ -57,7 +69,12 @@ impl SystemSpec {
         clusters: Vec<ClusterSpec>,
         icn2: NetworkCharacteristics,
     ) -> Result<Self, TopologyError> {
-        let spec = Self { m, clusters, icn2 };
+        let spec = Self {
+            m,
+            clusters,
+            icn2,
+            topology: TopoSpec::Tree,
+        };
         spec.validate()?;
         Ok(spec)
     }
@@ -76,12 +93,69 @@ impl SystemSpec {
             });
         }
         for c in &self.clusters {
-            MPortNTree::new(self.m, c.n)?;
+            match c.topology {
+                TopoSpec::Tree => {
+                    MPortNTree::new(self.m, c.n)?;
+                }
+                TopoSpec::Torus(_) => {
+                    // A torus cluster is shaped entirely by its dims
+                    // (validated when the shape was built); a stray tree
+                    // height is a config mistake, not silently ignored.
+                    if c.n != 0 {
+                        return Err(TopologyError::UnsupportedByBackend {
+                            backend: "torus",
+                            what: "a tree height n (torus clusters are shaped by \"dims\")",
+                        });
+                    }
+                }
+            }
             c.icn1.validate()?;
             c.ecn1.validate()?;
         }
         self.icn2.validate()?;
-        self.icn2_height()?;
+        match self.topology {
+            TopoSpec::Tree => {
+                self.icn2_height()?;
+            }
+            TopoSpec::Torus(shape) => {
+                if shape.num_nodes() != self.clusters.len() {
+                    return Err(TopologyError::BadTorusShape {
+                        what: format!(
+                            "ICN2 torus has {} nodes but the system has {} clusters",
+                            shape.num_nodes(),
+                            self.clusters.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every network in the system (all ICN1/ECN1 plus ICN2) uses
+    /// the paper's tree backend — the shapes the analytical model covers.
+    pub fn is_all_tree(&self) -> bool {
+        self.topology.is_tree() && self.clusters.iter().all(|c| c.topology.is_tree())
+    }
+
+    /// Checks that every network supports engine-level adaptive routing
+    /// (free-digit draws), which only the tree backend offers; reports
+    /// [`TopologyError::UnsupportedByBackend`] otherwise.
+    pub fn adaptive_routing_supported(&self) -> Result<(), TopologyError> {
+        for c in &self.clusters {
+            if !c.topology.is_tree() {
+                return Err(TopologyError::UnsupportedByBackend {
+                    backend: c.topology.backend_name(),
+                    what: "engine-level adaptive routing",
+                });
+            }
+        }
+        if !self.topology.is_tree() {
+            return Err(TopologyError::UnsupportedByBackend {
+                backend: self.topology.backend_name(),
+                what: "engine-level adaptive routing",
+            });
+        }
         Ok(())
     }
 
@@ -91,14 +165,37 @@ impl SystemSpec {
     }
 
     /// Tree descriptor of cluster `i`'s ICN1/ECN1 (both are m-port
-    /// `n_i`-trees over the same `N_i` nodes).
-    pub fn cluster_tree(&self, i: usize) -> MPortNTree {
-        MPortNTree::new(self.m, self.clusters[i].n).expect("validated at construction")
+    /// `n_i`-trees over the same `N_i` nodes), or
+    /// [`TopologyError::UnsupportedByBackend`] when the cluster uses a
+    /// non-tree backend.
+    pub fn cluster_tree_checked(&self, i: usize) -> Result<MPortNTree, TopologyError> {
+        match self.clusters[i].topology {
+            TopoSpec::Tree => MPortNTree::new(self.m, self.clusters[i].n),
+            TopoSpec::Torus(_) => Err(TopologyError::UnsupportedByBackend {
+                backend: "torus",
+                what: "an m-port n-tree descriptor",
+            }),
+        }
     }
 
-    /// Number of nodes in cluster `i`, `N_i = 2(m/2)^{n_i}`.
+    /// Tree descriptor of cluster `i`'s ICN1/ECN1.
+    ///
+    /// Tree-only convenience kept for the analytical model, which never
+    /// sees non-tree specs (they are reported as sim-only coverage
+    /// upstream); panics on a non-tree cluster — backend-agnostic callers
+    /// use [`SystemSpec::cluster_tree_checked`].
+    pub fn cluster_tree(&self, i: usize) -> MPortNTree {
+        self.cluster_tree_checked(i)
+            .expect("validated at construction (tree backend)")
+    }
+
+    /// Number of nodes in cluster `i`: `N_i = 2(m/2)^{n_i}` for a tree
+    /// cluster, the product of the dimension extents for a torus cluster.
     pub fn cluster_nodes(&self, i: usize) -> usize {
-        self.cluster_tree(i).num_nodes()
+        match self.clusters[i].topology {
+            TopoSpec::Tree => self.cluster_tree(i).num_nodes(),
+            TopoSpec::Torus(shape) => shape.num_nodes(),
+        }
     }
 
     /// Total nodes in the system, `N = Σ N_i`.
@@ -109,8 +206,15 @@ impl SystemSpec {
     }
 
     /// Tree height `n_c` of the ICN2 network: the solution of
-    /// `C = 2(m/2)^{n_c}`. Errors if `C` is not exactly tree-sized.
+    /// `C = 2(m/2)^{n_c}`. Errors if `C` is not exactly tree-sized, or if
+    /// ICN2 uses a non-tree backend (which has no tree height).
     pub fn icn2_height(&self) -> Result<u32, TopologyError> {
+        if !self.topology.is_tree() {
+            return Err(TopologyError::UnsupportedByBackend {
+                backend: self.topology.backend_name(),
+                what: "an ICN2 tree height",
+            });
+        }
         let c = self.clusters.len();
         let k = (self.m / 2) as usize;
         let mut size = 2usize;
@@ -205,8 +309,19 @@ mod tests {
             n,
             icn1: netchar(500.0),
             ecn1: netchar(250.0),
+            topology: TopoSpec::Tree,
         };
         SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], netchar(500.0)).unwrap()
+    }
+
+    /// A torus cluster of the given dims (n stays 0 by contract).
+    fn torus_cluster(dims: &[u32]) -> ClusterSpec {
+        ClusterSpec {
+            n: 0,
+            icn1: netchar(500.0),
+            ecn1: netchar(250.0),
+            topology: TopoSpec::Torus(crate::topo::TorusShape::new(dims).unwrap()),
+        }
     }
 
     #[test]
@@ -256,6 +371,7 @@ mod tests {
                     n,
                     icn1: netchar(500.0),
                     ecn1: netchar(250.0),
+                    topology: TopoSpec::Tree,
                 })
                 .collect();
             SystemSpec::new(m, clusters, netchar(500.0)).unwrap()
@@ -280,11 +396,73 @@ mod tests {
     }
 
     #[test]
+    fn torus_clusters_validate_and_count_nodes_by_dims() {
+        let spec = SystemSpec::new(
+            4,
+            vec![
+                torus_cluster(&[4, 4]),
+                torus_cluster(&[4, 4]),
+                torus_cluster(&[2, 2, 2]),
+                torus_cluster(&[2, 2, 2]),
+            ],
+            netchar(500.0),
+        )
+        .unwrap();
+        assert_eq!(spec.cluster_nodes(0), 16);
+        assert_eq!(spec.cluster_nodes(2), 8);
+        assert_eq!(spec.total_nodes(), 48);
+        assert_eq!(spec.locate_node(17), Some((1, 1)));
+        assert!(matches!(
+            spec.cluster_tree_checked(0),
+            Err(TopologyError::UnsupportedByBackend { .. })
+        ));
+        assert!(matches!(
+            spec.adaptive_routing_supported(),
+            Err(TopologyError::UnsupportedByBackend { .. })
+        ));
+        assert!(!spec.is_all_tree());
+        assert!(toy().is_all_tree());
+        toy().adaptive_routing_supported().unwrap();
+    }
+
+    #[test]
+    fn torus_cluster_with_tree_height_is_rejected() {
+        let mut bad = torus_cluster(&[4, 4]);
+        bad.n = 2;
+        let err = SystemSpec::new(4, vec![bad, torus_cluster(&[4, 4])], netchar(1.0)).unwrap_err();
+        assert!(matches!(err, TopologyError::UnsupportedByBackend { .. }));
+    }
+
+    #[test]
+    fn torus_icn2_must_match_cluster_count() {
+        let c = |n| ClusterSpec {
+            n,
+            icn1: netchar(500.0),
+            ecn1: netchar(250.0),
+            topology: TopoSpec::Tree,
+        };
+        let mut spec = SystemSpec::new(4, vec![c(1), c(1), c(1), c(1)], netchar(500.0)).unwrap();
+        spec.topology = TopoSpec::Torus(crate::topo::TorusShape::new(&[2, 2]).unwrap());
+        spec.validate().unwrap();
+        assert!(!spec.is_all_tree());
+        assert!(matches!(
+            spec.icn2_height(),
+            Err(TopologyError::UnsupportedByBackend { .. })
+        ));
+        spec.topology = TopoSpec::Torus(crate::topo::TorusShape::new(&[2, 3]).unwrap());
+        assert!(matches!(
+            spec.validate(),
+            Err(TopologyError::BadTorusShape { .. })
+        ));
+    }
+
+    #[test]
     fn rejects_non_tree_sized_cluster_counts() {
         let c = ClusterSpec {
             n: 1,
             icn1: netchar(1.0),
             ecn1: netchar(1.0),
+            topology: TopoSpec::Tree,
         };
         // C=3 with m=4: 2*2^x never equals 3.
         let err = SystemSpec::new(4, vec![c; 3], netchar(1.0)).unwrap_err();

@@ -17,6 +17,7 @@ fn system_spec_round_trips() {
         n,
         icn1: netchar(500.0),
         ecn1: netchar(250.0),
+        topology: Default::default(),
     };
     let spec = SystemSpec::new(4, vec![c(1), c(2), c(2), c(3)], netchar(500.0)).unwrap();
     let json = serde_json::to_string_pretty(&spec).unwrap();
@@ -46,6 +47,45 @@ fn spec_from_handwritten_json() {
     let spec: SystemSpec = serde_json::from_str(json).unwrap();
     assert!(spec.validate().is_ok());
     assert_eq!(spec.total_nodes(), 48);
+}
+
+#[test]
+fn torus_spec_round_trips_and_legacy_json_still_parses() {
+    use cocnet_topology::{TopoSpec, TorusShape};
+
+    // A hand-written spec mixing a torus cluster with tree clusters.
+    let json = r#"{
+        "m": 4,
+        "clusters": [
+            {"icn1": {"bandwidth": 500.0, "network_latency": 0.01, "switch_latency": 0.02},
+             "ecn1": {"bandwidth": 250.0, "network_latency": 0.05, "switch_latency": 0.01},
+             "topology": {"kind": "torus", "dims": [4, 4]}},
+            {"n": 3, "icn1": {"bandwidth": 500.0, "network_latency": 0.01, "switch_latency": 0.02},
+                     "ecn1": {"bandwidth": 250.0, "network_latency": 0.05, "switch_latency": 0.01}},
+            {"n": 3, "icn1": {"bandwidth": 500.0, "network_latency": 0.01, "switch_latency": 0.02},
+                     "ecn1": {"bandwidth": 250.0, "network_latency": 0.05, "switch_latency": 0.01}},
+            {"n": 3, "icn1": {"bandwidth": 500.0, "network_latency": 0.01, "switch_latency": 0.02},
+                     "ecn1": {"bandwidth": 250.0, "network_latency": 0.05, "switch_latency": 0.01}}
+        ],
+        "icn2": {"bandwidth": 500.0, "network_latency": 0.01, "switch_latency": 0.02}
+    }"#;
+    let spec: SystemSpec = serde_json::from_str(json).unwrap();
+    spec.validate().unwrap();
+    assert_eq!(
+        spec.clusters[0].topology,
+        TopoSpec::Torus(TorusShape::new(&[4, 4]).unwrap())
+    );
+    assert_eq!(spec.clusters[1].topology, TopoSpec::Tree);
+    assert_eq!(spec.topology, TopoSpec::Tree, "ICN2 defaults to tree");
+    assert_eq!(spec.cluster_nodes(0), 16);
+    assert_eq!(spec.total_nodes(), 16 + 3 * 16);
+
+    let back: SystemSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+    assert_eq!(spec, back);
+
+    // An unknown topology kind fails loudly.
+    let bad = json.replace("torus", "mesh");
+    assert!(serde_json::from_str::<SystemSpec>(&bad).is_err());
 }
 
 #[test]

@@ -167,6 +167,7 @@ mod tests {
             n,
             icn1: net,
             ecn1: net,
+            topology: Default::default(),
         };
         // m=4, C=4 clusters: 4+4+8+8 = 24 nodes.
         SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net).unwrap()

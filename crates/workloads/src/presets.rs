@@ -26,6 +26,7 @@ fn organization(m: u32, heights: &[(u32, usize)]) -> SystemSpec {
                     n,
                     icn1: net1(),
                     ecn1: net2(),
+                    topology: Default::default(),
                 },
                 count,
             )

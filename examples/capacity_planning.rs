@@ -28,6 +28,7 @@ impl Candidate {
             n: self.n,
             icn1: presets::net1(),
             ecn1: presets::net2(),
+            topology: Default::default(),
         };
         SystemSpec::new(self.m, vec![cluster; self.count], presets::net1()).ok()
     }

@@ -24,6 +24,7 @@ fn system(m: u32, heights: &[u32], ecn_bw: f64) -> SystemSpec {
             n,
             icn1: netchar(500.0),
             ecn1: netchar(ecn_bw),
+            topology: Default::default(),
         })
         .collect();
     SystemSpec::new(m, clusters, netchar(500.0)).expect("valid system")

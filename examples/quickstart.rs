@@ -18,6 +18,7 @@ fn main() {
         n,
         icn1: net1,
         ecn1: net2,
+        topology: Default::default(),
     };
     let spec = SystemSpec::new(
         4,

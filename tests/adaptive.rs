@@ -185,6 +185,7 @@ fn warmup_audit_counts_surface_per_point() {
         n,
         icn1: net1,
         ecn1: net2,
+        topology: Default::default(),
     };
     let spec = SystemSpec::new(4, vec![c(1), c(1), c(2), c(2)], net1).unwrap();
     let mut s = Scenario::new("audit e2e", spec)

@@ -18,6 +18,7 @@ fn spec(m: u32, heights: &[u32]) -> SystemSpec {
             n,
             icn1: net1,
             ecn1: net2,
+            topology: Default::default(),
         })
         .collect();
     SystemSpec::new(m, clusters, net1).unwrap()

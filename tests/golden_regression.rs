@@ -21,6 +21,7 @@ fn hetero_spec() -> SystemSpec {
         n,
         icn1: net1,
         ecn1: net2,
+        topology: Default::default(),
     };
     SystemSpec::new(4, vec![c(1), c(2), c(2), c(3)], net1).unwrap()
 }
@@ -32,6 +33,7 @@ fn wide_spec() -> SystemSpec {
         n,
         icn1: net1,
         ecn1: net2,
+        topology: Default::default(),
     };
     let clusters = vec![c(1), c(1), c(2), c(2), c(1), c(2), c(1), c(1)];
     SystemSpec::new(8, clusters, net2).unwrap()

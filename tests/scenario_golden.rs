@@ -170,6 +170,70 @@ fn degradation_file_is_deterministic_and_degrades_gracefully() {
     }
 }
 
+/// The committed `torus_sweep.json` is the declarative twin of the first
+/// non-tree registry entry: four 4×4 torus clusters under an m=4 ICN2
+/// tree. The twin comparison above already pins file == registry; this
+/// pins the determinism contract of the torus backend itself — the sweep
+/// is f64-bit-identical across the serial and cluster-sharded engines on
+/// both scheduler backends, and (being sim-only) the spec is outside the
+/// analytical model's coverage.
+#[test]
+fn torus_file_is_bit_identical_across_engines_and_schedulers() {
+    use cocnet::model::{coverage, ModelCoverage};
+    use cocnet::sim::{SchedulerKind, ShardMode};
+
+    let path = scenarios_dir().join("torus_sweep.json");
+    let mut scenario = load(&path);
+    scenario.validate().unwrap();
+    assert!(
+        matches!(coverage(&scenario.spec), ModelCoverage::SimOnly { .. }),
+        "torus_sweep.json must be a sim-only scenario"
+    );
+    scenario.sim = tiny(&scenario.sim);
+    scenario.rates = scenario.rates.with_steps(3);
+    scenario.replications = 1;
+
+    // `peak_live_msgs` is documented shard-local (the sharded engine
+    // reports its largest per-shard slab, the serial engine the global
+    // one); every other field must match to the bit.
+    let dump = |detailed: &[Vec<cocnet::runner::PointSim>]| -> Vec<String> {
+        detailed
+            .iter()
+            .flatten()
+            .flat_map(|p| p.runs.iter())
+            .map(|r| {
+                let mut r = r.clone();
+                r.peak_live_msgs = 0;
+                serde_json::to_string(&r).unwrap()
+            })
+            .collect()
+    };
+
+    let mut variants = Vec::new();
+    for scheduler in [SchedulerKind::Heap, SchedulerKind::Calendar] {
+        for shards in [ShardMode::Off, ShardMode::Auto] {
+            let mut s = scenario.clone();
+            s.sim.scheduler = scheduler;
+            s.sim.shards = shards;
+            variants.push((
+                format!("{scheduler:?}/{shards:?}"),
+                dump(&s.run_sim_detailed()),
+            ));
+        }
+    }
+    let (base_name, base) = &variants[0];
+    assert!(
+        base.iter().any(|r| !r.is_empty()),
+        "tiny torus run produced no points at all"
+    );
+    for (name, output) in &variants[1..] {
+        assert_eq!(
+            base, output,
+            "torus sweep must be bit-identical between {base_name} and {name}"
+        );
+    }
+}
+
 /// The committed `org_scale.json` is the standalone 2048-endpoint profile
 /// of the *custom* `org_scale` registry entry (its sweep axis is org
 /// size, not rate, so there is no declarative twin). It pins the route-

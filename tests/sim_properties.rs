@@ -24,6 +24,7 @@ fn arb_system() -> impl Strategy<Value = SystemSpec> {
                 n: height,
                 icn1: net1,
                 ecn1: net2,
+                topology: Default::default(),
             };
             SystemSpec::new(m, vec![cluster; count], net1).unwrap()
         })
